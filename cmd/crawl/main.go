@@ -1,0 +1,84 @@
+// Command crawl runs the paper's automated survey against a generated
+// synthetic web and writes the measurement log.
+//
+// Usage:
+//
+//	crawl -sites 10000 -seed 42 -rounds 5 -out survey.csv
+//
+// At -sites 10000 the run reproduces the paper's full scale (four browser
+// configurations, five rounds, 13 pages per visit).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		sites       = flag.Int("sites", 1000, "number of ranked sites to generate and crawl")
+		seed        = flag.Int64("seed", 42, "deterministic seed for generation and crawling")
+		rounds      = flag.Int("rounds", 5, "visits per (site, configuration)")
+		parallelism = flag.Int("parallelism", 8, "concurrent site workers")
+		cases       = flag.String("cases", "default,blocking,adblock,ghostery", "comma-separated browser configurations")
+		useHTTP     = flag.Bool("http", false, "fetch through a real net/http server instead of in-process")
+		out         = flag.String("out", "", "write the measurement log (CSV) to this file")
+	)
+	flag.Parse()
+
+	var cs []measure.Case
+	for _, c := range strings.Split(*cases, ",") {
+		c = strings.TrimSpace(c)
+		if c != "" {
+			cs = append(cs, measure.Case(c))
+		}
+	}
+
+	study, err := core.NewStudy(core.Config{
+		Sites:       *sites,
+		Seed:        *seed,
+		Rounds:      *rounds,
+		Parallelism: *parallelism,
+		Cases:       cs,
+		UseHTTP:     *useHTTP,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer study.Close()
+
+	start := time.Now()
+	results, err := study.RunSurvey()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "survey of %d sites completed in %s\n", *sites, time.Since(start).Round(time.Millisecond))
+
+	report.Table1(os.Stdout, results.Stats)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := results.Log.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "measurement log written to %s\n", *out)
+	}
+}

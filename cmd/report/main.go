@@ -1,0 +1,120 @@
+// Command report regenerates the paper's tables and figures. It either
+// re-runs the survey (default) or reads a measurement log produced by
+// cmd/crawl, then renders the requested artifact (or everything).
+//
+// Usage:
+//
+//	report -sites 1000 -seed 42                  # run survey, render all
+//	report -sites 1000 -seed 42 -only table2     # one artifact
+//	report -sites 1000 -seed 42 -log survey.csv  # reuse a saved log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/measure"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		sites       = flag.Int("sites", 1000, "ranking size (must match the log if -log is given)")
+		seed        = flag.Int64("seed", 42, "deterministic seed (must match the log if -log is given)")
+		parallelism = flag.Int("parallelism", 8, "concurrent site workers when re-running the survey")
+		logPath     = flag.String("log", "", "read measurements from this CSV instead of crawling")
+		only        = flag.String("only", "", "render one artifact: figure1|figure3|figure4|figure5|figure6|figure7|figure8|figure9|table1|table2|table3|headlines")
+	)
+	flag.Parse()
+
+	study, err := core.NewStudy(core.Config{Sites: *sites, Seed: *seed, Parallelism: *parallelism})
+	if err != nil {
+		fatal(err)
+	}
+	defer study.Close()
+
+	var results *core.Results
+	if *logPath != "" {
+		f, err := os.Open(*logPath)
+		if err != nil {
+			fatal(err)
+		}
+		log, err := measure.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		results = &core.Results{
+			Log:      log,
+			Stats:    statsFromLog(log),
+			Analysis: analysis.New(log, study.Registry),
+		}
+	} else {
+		results, err = study.RunSurvey()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *only == "" {
+		if err := study.WriteReport(os.Stdout, results); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	a := results.Analysis
+	switch *only {
+	case "figure1":
+		report.Figure1(os.Stdout)
+	case "table1":
+		report.Table1(os.Stdout, results.Stats)
+	case "headlines":
+		report.Headlines(os.Stdout, a, study.CVEs)
+	case "figure3":
+		report.Figure3(os.Stdout, a)
+	case "figure4":
+		report.Figure4(os.Stdout, a)
+	case "figure5":
+		report.Figure5(os.Stdout, a.VisitWeightedPopularity(study.Ranking()))
+	case "figure6":
+		report.Figure6(os.Stdout, a.AgeSeries(study.History))
+	case "figure7":
+		report.Figure7(os.Stdout, a.AdVsTrackerRates())
+	case "figure8":
+		report.Figure8(os.Stdout, a.Complexity())
+	case "figure9":
+		deltas, err := study.RunExternalValidation(results)
+		if err != nil {
+			fatal(err)
+		}
+		report.Figure9(os.Stdout, deltas)
+	case "table2":
+		report.Table2(os.Stdout, a.Table2(study.CVEs))
+	case "table3":
+		report.Table3(os.Stdout, a.NewStandardsPerRound())
+	default:
+		fatal(fmt.Errorf("unknown artifact %q", *only))
+	}
+}
+
+// statsFromLog reconstructs Table 1 summary data from a saved log.
+func statsFromLog(log *measure.Log) *crawler.Stats {
+	s := &crawler.Stats{DomainsMeasured: log.MeasuredCount()}
+	s.DomainsFailed = len(log.Domains) - s.DomainsMeasured
+	for _, cl := range log.Cases {
+		s.PagesVisited += cl.PagesVisited
+		s.Invocations += cl.Invocations
+	}
+	s.InteractionSeconds = float64(s.PagesVisited) * 30
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command webidlscan generates and inspects the WebIDL feature corpus —
+// the reproduction's equivalent of the paper's §3.2 extraction of 1,392
+// features from Firefox's 757 WebIDL files.
+//
+// Usage:
+//
+//	webidlscan -seed 42                         # corpus summary
+//	webidlscan -seed 42 -standard SVG           # one standard's features
+//	webidlscan -seed 42 -feature Navigator.prototype.vibrate
+//	webidlscan -seed 42 -dump dom/Document.webidl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/firefoxhist"
+	"repro/internal/standards"
+	"repro/internal/webapi"
+	"repro/internal/webidl"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 42, "corpus seed")
+		standard = flag.String("standard", "", "list one standard's features")
+		feature  = flag.String("feature", "", "look one feature up by canonical name")
+		dump     = flag.String("dump", "", "print one generated .webidl file")
+	)
+	flag.Parse()
+
+	reg, err := webidl.Generate(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	hist := firefoxhist.New(reg)
+
+	switch {
+	case *dump != "":
+		src, ok := reg.Files[*dump]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "no corpus file %q\n", *dump)
+			os.Exit(1)
+		}
+		fmt.Print(src)
+
+	case *feature != "":
+		f, ok := reg.ByName(*feature)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "no feature %q\n", *feature)
+			os.Exit(1)
+		}
+		fmt.Printf("feature:    %s\n", f.Name())
+		fmt.Printf("kind:       %s\n", f.Kind)
+		fmt.Printf("standard:   %s (%s)\n", f.Standard, standards.MustByAbbrev(f.Standard).Name)
+		fmt.Printf("defined in: %s\n", f.File)
+		fmt.Printf("rank:       %d\n", f.Rank)
+		fmt.Printf("introduced: %s\n", hist.Introduced(f))
+		fmt.Printf("measurable: %v\n", webapi.Measurable(f))
+
+	case *standard != "":
+		fs := reg.OfStandard(standards.Abbrev(*standard))
+		if len(fs) == 0 {
+			fmt.Fprintf(os.Stderr, "no standard %q\n", *standard)
+			os.Exit(1)
+		}
+		std := standards.MustByAbbrev(standards.Abbrev(*standard))
+		fmt.Printf("%s — %s (%d features)\n", std.Abbrev, std.Name, len(fs))
+		for _, f := range fs {
+			fmt.Printf("  %-60s %-9s introduced %s\n", f.Name(), f.Kind, hist.Introduced(f).Version)
+		}
+
+	default:
+		fmt.Printf("corpus seed %d: %d features in %d files, %d interfaces\n",
+			*seed, len(reg.Features), len(reg.Files), len(reg.Interfaces))
+		methods, attrs, measurable := 0, 0, 0
+		for _, f := range reg.Features {
+			if f.Kind == webidl.Method {
+				methods++
+			} else {
+				attrs++
+			}
+			if webapi.Measurable(f) {
+				measurable++
+			}
+		}
+		fmt.Printf("methods: %d, attributes: %d, instrumentable: %d\n", methods, attrs, measurable)
+		fmt.Println("\nfeatures per standard:")
+		cat := standards.Catalog()
+		sort.Slice(cat, func(i, j int) bool { return cat[i].Features > cat[j].Features })
+		for _, std := range cat {
+			fmt.Printf("  %-8s %4d  %s\n", std.Abbrev, std.Features, std.Name)
+		}
+	}
+}

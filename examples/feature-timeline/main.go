@@ -1,0 +1,84 @@
+// Feature timeline: relate browser feature age to popularity (paper §5.6,
+// Figure 6) using the historical Firefox build model. The example dates
+// every standard by the paper's rule — the introduction of its currently
+// most popular feature — and prints the old-popular / old-unpopular /
+// new-popular / new-unpopular quadrants the paper walks through.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+func main() {
+	study, err := core.NewStudy(core.Config{Sites: 400, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer study.Close()
+
+	results, err := study.RunSurvey()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("release history: %d Firefox versions, %s through %s\n\n",
+		len(study.History.Releases()),
+		study.History.Releases()[0].Version,
+		study.History.Releases()[len(study.History.Releases())-1].Version)
+
+	points := results.Analysis.AgeSeries(study.History)
+	measured := results.Stats.DomainsMeasured
+	popular := func(p analysis.AgePoint) bool { return p.Sites*10 >= measured*4 } // >=40% of sites
+	old := func(p analysis.AgePoint) bool { return p.Introduced.Date.Year() <= 2009 }
+
+	quads := map[string][]analysis.AgePoint{}
+	for _, p := range points {
+		if p.Sites == 0 {
+			continue
+		}
+		key := ""
+		switch {
+		case old(p) && popular(p):
+			key = "old, popular (paper's AJAX quadrant)"
+		case old(p) && !popular(p):
+			key = "old, unpopular (paper's HTML: Plugins quadrant)"
+		case !old(p) && popular(p):
+			key = "new, popular (paper's Selectors L1 quadrant)"
+		default:
+			key = "new, unpopular (paper's Vibration quadrant)"
+		}
+		quads[key] = append(quads[key], p)
+	}
+
+	for _, key := range []string{
+		"old, popular (paper's AJAX quadrant)",
+		"old, unpopular (paper's HTML: Plugins quadrant)",
+		"new, popular (paper's Selectors L1 quadrant)",
+		"new, unpopular (paper's Vibration quadrant)",
+	} {
+		fmt.Println(key + ":")
+		for i, p := range quads[key] {
+			if i >= 6 {
+				fmt.Printf("  ... and %d more\n", len(quads[key])-6)
+				break
+			}
+			fmt.Printf("  %-8s introduced %s, used on %4d sites, blocked %4.0f%%\n",
+				p.Standard, p.Introduced.Date.Format("2006-01"), p.Sites, p.BlockRate*100)
+		}
+		fmt.Println()
+	}
+
+	// The paper's specific anchors.
+	for _, std := range []string{"AJAX", "H-P", "SLC", "V"} {
+		for _, p := range points {
+			if string(p.Standard) == std {
+				fmt.Printf("anchor %-4s: introduced %s, %d sites\n",
+					std, p.Introduced.Date.Format("2006-01-02"), p.Sites)
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package alexa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	r := Generate(1000, 1)
+	if len(r.Sites) != 1000 {
+		t.Fatalf("got %d sites, want 1000", len(r.Sites))
+	}
+	for i, s := range r.Sites {
+		if s.Rank != i+1 {
+			t.Fatalf("site %d has rank %d", i, s.Rank)
+		}
+		if s.Domain == "" || s.MonthlyVisits <= 0 || s.MonthlyPageLoads <= 0 {
+			t.Fatalf("site %d malformed: %+v", i, s)
+		}
+	}
+}
+
+func TestVisitsDecreaseWithRank(t *testing.T) {
+	r := Generate(500, 2)
+	for i := 1; i < len(r.Sites); i++ {
+		if r.Sites[i].MonthlyVisits > r.Sites[i-1].MonthlyVisits {
+			t.Fatalf("visits increase with rank at %d", i)
+		}
+	}
+}
+
+func TestDomainsUnique(t *testing.T) {
+	r := Generate(2000, 3)
+	seen := map[string]bool{}
+	for _, s := range r.Sites {
+		if seen[s.Domain] {
+			t.Fatalf("duplicate domain %s", s.Domain)
+		}
+		seen[s.Domain] = true
+	}
+}
+
+func TestTop10kShare(t *testing.T) {
+	r := Generate(10000, 1)
+	ranks := make([]int, len(r.Sites))
+	for i := range ranks {
+		ranks[i] = i + 1
+	}
+	share := r.VisitShare(ranks)
+	if math.Abs(share-Top10kVisitShare) > 0.01 {
+		t.Errorf("top-10k visit share = %.3f, want ~%.3f (paper §3.1)", share, Top10kVisitShare)
+	}
+}
+
+func TestSameSite(t *testing.T) {
+	r := Generate(100, 4)
+	d := r.Sites[0].Domain
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{d, d, true},
+		{"www." + d, d, true},
+		{"news." + d, "shop." + d, true},
+		{"cdn." + d, d, true}, // related domain
+		{d, r.Sites[1].Domain, false},
+		{"unknown.example", d, false},
+		{"unknown.example", "unknown.example", false}, // unranked
+	}
+	for _, c := range cases {
+		if got := r.SameSite(c.a, c.b); got != c.want {
+			t.Errorf("SameSite(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestByDomain(t *testing.T) {
+	r := Generate(50, 5)
+	s, ok := r.ByDomain(r.Sites[10].Domain)
+	if !ok || s.Rank != 11 {
+		t.Fatalf("ByDomain lookup failed: %+v %v", s, ok)
+	}
+	if _, ok := r.ByDomain("missing.example"); ok {
+		t.Fatal("found a domain that should not exist")
+	}
+}
+
+func TestWeightedSampleDistinctAndBiased(t *testing.T) {
+	r := Generate(1000, 6)
+	sample := r.WeightedSample(100, 7)
+	if len(sample) != 100 {
+		t.Fatalf("sample size %d, want 100", len(sample))
+	}
+	seen := map[int]bool{}
+	var rankSum int
+	for _, s := range sample {
+		if seen[s.Rank] {
+			t.Fatalf("duplicate rank %d in sample", s.Rank)
+		}
+		seen[s.Rank] = true
+		rankSum += s.Rank
+	}
+	// A uniform sample of 100 from 1000 has mean rank ~500; the
+	// visit-weighted sample must skew strongly toward the head.
+	if mean := float64(rankSum) / 100; mean > 450 {
+		t.Errorf("weighted sample mean rank %.1f; want head-skewed (<450)", mean)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(300, 9)
+	b := Generate(300, 9)
+	for i := range a.Sites {
+		if a.Sites[i].Domain != b.Sites[i].Domain || a.Sites[i].MonthlyVisits != b.Sites[i].MonthlyVisits {
+			t.Fatalf("site %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestSubsiteSharesSane(t *testing.T) {
+	check := func(seed int64) bool {
+		r := Generate(50, seed%1000)
+		for _, s := range r.Sites {
+			var total float64
+			for _, sub := range s.Subsites {
+				if sub.Share < 0 || sub.Share > 1 {
+					return false
+				}
+				total += sub.Share
+			}
+			if total > 1.0001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,415 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/alexa"
+	"repro/internal/cve"
+	"repro/internal/firefoxhist"
+	"repro/internal/measure"
+	"repro/internal/standards"
+	"repro/internal/webidl"
+)
+
+// Analysis joins a measurement log with the corpus it measured.
+type Analysis struct {
+	Log *measure.Log
+	Reg *webidl.Registry
+
+	// stdOf[featureID] is the feature's standard, memoized.
+	stdOf []standards.Abbrev
+	// stdSitesCache memoizes per-case standard site counts.
+	stdSitesCache map[measure.Case]map[standards.Abbrev]int
+	// siteStdCache memoizes per-case, per-site standard sets.
+	siteStdCache map[measure.Case][]map[standards.Abbrev]bool
+}
+
+// New builds an analysis over a log and corpus.
+func New(log *measure.Log, reg *webidl.Registry) *Analysis {
+	a := &Analysis{
+		Log:           log,
+		Reg:           reg,
+		stdOf:         make([]standards.Abbrev, len(reg.Features)),
+		stdSitesCache: make(map[measure.Case]map[standards.Abbrev]int),
+		siteStdCache:  make(map[measure.Case][]map[standards.Abbrev]bool),
+	}
+	for i, f := range reg.Features {
+		a.stdOf[i] = f.Standard
+	}
+	return a
+}
+
+// SiteStandards returns, per site, the set of standards with at least one
+// feature observed under the case (nil for unobserved sites).
+func (a *Analysis) SiteStandards(c measure.Case) []map[standards.Abbrev]bool {
+	if cached, ok := a.siteStdCache[c]; ok {
+		return cached
+	}
+	out := make([]map[standards.Abbrev]bool, len(a.Log.Domains))
+	for site := range a.Log.Domains {
+		u := a.Log.SiteUnion(c, site)
+		if u == nil {
+			continue
+		}
+		set := make(map[standards.Abbrev]bool)
+		for id := 0; id < a.Log.NumFeatures; id++ {
+			if u.Get(id) {
+				set[a.stdOf[id]] = true
+			}
+		}
+		out[site] = set
+	}
+	a.siteStdCache[c] = out
+	return out
+}
+
+// StandardSites returns the number of sites using each standard under the
+// case ("standard popularity" numerators, §5.1).
+func (a *Analysis) StandardSites(c measure.Case) map[standards.Abbrev]int {
+	if cached, ok := a.stdSitesCache[c]; ok {
+		return cached
+	}
+	out := make(map[standards.Abbrev]int)
+	for _, set := range a.SiteStandards(c) {
+		for std := range set {
+			out[std]++
+		}
+	}
+	a.stdSitesCache[c] = out
+	return out
+}
+
+// FeatureSites returns per-feature site counts under the case ("feature
+// popularity" numerators).
+func (a *Analysis) FeatureSites(c measure.Case) []int {
+	return a.Log.FeatureSites(c)
+}
+
+// FeatureBands summarizes §5.3: how many corpus features were never seen,
+// and how many were seen on fewer than onePct sites.
+type FeatureBands struct {
+	// Total is the corpus size (1,392).
+	Total int
+	// NeverUsed counts features observed on zero sites (paper: 689).
+	NeverUsed int
+	// UnderOnePct counts features observed on more than zero but fewer
+	// than 1% of sites (paper: 416 default, 83% cumulative blocking).
+	UnderOnePct int
+	// OnePctThreshold is the site-count threshold used.
+	OnePctThreshold int
+}
+
+// Bands computes the feature-popularity bands for a case.
+func (a *Analysis) Bands(c measure.Case) FeatureBands {
+	fs := a.FeatureSites(c)
+	// 1% of the ranking, with a floor of 2 so the band stays meaningful
+	// at sub-paper scales (a threshold of 1 would make "used on fewer
+	// than 1% of sites" unsatisfiable for used features).
+	threshold := len(a.Log.Domains) / 100
+	if threshold < 2 {
+		threshold = 2
+	}
+	b := FeatureBands{Total: len(fs), OnePctThreshold: threshold}
+	for _, n := range fs {
+		switch {
+		case n == 0:
+			b.NeverUsed++
+		case n < threshold:
+			b.UnderOnePct++
+		}
+	}
+	return b
+}
+
+// BlockRate is one standard's §5.1 block-rate measurement.
+type BlockRate struct {
+	Standard standards.Abbrev
+	// DefaultSites is the number of sites using the standard in the
+	// default case.
+	DefaultSites int
+	// BlockedSites is the number of default-using sites on which no
+	// feature of the standard executed under the blocking case.
+	BlockedSites int
+	// Rate is BlockedSites / DefaultSites (0 when DefaultSites is 0).
+	Rate float64
+}
+
+// BlockRates computes per-standard block rates between the default case and
+// a blocking case, per the paper's definition: of the sites that used the
+// standard by default, the fraction on which no feature of the standard
+// executed with blocking installed.
+func (a *Analysis) BlockRates(blockingCase measure.Case) map[standards.Abbrev]BlockRate {
+	def := a.SiteStandards(measure.CaseDefault)
+	blk := a.SiteStandards(blockingCase)
+	out := make(map[standards.Abbrev]BlockRate)
+	for _, std := range standards.Catalog() {
+		br := BlockRate{Standard: std.Abbrev}
+		for site := range def {
+			if def[site] == nil || !def[site][std.Abbrev] {
+				continue
+			}
+			br.DefaultSites++
+			if blk[site] == nil || !blk[site][std.Abbrev] {
+				br.BlockedSites++
+			}
+		}
+		if br.DefaultSites > 0 {
+			br.Rate = float64(br.BlockedSites) / float64(br.DefaultSites)
+		}
+		out[std.Abbrev] = br
+	}
+	return out
+}
+
+// Complexity returns, per measured site, the number of standards used in
+// the default case (§5.9 / Figure 8).
+func (a *Analysis) Complexity() []int {
+	var out []int
+	for site, set := range a.SiteStandards(measure.CaseDefault) {
+		if !a.Log.Measured[site] || set == nil {
+			continue
+		}
+		out = append(out, len(set))
+	}
+	return out
+}
+
+// StandardPopularityCDF computes Figure 3: the cumulative distribution of
+// standard popularity (sites using each standard, default case), including
+// never-observed standards as zeros.
+func (a *Analysis) StandardPopularityCDF() []CDFPoint {
+	counts := a.StandardSites(measure.CaseDefault)
+	var values []float64
+	for _, std := range standards.Catalog() {
+		values = append(values, float64(counts[std.Abbrev]))
+	}
+	return CDF(values)
+}
+
+// VisitWeighted is one standard's Figure 5 point.
+type VisitWeighted struct {
+	Standard standards.Abbrev
+	// SiteFraction is the portion of all measured sites using the
+	// standard.
+	SiteFraction float64
+	// VisitFraction is the estimated portion of all site views using it
+	// (sites weighted by Alexa monthly visits).
+	VisitFraction float64
+}
+
+// VisitWeightedPopularity computes Figure 5 against an Alexa ranking.
+func (a *Analysis) VisitWeightedPopularity(rank *alexa.Ranking) []VisitWeighted {
+	siteStd := a.SiteStandards(measure.CaseDefault)
+	var totalVisits float64
+	measured := 0
+	for site := range a.Log.Domains {
+		if siteStd[site] == nil {
+			continue
+		}
+		measured++
+		totalVisits += float64(rank.Sites[site].MonthlyVisits)
+	}
+	var out []VisitWeighted
+	for _, std := range standards.Catalog() {
+		vw := VisitWeighted{Standard: std.Abbrev}
+		var sites, visits float64
+		for site, set := range siteStd {
+			if set == nil || !set[std.Abbrev] {
+				continue
+			}
+			sites++
+			visits += float64(rank.Sites[site].MonthlyVisits)
+		}
+		if measured > 0 {
+			vw.SiteFraction = sites / float64(measured)
+		}
+		if totalVisits > 0 {
+			vw.VisitFraction = visits / totalVisits
+		}
+		out = append(out, vw)
+	}
+	return out
+}
+
+// AgePoint is one standard's Figure 6 point.
+type AgePoint struct {
+	Standard standards.Abbrev
+	// Introduced is the standard's implementation date per the paper's
+	// rule (most popular feature's introduction; ties → earliest).
+	Introduced firefoxhist.Release
+	// Sites is the standard's default-case popularity.
+	Sites int
+	// BlockRate is the standard's combined-extension block rate.
+	BlockRate float64
+}
+
+// AgeSeries computes Figure 6 from the release history.
+func (a *Analysis) AgeSeries(hist *firefoxhist.History) []AgePoint {
+	featureSites := a.FeatureSites(measure.CaseDefault)
+	stdSites := a.StandardSites(measure.CaseDefault)
+	rates := a.BlockRates(measure.CaseBlocking)
+	var out []AgePoint
+	for _, std := range standards.Catalog() {
+		rel, ok := hist.StandardDate(std.Abbrev, func(f *webidl.Feature) int {
+			return featureSites[f.ID]
+		})
+		if !ok {
+			continue
+		}
+		out = append(out, AgePoint{
+			Standard:   std.Abbrev,
+			Introduced: rel,
+			Sites:      stdSites[std.Abbrev],
+			BlockRate:  rates[std.Abbrev].Rate,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Introduced.Date.Before(out[j].Introduced.Date) })
+	return out
+}
+
+// AdVsTracker is one standard's Figure 7 point.
+type AdVsTracker struct {
+	Standard standards.Abbrev
+	// AdRate is the block rate with only the ad blocker installed.
+	AdRate float64
+	// TrackerRate is the block rate with only the tracking blocker.
+	TrackerRate float64
+	// Sites is the default-case popularity (the figure's point size).
+	Sites int
+}
+
+// AdVsTrackerRates computes Figure 7.
+func (a *Analysis) AdVsTrackerRates() []AdVsTracker {
+	ad := a.BlockRates(measure.CaseAdBlock)
+	tr := a.BlockRates(measure.CaseGhostery)
+	sites := a.StandardSites(measure.CaseDefault)
+	var out []AdVsTracker
+	for _, std := range standards.Catalog() {
+		if sites[std.Abbrev] == 0 {
+			continue
+		}
+		out = append(out, AdVsTracker{
+			Standard:    std.Abbrev,
+			AdRate:      ad[std.Abbrev].Rate,
+			TrackerRate: tr[std.Abbrev].Rate,
+			Sites:       sites[std.Abbrev],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Standard < out[j].Standard })
+	return out
+}
+
+// Table2Row joins a standard's measured results with its CVE count for the
+// paper's Table 2.
+type Table2Row struct {
+	Standard  standards.Standard
+	Features  int
+	Sites     int
+	BlockRate float64
+	CVEs      int
+}
+
+// Table2 computes the measured Table 2 (standards used on at least 1% of
+// sites or carrying at least one CVE).
+func (a *Analysis) Table2(db *cve.Database) []Table2Row {
+	sites := a.StandardSites(measure.CaseDefault)
+	rates := a.BlockRates(measure.CaseBlocking)
+	perCVE := db.PerStandard()
+	onePct := len(a.Log.Domains) / 100
+	if onePct < 1 {
+		onePct = 1
+	}
+	var out []Table2Row
+	for _, std := range standards.Catalog() {
+		row := Table2Row{
+			Standard:  std,
+			Features:  std.Features,
+			Sites:     sites[std.Abbrev],
+			BlockRate: rates[std.Abbrev].Rate,
+			CVEs:      perCVE[std.Abbrev],
+		}
+		if row.Sites >= onePct || row.CVEs > 0 {
+			out = append(out, row)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CVEs != out[j].CVEs {
+			return out[i].CVEs > out[j].CVEs
+		}
+		return out[i].Sites > out[j].Sites
+	})
+	return out
+}
+
+// NewStandardsPerRound computes Table 3: the average number of standards
+// first observed in each round of the default case, across measured sites.
+func (a *Analysis) NewStandardsPerRound() []float64 {
+	cl := a.Log.Cases[measure.CaseDefault]
+	if cl == nil {
+		return nil
+	}
+	perRound := make([]float64, len(cl.Rounds))
+	measured := 0
+	for site := range a.Log.Domains {
+		if !a.Log.Measured[site] {
+			continue
+		}
+		visited := false
+		seen := make(map[standards.Abbrev]bool)
+		for round, rl := range cl.Rounds {
+			sf := rl.SiteFeatures[site]
+			if sf == nil {
+				continue
+			}
+			visited = true
+			newStd := 0
+			for id := 0; id < a.Log.NumFeatures; id++ {
+				if sf.Get(id) && !seen[a.stdOf[id]] {
+					seen[a.stdOf[id]] = true
+					newStd++
+				}
+			}
+			perRound[round] += float64(newStd)
+		}
+		if visited {
+			measured++
+		}
+	}
+	if measured == 0 {
+		return perRound
+	}
+	for i := range perRound {
+		perRound[i] /= float64(measured)
+	}
+	return perRound
+}
+
+// HumanDelta compares one site's manually-observed standards against the
+// automated survey's union for the site (Figure 9's per-site statistic:
+// standards seen by the human but never by the monkey).
+func (a *Analysis) HumanDelta(site int, humanCounts map[int]int64) int {
+	auto := a.SiteStandards(measure.CaseDefault)[site]
+	humanStd := make(map[standards.Abbrev]bool)
+	for id := range humanCounts {
+		humanStd[a.stdOf[id]] = true
+	}
+	delta := 0
+	for std := range humanStd {
+		if auto == nil || !auto[std] {
+			delta++
+		}
+	}
+	return delta
+}
+
+// UsedStandards counts standards observed on at least one site under the
+// case.
+func (a *Analysis) UsedStandards(c measure.Case) int {
+	n := 0
+	for _, count := range a.StandardSites(c) {
+		if count > 0 {
+			n++
+		}
+	}
+	return n
+}

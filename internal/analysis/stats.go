@@ -1,0 +1,131 @@
+// Package analysis derives the paper's results (§5, §6) from survey
+// measurement logs: popularity distributions, block rates, complexity,
+// age/popularity relations, CVE association, and the internal/external
+// validation statistics. It consumes only measured data — never the
+// synthetic web's calibration profile.
+package analysis
+
+import (
+	"math"
+	"sort"
+)
+
+// CDFPoint is one point of a cumulative distribution: the fraction of the
+// population with Value <= X.
+type CDFPoint struct {
+	X        float64
+	Fraction float64
+}
+
+// CDF computes the empirical cumulative distribution of the values.
+func CDF(values []float64) []CDFPoint {
+	if len(values) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var out []CDFPoint
+	n := float64(len(sorted))
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		out = append(out, CDFPoint{X: sorted[i], Fraction: float64(j) / n})
+		i = j
+	}
+	return out
+}
+
+// Bin is one histogram bucket.
+type Bin struct {
+	// Lo is the bucket's inclusive lower bound; Hi its exclusive upper
+	// bound.
+	Lo, Hi float64
+	// Count is the number of observations in the bucket.
+	Count int
+	// Fraction is Count over the population size.
+	Fraction float64
+}
+
+// Histogram buckets values into equal-width bins over [lo, hi).
+func Histogram(values []float64, lo, hi float64, bins int) []Bin {
+	if bins <= 0 || hi <= lo {
+		return nil
+	}
+	out := make([]Bin, bins)
+	width := (hi - lo) / float64(bins)
+	for i := range out {
+		out[i].Lo = lo + float64(i)*width
+		out[i].Hi = out[i].Lo + width
+	}
+	for _, v := range values {
+		idx := int((v - lo) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= bins {
+			idx = bins - 1
+		}
+		out[idx].Count++
+	}
+	if n := float64(len(values)); n > 0 {
+		for i := range out {
+			out[i].Fraction = float64(out[i].Count) / n
+		}
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0..1) of values by linear interpolation.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Pearson computes the Pearson correlation of two equal-length series.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{1, 2, 2, 3})
+	if len(pts) != 3 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[0].X != 1 || math.Abs(pts[0].Fraction-0.25) > 1e-9 {
+		t.Errorf("point 0 = %+v", pts[0])
+	}
+	if pts[1].X != 2 || math.Abs(pts[1].Fraction-0.75) > 1e-9 {
+		t.Errorf("point 1 = %+v", pts[1])
+	}
+	if pts[2].Fraction != 1 {
+		t.Errorf("CDF does not reach 1: %+v", pts[2])
+	}
+	if CDF(nil) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	check := func(values []float64) bool {
+		for i := range values {
+			if math.IsNaN(values[i]) || math.IsInf(values[i], 0) {
+				values[i] = 0
+			}
+		}
+		pts := CDF(values)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X <= pts[i-1].X || pts[i].Fraction < pts[i-1].Fraction {
+				return false
+			}
+		}
+		return len(values) == 0 || pts[len(pts)-1].Fraction == 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins := Histogram([]float64{0, 1, 1, 2, 9}, 0, 10, 10)
+	if len(bins) != 10 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	if bins[0].Count != 1 || bins[1].Count != 2 || bins[2].Count != 1 || bins[9].Count != 1 {
+		t.Errorf("bin counts wrong: %+v", bins)
+	}
+	total := 0.0
+	for _, b := range bins {
+		total += b.Fraction
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("fractions sum to %v", total)
+	}
+	if Histogram(nil, 0, 1, 0) != nil {
+		t.Error("degenerate histogram should be nil")
+	}
+}
+
+func TestHistogramClamps(t *testing.T) {
+	bins := Histogram([]float64{-5, 100}, 0, 10, 5)
+	if bins[0].Count != 1 || bins[4].Count != 1 {
+		t.Errorf("out-of-range values not clamped: %+v", bins)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(vals, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(vals, 1); q != 5 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := Quantile(vals, 0.5); q != 3 {
+		t.Errorf("median = %v", q)
+	}
+	if q := Quantile(vals, 0.25); q != 2 {
+		t.Errorf("q25 = %v", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestQuantileOrderProperty(t *testing.T) {
+	check := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		sort.Float64s(vals)
+		q1, q2, q3 := Quantile(vals, 0.25), Quantile(vals, 0.5), Quantile(vals, 0.75)
+		return q1 <= q2 && q2 <= q3 && q1 >= vals[0] && q3 <= vals[len(vals)-1]
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndPearson(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("mean = %v", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("empty mean should be NaN")
+	}
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if r := Pearson(xs, ys); math.Abs(r-1) > 1e-9 {
+		t.Errorf("perfect correlation = %v", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if r := Pearson(xs, neg); math.Abs(r+1) > 1e-9 {
+		t.Errorf("perfect anticorrelation = %v", r)
+	}
+	if !math.IsNaN(Pearson(xs, []float64{1})) {
+		t.Error("mismatched lengths should be NaN")
+	}
+	if !math.IsNaN(Pearson(xs, []float64{5, 5, 5, 5})) {
+		t.Error("zero variance should be NaN")
+	}
+}

@@ -1,0 +1,89 @@
+package blocking
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchList builds an EasyList-scale synthetic list: domain anchors, path
+// rules, options, exceptions, and hiding rules.
+func benchList(b *testing.B, rules int) *Engine {
+	b.Helper()
+	text := "[Adblock Plus 2.0]\n"
+	for i := 0; i < rules; i++ {
+		switch i % 4 {
+		case 0:
+			text += fmt.Sprintf("||ads%04d.example^$third-party\n", i)
+		case 1:
+			text += fmt.Sprintf("/banner%04d/*\n", i)
+		case 2:
+			text += fmt.Sprintf("||trk%04d.example^$script,domain=site.example\n", i)
+		default:
+			text += fmt.Sprintf("@@||good%04d.example^\n", i)
+		}
+	}
+	text += "##.ad-banner\n"
+	l, err := ParseList("bench", text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewEngine(l)
+}
+
+func BenchmarkParseList1k(b *testing.B) {
+	text := ""
+	for i := 0; i < 1000; i++ {
+		text += fmt.Sprintf("||ads%04d.example^$third-party\n", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseList("bench", text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShouldBlockHit(b *testing.B) {
+	e := benchList(b, 1000)
+	req := Request{URL: "http://ads0500.example/x.js", PageHost: "site.example", Type: ResourceScript}
+	if !e.ShouldBlock(req) {
+		b.Fatal("expected block")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ShouldBlock(req)
+	}
+}
+
+func BenchmarkShouldBlockMiss(b *testing.B) {
+	e := benchList(b, 1000)
+	req := Request{URL: "http://cdn.site.example/app.js", PageHost: "site.example", Type: ResourceScript}
+	if e.ShouldBlock(req) {
+		b.Fatal("unexpected block")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ShouldBlock(req)
+	}
+}
+
+func BenchmarkTrackerLookup(b *testing.B) {
+	var trackers []Tracker
+	for i := 0; i < 500; i++ {
+		trackers = append(trackers, Tracker{
+			Name:     fmt.Sprintf("T%03d", i),
+			Category: CategoryAnalytics,
+			Domains:  []string{fmt.Sprintf("t%03d.example", i)},
+		})
+	}
+	db := NewTrackerDB(trackers)
+	req := Request{URL: "http://px.cdn.t250.example/p.js", PageHost: "site.example"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.ShouldBlock(req)
+	}
+}

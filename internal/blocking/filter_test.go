@@ -1,0 +1,257 @@
+package blocking
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleList = `
+! Synthetic EasyList excerpt
+[Adblock Plus 2.0]
+||adnet-1.example^
+||banners.example^$script,third-party
+|http://exact.example/pixel.gif|
+/ads/banner*
+@@||adnet-1.example/acceptable^
+##.ad-banner
+news.example##.sponsored
+||tracker.example^$domain=victim.example|~safe.example
+`
+
+func mustParse(t *testing.T) *List {
+	t.Helper()
+	l, err := ParseList("sample", sampleList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestParseListShape(t *testing.T) {
+	l := mustParse(t)
+	if len(l.Rules) != 6 {
+		t.Fatalf("rules = %d, want 6", len(l.Rules))
+	}
+	if len(l.Hiding) != 2 {
+		t.Fatalf("hiding rules = %d, want 2", len(l.Hiding))
+	}
+	if !l.Rules[4].Exception {
+		t.Error("@@ rule not marked exception")
+	}
+	if !l.Rules[0].DomainAnchor {
+		t.Error("|| rule not domain-anchored")
+	}
+	if !l.Rules[2].StartAnchor || !l.Rules[2].EndAnchor {
+		t.Error("|...| rule anchors not parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"||x.example^$bogus-option",
+		"@@",
+		"x.example##",
+	}
+	for _, c := range cases {
+		if _, err := ParseList("bad", c); err == nil {
+			t.Errorf("ParseList(%q) should fail", c)
+		}
+	}
+}
+
+func TestDomainAnchorMatching(t *testing.T) {
+	e := NewEngine(mustParse(t))
+	cases := []struct {
+		url  string
+		page string
+		typ  ResourceType
+		want bool
+	}{
+		{"http://adnet-1.example/ad.js", "site.example", ResourceScript, true},
+		{"http://sub.adnet-1.example/ad.js", "site.example", ResourceScript, true},
+		{"http://notadnet-1.example/ad.js", "site.example", ResourceScript, false},        // label boundary
+		{"http://adnet-1.example/acceptable/x.js", "site.example", ResourceScript, false}, // exception
+		{"http://other.example/x.js", "site.example", ResourceScript, false},
+	}
+	for _, c := range cases {
+		req := Request{URL: c.url, PageHost: c.page, Type: c.typ}
+		if got := e.ShouldBlock(req); got != c.want {
+			t.Errorf("ShouldBlock(%s) = %v, want %v", c.url, got, c.want)
+		}
+	}
+}
+
+func TestTypeAndPartyOptions(t *testing.T) {
+	e := NewEngine(mustParse(t))
+	// ||banners.example^$script,third-party
+	script3p := Request{URL: "http://banners.example/b.js", PageHost: "site.example", Type: ResourceScript}
+	if !e.ShouldBlock(script3p) {
+		t.Error("third-party script to banners.example should block")
+	}
+	image3p := Request{URL: "http://banners.example/b.gif", PageHost: "site.example", Type: ResourceImage}
+	if e.ShouldBlock(image3p) {
+		t.Error("$script rule should not block images")
+	}
+	script1p := Request{URL: "http://banners.example/b.js", PageHost: "banners.example", Type: ResourceScript}
+	if e.ShouldBlock(script1p) {
+		t.Error("$third-party rule should not block first-party request")
+	}
+	// Subdomain of the page host is first-party.
+	script1pSub := Request{URL: "http://banners.example/b.js", PageHost: "www.banners.example", Type: ResourceScript}
+	if e.ShouldBlock(script1pSub) {
+		t.Error("subdomain requests are first-party")
+	}
+}
+
+func TestStartAndEndAnchor(t *testing.T) {
+	e := NewEngine(mustParse(t))
+	exact := Request{URL: "http://exact.example/pixel.gif", PageHost: "x.example", Type: ResourceImage}
+	if !e.ShouldBlock(exact) {
+		t.Error("exact |...| rule should match")
+	}
+	longer := Request{URL: "http://exact.example/pixel.gif?x=1", PageHost: "x.example", Type: ResourceImage}
+	if e.ShouldBlock(longer) {
+		t.Error("end anchor should reject longer URL")
+	}
+	prefixed := Request{URL: "https://evil.example/http://exact.example/pixel.gif", PageHost: "x.example", Type: ResourceImage}
+	if e.ShouldBlock(prefixed) {
+		t.Error("start anchor should reject mid-URL match")
+	}
+}
+
+func TestSubstringAndWildcard(t *testing.T) {
+	e := NewEngine(mustParse(t))
+	// "/ads/banner*"
+	cases := []struct {
+		url  string
+		want bool
+	}{
+		{"http://anything.example/ads/banner_720.png", true},
+		{"http://anything.example/ads/banner", true},
+		{"http://anything.example/ads/sidebar.png", false},
+	}
+	for _, c := range cases {
+		req := Request{URL: c.url, PageHost: "p.example", Type: ResourceImage}
+		if got := e.ShouldBlock(req); got != c.want {
+			t.Errorf("ShouldBlock(%s) = %v, want %v", c.url, got, c.want)
+		}
+	}
+}
+
+func TestDomainOption(t *testing.T) {
+	e := NewEngine(mustParse(t))
+	// ||tracker.example^$domain=victim.example|~safe.example
+	onVictim := Request{URL: "http://tracker.example/t.js", PageHost: "victim.example", Type: ResourceScript}
+	if !e.ShouldBlock(onVictim) {
+		t.Error("rule should apply on victim.example")
+	}
+	onOther := Request{URL: "http://tracker.example/t.js", PageHost: "elsewhere.example", Type: ResourceScript}
+	if e.ShouldBlock(onOther) {
+		t.Error("$domain= rule should not apply off-domain")
+	}
+	onVictimSub := Request{URL: "http://tracker.example/t.js", PageHost: "shop.victim.example", Type: ResourceScript}
+	if !e.ShouldBlock(onVictimSub) {
+		t.Error("$domain= should cover subdomains")
+	}
+}
+
+func TestSeparatorSemantics(t *testing.T) {
+	l, err := ParseList("sep", "||ads.example^path^")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(l)
+	if !e.ShouldBlock(Request{URL: "http://ads.example/path/", PageHost: "p.example"}) {
+		t.Error("^ should match '/'")
+	}
+	if !e.ShouldBlock(Request{URL: "http://ads.example/path", PageHost: "p.example"}) {
+		t.Error("^ should match end of URL")
+	}
+	if e.ShouldBlock(Request{URL: "http://ads.example/pathology", PageHost: "p.example"}) {
+		t.Error("^ should not match a letter")
+	}
+}
+
+func TestHideSelectors(t *testing.T) {
+	e := NewEngine(mustParse(t))
+	global := e.HideSelectors("random.example")
+	if len(global) != 1 || global[0] != ".ad-banner" {
+		t.Errorf("global hiding = %v", global)
+	}
+	news := e.HideSelectors("news.example")
+	if len(news) != 2 {
+		t.Errorf("news.example hiding = %v, want 2 selectors", news)
+	}
+	newsSub := e.HideSelectors("www.news.example")
+	if len(newsSub) != 2 {
+		t.Errorf("subdomain hiding = %v, want 2 selectors", newsSub)
+	}
+}
+
+func TestThirdPartyComputation(t *testing.T) {
+	cases := []struct {
+		url, page string
+		want      bool
+	}{
+		{"http://a.example/x", "a.example", false},
+		{"http://www.a.example/x", "a.example", false},
+		{"http://b.example/x", "a.example", true},
+		{"http://a.example/x", "", true}, // unknown page host: conservative
+	}
+	for _, c := range cases {
+		req := Request{URL: c.url, PageHost: c.page}
+		if got := req.ThirdParty(); got != c.want {
+			t.Errorf("ThirdParty(%s on %s) = %v, want %v", c.url, c.page, got, c.want)
+		}
+	}
+}
+
+func TestEngineMultipleLists(t *testing.T) {
+	l1, _ := ParseList("a", "||one.example^")
+	l2, _ := ParseList("b", "||two.example^")
+	e := NewEngine(l1)
+	e.AddList(l2)
+	if e.RuleCount() != 2 {
+		t.Fatalf("rule count = %d", e.RuleCount())
+	}
+	if !e.ShouldBlock(Request{URL: "http://two.example/x", PageHost: "p.example"}) {
+		t.Error("second list not consulted")
+	}
+}
+
+func TestMatcherNeverPanics(t *testing.T) {
+	l := mustParse(t)
+	e := NewEngine(l)
+	check := func(rawURL, page string) bool {
+		e.ShouldBlock(Request{URL: rawURL, PageHost: page, Type: ResourceScript})
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrailingStarWithEndAnchor(t *testing.T) {
+	l, err := ParseList("star", "|http://x.example/a*|")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(l)
+	if !e.ShouldBlock(Request{URL: "http://x.example/a/anything", PageHost: "p.example"}) {
+		t.Error("trailing * should consume to end")
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	l, err := ParseList("c", "! comment\n[header]\n\n||x.example^\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(l.Rules))
+	}
+	if !strings.Contains(l.Rules[0].Raw, "x.example") {
+		t.Errorf("rule raw = %q", l.Rules[0].Raw)
+	}
+}

@@ -1,0 +1,116 @@
+package blocking
+
+import (
+	"testing"
+)
+
+func sampleDB(t *testing.T) *TrackerDB {
+	t.Helper()
+	db, err := ParseTrackerDB(`
+# sample library
+PixelMetrics|site-analytics|pixelmetrics.example,pm-cdn.example
+AdSyncNet|advertising|adsync.example
+GhostBeacon|beacon|beacon.example
+PrintSniff|fingerprinting|sniff.example
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestParseTrackerDB(t *testing.T) {
+	db := sampleDB(t)
+	if db.Size() != 4 {
+		t.Fatalf("size = %d, want 4", db.Size())
+	}
+	cats := db.Categories()
+	if len(cats) != 4 {
+		t.Fatalf("categories = %v", cats)
+	}
+}
+
+func TestParseTrackerDBErrors(t *testing.T) {
+	for _, bad := range []string{
+		"JustOneField",
+		"Name|cat",
+		"|cat|d.example",
+		"Name|cat|",
+	} {
+		if _, err := ParseTrackerDB(bad); err == nil {
+			t.Errorf("ParseTrackerDB(%q) should fail", bad)
+		}
+	}
+}
+
+func TestLookupWalksLabels(t *testing.T) {
+	db := sampleDB(t)
+	tr, ok := db.Lookup("px.cdn.pixelmetrics.example")
+	if !ok || tr.Name != "PixelMetrics" {
+		t.Fatalf("Lookup = %+v, %v", tr, ok)
+	}
+	if _, ok := db.Lookup("innocent.example"); ok {
+		t.Fatal("unexpected tracker match")
+	}
+}
+
+func TestTrackerBlocksOnlyThirdParty(t *testing.T) {
+	db := sampleDB(t)
+	third := Request{URL: "http://beacon.example/b.js", PageHost: "site.example"}
+	if !db.ShouldBlock(third) {
+		t.Error("third-party tracker request should block")
+	}
+	first := Request{URL: "http://beacon.example/b.js", PageHost: "beacon.example"}
+	if db.ShouldBlock(first) {
+		t.Error("first-party request should not block (Ghostery targets cross-domain tracking)")
+	}
+}
+
+func TestTrackerDBRoundTrip(t *testing.T) {
+	db := sampleDB(t)
+	text := FormatTrackerDB(db)
+	db2, err := ParseTrackerDB(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Size() != db.Size() {
+		t.Fatalf("round trip changed size: %d -> %d", db.Size(), db2.Size())
+	}
+	if _, ok := db2.Lookup("adsync.example"); !ok {
+		t.Fatal("round trip lost a tracker")
+	}
+}
+
+func TestCombinedBlocker(t *testing.T) {
+	list, err := ParseList("ads", "||adsonly.example^\n##.ad-frame")
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := NewCombined(NewEngine(list), sampleDB(t))
+
+	adReq := Request{URL: "http://adsonly.example/a.js", PageHost: "p.example", Type: ResourceScript}
+	if !combined.ShouldBlock(adReq) {
+		t.Error("combined should block via ABP list")
+	}
+	trackReq := Request{URL: "http://sniff.example/fp.js", PageHost: "p.example", Type: ResourceScript}
+	if !combined.ShouldBlock(trackReq) {
+		t.Error("combined should block via tracker DB")
+	}
+	clean := Request{URL: "http://cdn.p.example/app.js", PageHost: "p.example", Type: ResourceScript}
+	if combined.ShouldBlock(clean) {
+		t.Error("combined blocked a clean first-party-ish request")
+	}
+	if sels := combined.HideSelectors("p.example"); len(sels) != 1 || sels[0] != ".ad-frame" {
+		t.Errorf("combined hiding = %v", sels)
+	}
+}
+
+func TestNoneBlocker(t *testing.T) {
+	var n None
+	if n.ShouldBlock(Request{URL: "http://adsync.example/x", PageHost: "p.example"}) {
+		t.Error("None must not block")
+	}
+	if n.HideSelectors("p.example") != nil {
+		t.Error("None must not hide")
+	}
+}

@@ -1,0 +1,404 @@
+// Package browser implements the instrumented browser of the paper's §4:
+// a page-load pipeline (fetch → parse → extension injection → script
+// execution → event loop) over the simulated DOM, Web API dispatch layer,
+// and WebScript engine.
+//
+// Extensions hook two points, mirroring the WebExtension surface the paper
+// relies on: OnBeforeRequest may veto subresource fetches (how AdBlock Plus
+// and Ghostery block), and OnDOMReady runs after the DOM exists but before
+// any page script — the injection point "at the beginning of the <head>
+// element" the measuring extension uses (§4.2).
+package browser
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"strings"
+	"sync"
+
+	"repro/internal/blocking"
+	"repro/internal/dom"
+	"repro/internal/html"
+	"repro/internal/webapi"
+	"repro/internal/webscript"
+	"repro/internal/webserver"
+)
+
+// Extension is a browser extension.
+type Extension interface {
+	// Name identifies the extension in diagnostics.
+	Name() string
+	// OnBeforeRequest may veto a subresource fetch (true = block).
+	OnBeforeRequest(req blocking.Request) bool
+	// OnDOMReady runs after DOM construction, before any page script.
+	OnDOMReady(p *Page)
+}
+
+// Browser is a reusable browser profile: bindings, fetcher, extensions, and
+// a parsed-script cache (browsers cache compiled scripts across page loads;
+// the crawl revisits every URL ten times).
+type Browser struct {
+	Bindings   *webapi.Bindings
+	Fetcher    webserver.Fetcher
+	Extensions []Extension
+
+	cacheMu     sync.Mutex
+	scriptCache map[string]*cachedScript
+}
+
+type cachedScript struct {
+	body   string
+	script *webscript.Script
+	err    error
+}
+
+// scriptCacheCap bounds the parsed-script cache; site visits are processed
+// consecutively, so locality is high.
+const scriptCacheCap = 4096
+
+// New creates a browser profile.
+func New(b *webapi.Bindings, f webserver.Fetcher, exts ...Extension) *Browser {
+	return &Browser{
+		Bindings:    b,
+		Fetcher:     f,
+		Extensions:  exts,
+		scriptCache: make(map[string]*cachedScript),
+	}
+}
+
+// ScriptError records a script that failed to parse or execute, with its
+// origin URL ("inline:" prefix for inline scripts).
+type ScriptError struct {
+	URL string
+	Err error
+}
+
+func (e ScriptError) Error() string { return fmt.Sprintf("script %s: %v", e.URL, e.Err) }
+
+// boundHandler is a registered event handler with its origin.
+type boundHandler struct {
+	h       *webscript.Handler
+	origin  string // script URL, diagnostics only
+	lastRun float64
+}
+
+// Page is one loaded page.
+type Page struct {
+	// URL is the page's resolved location.
+	URL *url.URL
+	// DOM is the parsed document.
+	DOM *dom.Node
+	// Runtime is the page's Web API dispatch state.
+	Runtime *webapi.Runtime
+	// Clock is the page's virtual time in seconds since load.
+	Clock float64
+	// NavAttempts lists navigation attempts (absolute URLs) in order;
+	// the crawler intercepts and records them (§4.3.1).
+	NavAttempts []string
+	// OnHandlerRegistered, when non-nil, observes every event-handler
+	// registration (event type and selector). The paper's extension
+	// could have captured a subset of event registrations this way but
+	// omitted them (§4.2.3); the optional event measurer uses this hook
+	// to implement that variant.
+	OnHandlerRegistered func(ev webscript.EventType, selector string)
+	// ScriptErrors lists scripts that failed to fetch, parse or run.
+	ScriptErrors []ScriptError
+	// BlockedRequests lists subresource URLs vetoed by extensions.
+	BlockedRequests []string
+
+	browser  *Browser
+	handlers []*boundHandler
+}
+
+// executionHost adapts a page (and the executing script's origin) to the
+// webscript.Host interface.
+type executionHost struct {
+	page   *Page
+	origin string
+}
+
+func (h executionHost) Invoke(iface, member string, count int) error {
+	return h.page.Runtime.Call(iface, member, count)
+}
+
+func (h executionHost) SetProperty(iface, member string) error {
+	return h.page.Runtime.SetProperty(iface, member)
+}
+
+func (h executionHost) Navigate(path string) {
+	h.page.NavAttempts = append(h.page.NavAttempts, h.page.resolveURL(path))
+}
+
+// resolveURL resolves a possibly relative reference against the page URL.
+func (p *Page) resolveURL(ref string) string {
+	u, err := url.Parse(ref)
+	if err != nil {
+		return ref
+	}
+	return p.URL.ResolveReference(u).String()
+}
+
+// Host returns the page's hostname.
+func (p *Page) Host() string { return p.URL.Hostname() }
+
+// Load fetches, parses, instruments, and executes a page. A fetch or HTML
+// parse failure of the document itself fails the load; failures of
+// individual scripts are recorded on the page (real browsers keep going).
+func (b *Browser) Load(rawURL string) (*Page, error) {
+	res, err := b.Fetcher.Fetch(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("browser: loading %s: %w", rawURL, err)
+	}
+	if res.ContentType != "text/html" {
+		return nil, fmt.Errorf("browser: %s is %s, not a document", rawURL, res.ContentType)
+	}
+	doc, err := html.Parse(res.Body)
+	if err != nil {
+		return nil, fmt.Errorf("browser: parsing %s: %w", rawURL, err)
+	}
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, err
+	}
+
+	page := &Page{
+		URL:     u,
+		DOM:     doc,
+		Runtime: b.Bindings.NewRuntime(),
+		browser: b,
+	}
+
+	// Extension injection point: after DOM construction, before any page
+	// script executes (paper §4.2).
+	for _, ext := range b.Extensions {
+		ext.OnDOMReady(page)
+	}
+
+	// Execute scripts in document order.
+	for _, ref := range doc.Scripts() {
+		if ref.Src == "" {
+			page.runScriptSource("inline:"+u.String(), ref.Inline)
+			continue
+		}
+		scriptURL := page.resolveURL(ref.Src)
+		req := blocking.Request{URL: scriptURL, PageHost: page.Host(), Type: blocking.ResourceScript}
+		vetoed := false
+		for _, ext := range b.Extensions {
+			if ext.OnBeforeRequest(req) {
+				vetoed = true
+				break
+			}
+		}
+		if vetoed {
+			page.BlockedRequests = append(page.BlockedRequests, scriptURL)
+			continue
+		}
+		cs := b.fetchScript(scriptURL)
+		if cs.err != nil {
+			page.ScriptErrors = append(page.ScriptErrors, ScriptError{URL: scriptURL, Err: cs.err})
+			continue
+		}
+		page.installScript(scriptURL, cs.script)
+	}
+
+	// Fire load handlers.
+	page.fire(webscript.EventLoad, nil)
+	return page, nil
+}
+
+// fetchScript fetches and parses an external script with caching.
+func (b *Browser) fetchScript(scriptURL string) *cachedScript {
+	b.cacheMu.Lock()
+	if cs, ok := b.scriptCache[scriptURL]; ok {
+		b.cacheMu.Unlock()
+		return cs
+	}
+	b.cacheMu.Unlock()
+
+	cs := &cachedScript{}
+	res, err := b.Fetcher.Fetch(scriptURL)
+	if err != nil {
+		cs.err = err
+	} else {
+		cs.body = res.Body
+		cs.script, cs.err = webscript.Parse(res.Body)
+	}
+
+	b.cacheMu.Lock()
+	if len(b.scriptCache) >= scriptCacheCap {
+		// Simple wholesale eviction: visits are site-local, so a cold
+		// cache refills quickly.
+		b.scriptCache = make(map[string]*cachedScript)
+	}
+	b.scriptCache[scriptURL] = cs
+	b.cacheMu.Unlock()
+	return cs
+}
+
+// runScriptSource parses and executes script text (inline scripts).
+func (p *Page) runScriptSource(origin, src string) {
+	s, err := webscript.Parse(src)
+	if err != nil {
+		p.ScriptErrors = append(p.ScriptErrors, ScriptError{URL: origin, Err: err})
+		return
+	}
+	p.installScript(origin, s)
+}
+
+// installScript executes a script's immediate statements and registers its
+// handlers.
+func (p *Page) installScript(origin string, s *webscript.Script) {
+	if err := webscript.Execute(s.Immediate, executionHost{page: p, origin: origin}); err != nil {
+		p.ScriptErrors = append(p.ScriptErrors, ScriptError{URL: origin, Err: err})
+	}
+	for _, h := range s.Handlers {
+		p.handlers = append(p.handlers, &boundHandler{h: h, origin: origin})
+		if p.OnHandlerRegistered != nil {
+			p.OnHandlerRegistered(h.Event, h.Selector)
+		}
+	}
+}
+
+// fire executes handlers for an event. target filters selector-bearing
+// handlers: nil means "no specific element" (load/scroll/move), in which
+// case only selector-less handlers fire.
+func (p *Page) fire(ev webscript.EventType, target *dom.Node) {
+	for _, bh := range p.handlers {
+		if bh.h.Event != ev {
+			continue
+		}
+		if bh.h.Selector != "" {
+			if target == nil {
+				continue
+			}
+			sel, err := dom.ParseSelector(bh.h.Selector)
+			if err != nil || !sel.Matches(target) {
+				continue
+			}
+		}
+		if err := webscript.Execute(bh.h.Body, executionHost{page: p, origin: bh.origin}); err != nil {
+			p.ScriptErrors = append(p.ScriptErrors, ScriptError{URL: bh.origin, Err: err})
+		}
+	}
+}
+
+// Click dispatches a click on an element. Clicking an anchor with a local
+// or remote href records a navigation attempt, as the crawler intercepts
+// all navigation (§4.3.1).
+func (p *Page) Click(el *dom.Node) {
+	if el == nil || !el.Visible() {
+		return
+	}
+	if el.Tag == "a" {
+		if href, ok := el.Attr("href"); ok && href != "" {
+			p.NavAttempts = append(p.NavAttempts, p.resolveURL(href))
+		}
+	}
+	p.fire(webscript.EventClick, el)
+}
+
+// Scroll dispatches a page scroll.
+func (p *Page) Scroll() { p.fire(webscript.EventScroll, nil) }
+
+// Input dispatches text entry on a form element.
+func (p *Page) Input(el *dom.Node, text string) {
+	if el == nil || !el.Visible() {
+		return
+	}
+	_ = text
+	p.fire(webscript.EventInput, el)
+}
+
+// MouseMove dispatches a pointer movement.
+func (p *Page) MouseMove() { p.fire(webscript.EventMove, nil) }
+
+// AdvanceClock moves virtual time forward, firing timer handlers that come
+// due (each timer fires once per elapsed interval).
+func (p *Page) AdvanceClock(dt float64) {
+	target := p.Clock + dt
+	for _, bh := range p.handlers {
+		if bh.h.Event != webscript.EventTimer || bh.h.Interval <= 0 {
+			continue
+		}
+		interval := float64(bh.h.Interval)
+		for next := bh.lastRun + interval; next <= target; next += interval {
+			if err := webscript.Execute(bh.h.Body, executionHost{page: p, origin: bh.origin}); err != nil {
+				p.ScriptErrors = append(p.ScriptErrors, ScriptError{URL: bh.origin, Err: err})
+			}
+			bh.lastRun = next
+		}
+	}
+	p.Clock = target
+}
+
+// Interactive returns the page's currently visible interactive elements.
+func (p *Page) Interactive() []*dom.Node { return p.DOM.Interactive() }
+
+// LocalNavAttempts filters the recorded navigation attempts to those
+// sameSite judges local, deduplicated in first-seen order.
+func (p *Page) LocalNavAttempts(sameSite func(host string) bool) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, raw := range p.NavAttempts {
+		u, err := url.Parse(raw)
+		if err != nil {
+			continue
+		}
+		if !sameSite(u.Hostname()) {
+			continue
+		}
+		clean := u.Scheme + "://" + u.Host + u.Path
+		if seen[clean] {
+			continue
+		}
+		seen[clean] = true
+		out = append(out, clean)
+	}
+	return out
+}
+
+// HasParseErrors reports whether any script failed to parse (the paper's
+// "syntax errors in their JavaScript code that prevented execution").
+func (p *Page) HasParseErrors() bool {
+	for _, se := range p.ScriptErrors {
+		var werr *webscript.Error
+		if errors.As(se.Err, &werr) {
+			return true
+		}
+	}
+	return false
+}
+
+// BlockingExtension adapts a blocking.Blocker (ABP engine, tracker DB, or
+// their combination) to the Extension interface, applying element-hiding
+// rules at DOM-ready.
+type BlockingExtension struct {
+	// Label names the extension ("adblock-plus", "ghostery").
+	Label string
+	// Blocker decides request vetoes and hiding selectors.
+	Blocker blocking.Blocker
+}
+
+// Name implements Extension.
+func (b *BlockingExtension) Name() string { return b.Label }
+
+// OnBeforeRequest implements Extension.
+func (b *BlockingExtension) OnBeforeRequest(req blocking.Request) bool {
+	return b.Blocker.ShouldBlock(req)
+}
+
+// OnDOMReady applies element-hiding rules.
+func (b *BlockingExtension) OnDOMReady(p *Page) {
+	for _, sel := range b.Blocker.HideSelectors(p.Host()) {
+		for _, el := range p.DOM.QuerySelectorAll(sel) {
+			el.Hidden = true
+		}
+	}
+}
+
+// String renders a page summary for diagnostics.
+func (p *Page) String() string {
+	return fmt.Sprintf("Page(%s, %d handlers, %d nav attempts, clock=%.1fs)",
+		strings.TrimSuffix(p.URL.String(), "/"), len(p.handlers), len(p.NavAttempts), p.Clock)
+}

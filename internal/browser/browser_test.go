@@ -1,0 +1,274 @@
+package browser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/synthweb"
+	"repro/internal/webapi"
+	"repro/internal/webidl"
+	"repro/internal/webserver"
+)
+
+// testEnv is a tiny generated web plus bindings shared by the package tests.
+type testEnv struct {
+	web  *synthweb.Web
+	bind *webapi.Bindings
+	site *synthweb.Site
+}
+
+var sharedEnv *testEnv
+
+func env(t testing.TB) *testEnv {
+	t.Helper()
+	if sharedEnv != nil {
+		return sharedEnv
+	}
+	reg, err := webidl.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	web, err := synthweb.Generate(reg, synthweb.Config{Sites: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &testEnv{web: web, bind: webapi.NewBindings(reg)}
+	for _, s := range web.Sites {
+		if s.Failure == synthweb.FailNone {
+			e.site = s
+			break
+		}
+	}
+	sharedEnv = e
+	return e
+}
+
+func (e *testEnv) browser(exts ...Extension) *Browser {
+	return New(e.bind, webserver.DirectFetcher{Web: e.web}, exts...)
+}
+
+func TestLoadExecutesOnLoadScripts(t *testing.T) {
+	e := env(t)
+	b := e.browser()
+	page, err := b.Load("http://" + e.site.Domain + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Runtime.TotalNativeCalls() == 0 {
+		t.Error("no native calls after load; immediate/load statements did not run")
+	}
+	if len(page.ScriptErrors) != 0 {
+		t.Errorf("script errors on healthy site: %v", page.ScriptErrors)
+	}
+}
+
+func TestLoadFailsOnUnresponsive(t *testing.T) {
+	e := env(t)
+	b := e.browser()
+	for _, s := range e.web.Sites {
+		if s.Failure != synthweb.FailUnresponsive {
+			continue
+		}
+		if _, err := b.Load("http://" + s.Domain + "/"); err == nil {
+			t.Error("unresponsive site loaded")
+		}
+		return
+	}
+	t.Skip("no unresponsive site in sample")
+}
+
+func TestSyntaxErrorDetected(t *testing.T) {
+	e := env(t)
+	b := e.browser()
+	for _, s := range e.web.Sites {
+		if s.Failure != synthweb.FailScriptError {
+			continue
+		}
+		page, err := b.Load("http://" + s.Domain + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !page.HasParseErrors() {
+			t.Error("script-error site loaded without parse errors")
+		}
+		return
+	}
+	t.Skip("no script-error site in sample")
+}
+
+func TestClickAnchorRecordsNavigation(t *testing.T) {
+	e := env(t)
+	b := e.browser()
+	page, err := b.Load("http://" + e.site.Domain + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := len(page.NavAttempts)
+	anchors := page.DOM.ElementsByTag("a")
+	if len(anchors) == 0 {
+		t.Fatal("no anchors")
+	}
+	page.Click(anchors[0])
+	if len(page.NavAttempts) != start+1 {
+		t.Fatalf("nav attempts %d -> %d after anchor click", start, len(page.NavAttempts))
+	}
+	if !strings.HasPrefix(page.NavAttempts[start], "http://") {
+		t.Errorf("nav attempt not absolute: %q", page.NavAttempts[start])
+	}
+}
+
+func TestClickSelectorHandlers(t *testing.T) {
+	e := env(t)
+	b := e.browser()
+	page, err := b.Load("http://" + e.site.Domain + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clicking #act-0 fires the generated navigation handler.
+	btn := page.DOM.GetElementByID("act-0")
+	if btn == nil {
+		t.Fatal("#act-0 missing")
+	}
+	before := len(page.NavAttempts)
+	page.Click(btn)
+	if len(page.NavAttempts) <= before {
+		t.Error("#act-0 click handler did not navigate")
+	}
+}
+
+func TestHiddenElementsNotClickable(t *testing.T) {
+	e := env(t)
+	b := e.browser()
+	page, err := b.Load("http://" + e.site.Domain + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	btn := page.DOM.GetElementByID("act-0")
+	btn.Hidden = true
+	before := len(page.NavAttempts)
+	page.Click(btn)
+	if len(page.NavAttempts) != before {
+		t.Error("hidden element click had effects")
+	}
+}
+
+func TestTimerHandlersFire(t *testing.T) {
+	e := env(t)
+	b := e.browser()
+	// Find a page whose scripts register a timer by scanning sites.
+	for _, s := range e.web.Sites {
+		if s.Failure != synthweb.FailNone {
+			continue
+		}
+		page, err := b.Load("http://" + s.Domain + "/")
+		if err != nil {
+			continue
+		}
+		before := page.Runtime.TotalNativeCalls()
+		page.AdvanceClock(30)
+		if page.Runtime.TotalNativeCalls() > before {
+			return // a timer fired: done
+		}
+	}
+	t.Skip("no timer handlers on sampled home pages")
+}
+
+func TestBlockingExtensionVetoesAndHides(t *testing.T) {
+	e := env(t)
+	list, err := blocking.ParseList("easylist", e.web.FilterListText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abp := &BlockingExtension{Label: "adblock-plus", Blocker: blocking.NewEngine(list)}
+
+	// Find a site whose home page carries an ad script.
+	for _, s := range e.web.Sites {
+		if s.Failure != synthweb.FailNone {
+			continue
+		}
+		plain, err := e.browser().Load("http://" + s.Domain + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hasAd := false
+		for _, sc := range plain.DOM.Scripts() {
+			if strings.Contains(sc.Src, "adnet-") || strings.Contains(sc.Src, "adtrk-") {
+				hasAd = true
+			}
+		}
+		if !hasAd {
+			continue
+		}
+		blocked, err := e.browser(abp).Load("http://" + s.Domain + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blocked.BlockedRequests) == 0 {
+			t.Error("ABP extension blocked nothing on an ad-carrying page")
+		}
+		if blocked.Runtime.TotalNativeCalls() > plain.Runtime.TotalNativeCalls() {
+			t.Error("blocking increased native calls")
+		}
+		// Element hiding: the ad banner must be hidden.
+		if banner := blocked.DOM.QuerySelector("div.ad-banner"); banner != nil && banner.Visible() {
+			t.Error("ad banner visible despite ##.ad-banner rule")
+		}
+		return
+	}
+	t.Fatal("no ad-carrying site found")
+}
+
+func TestScriptCacheServesRepeatLoads(t *testing.T) {
+	e := env(t)
+	b := e.browser()
+	url := "http://" + e.site.Domain + "/"
+	p1, err := b.Load(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := b.Load(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Runtime.TotalNativeCalls() != p2.Runtime.TotalNativeCalls() {
+		t.Error("cached script load produced different execution")
+	}
+}
+
+func TestLocalNavAttemptsFilterAndDedupe(t *testing.T) {
+	e := env(t)
+	b := e.browser()
+	page, err := b.Load("http://" + e.site.Domain + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range page.DOM.ElementsByTag("a") {
+		page.Click(a)
+		page.Click(a) // duplicate clicks
+	}
+	local := page.LocalNavAttempts(func(host string) bool {
+		return e.web.Ranking.SameSite(host, e.site.Domain)
+	})
+	seen := map[string]bool{}
+	for _, u := range local {
+		if seen[u] {
+			t.Fatalf("duplicate local nav %q", u)
+		}
+		seen[u] = true
+		if strings.Contains(u, "partner-offers") || strings.Contains(u, "adnet-") {
+			t.Fatalf("external URL %q leaked into local navs", u)
+		}
+	}
+	if len(local) == 0 {
+		t.Fatal("no local navs after clicking all anchors")
+	}
+}
+
+func TestNonDocumentLoadFails(t *testing.T) {
+	e := env(t)
+	b := e.browser()
+	if _, err := b.Load("http://" + e.site.Domain + "/static/home.js"); err == nil {
+		t.Fatal("loading a script as a document should fail")
+	}
+}

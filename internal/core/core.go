@@ -1,0 +1,211 @@
+// Package core is the study orchestrator: the public entry point that wires
+// the corpus, synthetic web, instrumented browser, survey crawler, and
+// analysis pipeline into one reproducible experiment, mirroring the paper's
+// end-to-end methodology.
+//
+// Typical use:
+//
+//	study, err := core.NewStudy(core.Config{Sites: 1000, Seed: 42})
+//	results, err := study.RunSurvey()
+//	study.WriteReport(os.Stdout, results)
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/alexa"
+	"repro/internal/analysis"
+	"repro/internal/crawler"
+	"repro/internal/cve"
+	"repro/internal/firefoxhist"
+	"repro/internal/measure"
+	"repro/internal/report"
+	"repro/internal/standards"
+	"repro/internal/synthweb"
+	"repro/internal/webapi"
+	"repro/internal/webidl"
+	"repro/internal/webserver"
+)
+
+// Config parameterizes a study.
+type Config struct {
+	// Sites is the ranking size (the paper's 10,000). Required.
+	Sites int
+	// Seed drives all generation and crawling randomness.
+	Seed int64
+	// Rounds is the number of visits per (site, case); 0 means the
+	// paper's 5.
+	Rounds int
+	// Cases lists the browser configurations; nil means all four
+	// (default, blocking, ad-only, tracker-only).
+	Cases []measure.Case
+	// Parallelism is the crawl worker count; 0 means 4.
+	Parallelism int
+	// UseHTTP routes all fetches through a real net/http server instead
+	// of in-process resolution.
+	UseHTTP bool
+	// HumanSample is the external-validation sample size; 0 means the
+	// paper's 92 completed domains.
+	HumanSample int
+}
+
+// Study is a fully constructed experiment environment.
+type Study struct {
+	Cfg      Config
+	Registry *webidl.Registry
+	Web      *synthweb.Web
+	Bindings *webapi.Bindings
+	History  *firefoxhist.History
+	CVEs     *cve.Database
+
+	server *webserver.Server
+}
+
+// Results bundles a completed survey.
+type Results struct {
+	Log      *measure.Log
+	Stats    *crawler.Stats
+	Analysis *analysis.Analysis
+}
+
+// NewStudy generates the study environment: WebIDL corpus, synthetic web,
+// dispatch bindings, release history, and CVE database, all from the seed.
+func NewStudy(cfg Config) (*Study, error) {
+	if cfg.Sites <= 0 {
+		return nil, fmt.Errorf("core: config requires a positive site count")
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 5
+	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = 4
+	}
+	if len(cfg.Cases) == 0 {
+		cfg.Cases = measure.AllCases()
+	}
+	if cfg.HumanSample == 0 {
+		cfg.HumanSample = 92
+	}
+
+	reg, err := webidl.Generate(cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: generating corpus: %w", err)
+	}
+	web, err := synthweb.Generate(reg, synthweb.Config{Sites: cfg.Sites, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("core: generating web: %w", err)
+	}
+	s := &Study{
+		Cfg:      cfg,
+		Registry: reg,
+		Web:      web,
+		Bindings: webapi.NewBindings(reg),
+		History:  firefoxhist.New(reg),
+		CVEs:     cve.Generate(cfg.Seed),
+	}
+	if cfg.UseHTTP {
+		srv, err := webserver.NewServer(web)
+		if err != nil {
+			return nil, fmt.Errorf("core: starting web server: %w", err)
+		}
+		s.server = srv
+	}
+	return s, nil
+}
+
+// Close releases study resources (the HTTP server, if any).
+func (s *Study) Close() error {
+	if s.server != nil {
+		return s.server.Close()
+	}
+	return nil
+}
+
+// crawler builds the configured crawler.
+func (s *Study) crawler() *crawler.Crawler {
+	ccfg := crawler.DefaultConfig(s.Cfg.Seed)
+	ccfg.Rounds = s.Cfg.Rounds
+	ccfg.Cases = s.Cfg.Cases
+	ccfg.Parallelism = s.Cfg.Parallelism
+	c := crawler.New(s.Web, s.Bindings, ccfg)
+	if s.server != nil {
+		srv := s.server
+		c.NewFetcher = func() webserver.Fetcher { return webserver.NewHTTPFetcher(srv) }
+	}
+	return c
+}
+
+// RunSurvey executes the full automated survey.
+func (s *Study) RunSurvey() (*Results, error) {
+	log, stats, err := s.crawler().Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Results{Log: log, Stats: stats, Analysis: analysis.New(log, s.Registry)}, nil
+}
+
+// RunExternalValidation performs the §6.2 protocol: visit a visit-weighted
+// sample of sites with the scripted human model and return, per site, how
+// many standards the human saw that the automated survey never did.
+func (s *Study) RunExternalValidation(results *Results) ([]int, error) {
+	sample := s.Web.Ranking.WeightedSample(s.Cfg.HumanSample, s.Cfg.Seed+909)
+	c := s.crawler()
+	var deltas []int
+	for i, rs := range sample {
+		site := s.Web.Sites[rs.Rank-1]
+		if site.Failure != synthweb.FailNone {
+			continue
+		}
+		counts, err := c.HumanVisit(site, s.Cfg.Seed+int64(i))
+		if err != nil {
+			continue
+		}
+		deltas = append(deltas, results.Analysis.HumanDelta(site.Index, counts))
+	}
+	if len(deltas) == 0 {
+		return nil, fmt.Errorf("core: external validation visited no sites")
+	}
+	return deltas, nil
+}
+
+// WriteReport renders every table and figure of the paper from the results.
+func (s *Study) WriteReport(w io.Writer, results *Results) error {
+	a := results.Analysis
+
+	report.Figure1(w)
+	fmt.Fprintln(w)
+	report.Table1(w, results.Stats)
+	fmt.Fprintln(w)
+	report.Headlines(w, a, s.CVEs)
+	fmt.Fprintln(w)
+	report.Figure3(w, a)
+	fmt.Fprintln(w)
+	report.Figure4(w, a)
+	fmt.Fprintln(w)
+	report.Figure5(w, a.VisitWeightedPopularity(s.Web.Ranking))
+	fmt.Fprintln(w)
+	report.Figure6(w, a.AgeSeries(s.History))
+	fmt.Fprintln(w)
+	report.Figure7(w, a.AdVsTrackerRates())
+	fmt.Fprintln(w)
+	report.Table2(w, a.Table2(s.CVEs))
+	fmt.Fprintln(w)
+	report.Table3(w, a.NewStandardsPerRound())
+	fmt.Fprintln(w)
+	report.Figure8(w, a.Complexity())
+
+	deltas, err := s.RunExternalValidation(results)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	report.Figure9(w, deltas)
+	return nil
+}
+
+// Ranking exposes the study's Alexa model.
+func (s *Study) Ranking() *alexa.Ranking { return s.Web.Ranking }
+
+// StandardsCatalog exposes the standards catalog for reporting.
+func (s *Study) StandardsCatalog() []standards.Standard { return standards.Catalog() }

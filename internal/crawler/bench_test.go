@@ -1,0 +1,99 @@
+package crawler
+
+import (
+	"testing"
+
+	"repro/internal/extension"
+	"repro/internal/measure"
+	"repro/internal/synthweb"
+	"repro/internal/webapi"
+	"repro/internal/webidl"
+	"repro/internal/webserver"
+
+	brws "repro/internal/browser"
+)
+
+func benchEnv(b *testing.B) (*Crawler, *synthweb.Site) {
+	b.Helper()
+	reg, err := webidl.Generate(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	web, err := synthweb.Generate(reg, synthweb.Config{Sites: 30, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(5)
+	cfg.Cases = []measure.Case{measure.CaseDefault}
+	c := New(web, webapi.NewBindings(reg), cfg)
+	for _, s := range web.Sites {
+		if s.Failure == synthweb.FailNone {
+			return c, s
+		}
+	}
+	b.Fatal("no healthy site")
+	return nil, nil
+}
+
+// BenchmarkCrawlSiteVisit measures one full 13-page monkey-tested visit.
+func BenchmarkCrawlSiteVisit(b *testing.B) {
+	c, site := benchEnv(b)
+	m := extension.NewMeasurer()
+	exts, err := c.extensionsFor(measure.CaseDefault, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &siteWorker{
+		crawler:  c,
+		cfg:      c.Cfg,
+		browser:  brws.New(c.Bindings, webserver.DirectFetcher{Web: c.Web}, exts...),
+		measurer: m,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pages int
+	for i := 0; i < b.N; i++ {
+		_, p, err := w.crawlOnce(site, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pages = p
+	}
+	b.ReportMetric(float64(pages), "pages/visit")
+}
+
+// BenchmarkCrawlSiteVisitBlocking measures the same visit with both
+// blocking extensions installed.
+func BenchmarkCrawlSiteVisitBlocking(b *testing.B) {
+	c, site := benchEnv(b)
+	m := extension.NewMeasurer()
+	exts, err := c.extensionsFor(measure.CaseBlocking, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &siteWorker{
+		crawler:  c,
+		cfg:      c.Cfg,
+		browser:  brws.New(c.Bindings, webserver.DirectFetcher{Web: c.Web}, exts...),
+		measurer: m,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := w.crawlOnce(site, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHumanVisit measures the §6.2 manual-browsing model.
+func BenchmarkHumanVisit(b *testing.B) {
+	c, site := benchEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.HumanVisit(site, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,483 @@
+// Package crawler implements the paper's automated survey (§4.3): for every
+// site, repeated monkey-tested visits of a 13-page breadth-first sample of
+// the site's hierarchy, in a default browser profile and in profiles with
+// content-blocking extensions installed, five rounds each.
+package crawler
+
+import (
+	"fmt"
+	"math/rand"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/blocking"
+	"repro/internal/browser"
+	"repro/internal/dom"
+	"repro/internal/extension"
+	"repro/internal/gremlins"
+	"repro/internal/measure"
+	"repro/internal/synthweb"
+	"repro/internal/webapi"
+	"repro/internal/webserver"
+)
+
+// Config parameterizes the survey.
+type Config struct {
+	// Rounds is the number of visits per (site, case); the paper uses 5.
+	Rounds int
+	// Branch is the BFS fan-out per level; the paper uses 3 (1 home +
+	// 3 sections + 9 leaves = 13 pages).
+	Branch int
+	// PageSeconds is the monkey-testing budget per page (paper: 30).
+	PageSeconds float64
+	// ActionsPerSecond is the gremlin action rate.
+	ActionsPerSecond float64
+	// Parallelism is the number of concurrent site workers.
+	Parallelism int
+	// Seed drives every random choice.
+	Seed int64
+	// Cases lists the browser configurations to run; defaults to the
+	// paper's default + blocking pair plus the ad-only and tracker-only
+	// profiles behind Figure 7.
+	Cases []measure.Case
+	// PathNoveltyPreference disables the paper's preference for URLs
+	// with unseen directory structure when false (ablation).
+	PathNoveltyPreference bool
+	// WithCredentials enables the paper's §7.3 closed-web mode: the
+	// crawler authenticates navigations into members areas by appending
+	// the site's session token, so monkey testing covers logged-in
+	// functionality too.
+	WithCredentials bool
+}
+
+// DefaultConfig mirrors the paper's methodology.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Rounds:                5,
+		Branch:                3,
+		PageSeconds:           30,
+		ActionsPerSecond:      2,
+		Parallelism:           4,
+		Seed:                  seed,
+		Cases:                 measure.AllCases(),
+		PathNoveltyPreference: true,
+	}
+}
+
+// Crawler runs surveys against a synthetic web.
+type Crawler struct {
+	Web      *synthweb.Web
+	Bindings *webapi.Bindings
+	// NewFetcher builds a fetcher per worker; nil means direct
+	// in-process fetching.
+	NewFetcher func() webserver.Fetcher
+	Cfg        Config
+}
+
+// New builds a crawler with the direct fetcher.
+func New(web *synthweb.Web, bindings *webapi.Bindings, cfg Config) *Crawler {
+	return &Crawler{Web: web, Bindings: bindings, Cfg: cfg}
+}
+
+// Stats summarizes a survey (Table 1).
+type Stats struct {
+	// DomainsMeasured is the number of domains that produced data
+	// (paper: 9,733 of 10,000).
+	DomainsMeasured int
+	// DomainsFailed is the number of unmeasurable domains (paper: 267).
+	DomainsFailed int
+	// PagesVisited is the number of page visits across all cases and
+	// rounds (paper: 2,240,484).
+	PagesVisited int64
+	// Invocations is the number of feature invocations recorded
+	// (paper: 21,511,926,733).
+	Invocations int64
+	// InteractionSeconds is the total simulated interaction time
+	// (paper: ~480 days).
+	InteractionSeconds float64
+}
+
+// extensionsFor builds the extension stack for a case. The measurer always
+// rides along; blockers depend on the case.
+func (c *Crawler) extensionsFor(cs measure.Case, m *extension.Measurer) ([]browser.Extension, error) {
+	exts := []browser.Extension{m}
+	needABP := cs == measure.CaseBlocking || cs == measure.CaseAdBlock
+	needGhostery := cs == measure.CaseBlocking || cs == measure.CaseGhostery
+	if needABP {
+		list, err := blocking.ParseList("easylist-synthetic", c.Web.FilterListText)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: parsing filter list: %w", err)
+		}
+		exts = append(exts, &browser.BlockingExtension{Label: "adblock-plus", Blocker: blocking.NewEngine(list)})
+	}
+	if needGhostery {
+		db, err := blocking.ParseTrackerDB(c.Web.TrackerLibText)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: parsing tracker library: %w", err)
+		}
+		exts = append(exts, &browser.BlockingExtension{Label: "ghostery", Blocker: db})
+	}
+	return exts, nil
+}
+
+// Run executes the full survey and returns the measurement log and summary
+// statistics.
+func (c *Crawler) Run() (*measure.Log, *Stats, error) {
+	cfg := c.Cfg
+	if cfg.Rounds <= 0 || cfg.Branch <= 0 {
+		return nil, nil, fmt.Errorf("crawler: invalid config %+v", cfg)
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 1
+	}
+	if len(cfg.Cases) == 0 {
+		cfg.Cases = measure.AllCases()
+	}
+
+	domains := make([]string, len(c.Web.Sites))
+	for i, s := range c.Web.Sites {
+		domains[i] = s.Domain
+	}
+	log := measure.NewLog(len(c.Web.Registry.Features), domains)
+
+	var mu sync.Mutex
+	stats := &Stats{}
+	failedSites := make(map[int]bool)
+
+	sites := make(chan *synthweb.Site)
+	var wg sync.WaitGroup
+	for workerID := 0; workerID < cfg.Parallelism; workerID++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker owns one browser per case, sharing the
+			// script cache across the sites it processes.
+			workers := make(map[measure.Case]*siteWorker)
+			for _, cs := range cfg.Cases {
+				m := extension.NewMeasurer()
+				exts, err := c.extensionsFor(cs, m)
+				if err != nil {
+					// Configuration errors are fatal and
+					// identical across workers; report via
+					// a failed-site marker on everything.
+					return
+				}
+				fetcher := webserver.Fetcher(webserver.DirectFetcher{Web: c.Web})
+				if c.NewFetcher != nil {
+					fetcher = c.NewFetcher()
+				}
+				workers[cs] = &siteWorker{
+					crawler:  c,
+					cfg:      cfg,
+					browser:  browser.New(c.Bindings, fetcher, exts...),
+					measurer: m,
+				}
+			}
+			for site := range sites {
+				for _, cs := range cfg.Cases {
+					w := workers[cs]
+					for round := 0; round < cfg.Rounds; round++ {
+						seed := visitSeed(cfg.Seed, site.Index, cs, round)
+						counts, pages, err := w.crawlOnce(site, seed)
+						mu.Lock()
+						if err != nil {
+							failedSites[site.Index] = true
+							mu.Unlock()
+							break
+						}
+						log.Record(cs, round, site.Index, counts, pages)
+						stats.PagesVisited += int64(pages)
+						stats.InteractionSeconds += float64(pages) * cfg.PageSeconds
+						for _, n := range counts {
+							stats.Invocations += n
+						}
+						mu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+	for _, s := range c.Web.Sites {
+		sites <- s
+	}
+	close(sites)
+	wg.Wait()
+
+	for i := range c.Web.Sites {
+		if failedSites[i] {
+			log.Measured[i] = false
+		}
+	}
+	stats.DomainsMeasured = log.MeasuredCount()
+	stats.DomainsFailed = len(c.Web.Sites) - stats.DomainsMeasured
+	return log, stats, nil
+}
+
+// visitSeed derives the deterministic seed of one visit.
+func visitSeed(base int64, site int, cs measure.Case, round int) int64 {
+	var caseSalt int64
+	for _, b := range []byte(cs) {
+		caseSalt = caseSalt*131 + int64(b)
+	}
+	return base ^ (int64(site)+1)*1_000_003 ^ caseSalt*7_919 ^ int64(round+1)*104_729
+}
+
+// siteWorker crawls sites under one browser configuration.
+type siteWorker struct {
+	crawler  *Crawler
+	cfg      Config
+	browser  *browser.Browser
+	measurer *extension.Measurer
+}
+
+// crawlOnce performs one round of the paper's per-site procedure: monkey
+// testing on the home page, then a breadth-first expansion through Branch
+// levels of intercepted navigation targets (1 + 3 + 9 = 13 pages for
+// Branch=3), 30 virtual seconds each. It returns the feature counts
+// observed. A dead home page or a script syntax error makes the site
+// unmeasurable, matching the paper's 267 lost domains.
+func (w *siteWorker) crawlOnce(site *synthweb.Site, seed int64) (map[int]int64, int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	horde := &gremlins.Horde{
+		Species: []gremlins.Weighted{
+			{Species: gremlins.Clicker{}, Weight: 0.55},
+			{Species: gremlins.Scroller{}, Weight: 0.25},
+			{Species: gremlins.Typer{}, Weight: 0.20},
+		},
+		Seconds:          w.cfg.PageSeconds,
+		ActionsPerSecond: w.cfg.ActionsPerSecond,
+	}
+
+	sameSite := func(host string) bool {
+		return w.crawler.Web.Ranking.SameSite(host, site.Domain)
+	}
+
+	counts := make(map[int]int64)
+	merge := func(m map[int]int64) {
+		for id, n := range m {
+			counts[id] += n
+		}
+	}
+
+	seenDirs := map[string]bool{}
+	visited := map[string]bool{}
+	pages := 0
+
+	// visit loads a URL, monkey-tests it, and returns candidate local
+	// URLs for the next BFS level.
+	visit := func(rawURL string, isHome bool) ([]string, error) {
+		if w.cfg.WithCredentials {
+			rawURL = authenticate(rawURL)
+		}
+		page, err := w.browser.Load(rawURL)
+		if err != nil {
+			if isHome {
+				return nil, err
+			}
+			return nil, nil // dead subpage: skip, keep crawling
+		}
+		if isHome && page.HasParseErrors() {
+			return nil, fmt.Errorf("crawler: %s has script syntax errors", site.Domain)
+		}
+		horde.Unleash(page, rng)
+		merge(w.measurer.Take())
+		pages++
+		visited[rawURL] = true
+		return page.LocalNavAttempts(sameSite), nil
+	}
+
+	home := "http://" + site.Domain + "/"
+	candidates, err := visit(home, true)
+	if err != nil {
+		w.measurer.Take() // drop partial counts
+		return nil, 0, err
+	}
+
+	// pool holds discovered-but-unvisited URLs. When a parent page
+	// yields fewer than Branch fresh URLs (the monkey did not click
+	// every link, or a leaf page links mostly to visited pages), the
+	// level is backfilled from the pool, so the 13-page budget is spent
+	// whenever the site has enough distinct pages.
+	var pool []string
+	addPool := func(cands []string) {
+		for _, c := range cands {
+			if !visited[c] {
+				pool = append(pool, c)
+			}
+		}
+	}
+	backfill := func(level []string, want int) []string {
+		for _, c := range pool {
+			if len(level) >= want {
+				break
+			}
+			if !visited[c] {
+				visited[c] = true
+				seenDirs[dirPattern(c)] = true
+				level = append(level, c)
+			}
+		}
+		return level
+	}
+	addPool(candidates)
+
+	level := backfill(w.selectURLs(candidates, visited, seenDirs, rng), w.cfg.Branch)
+	for depth := 0; depth < 2; depth++ {
+		var next []string
+		for _, u := range level {
+			cands, _ := visit(u, false)
+			addPool(cands)
+			next = append(next, w.selectURLs(cands, visited, seenDirs, rng)...)
+		}
+		if depth == 0 {
+			next = backfill(next, w.cfg.Branch*w.cfg.Branch)
+		}
+		level = next
+	}
+	return counts, pages, nil
+}
+
+// selectURLs picks up to Branch URLs from the candidates, preferring URLs
+// whose directory structure has not been seen before (paper §4.3.1).
+func (w *siteWorker) selectURLs(candidates []string, visited, seenDirs map[string]bool, rng *rand.Rand) []string {
+	var fresh []string
+	for _, c := range candidates {
+		if !visited[c] {
+			fresh = append(fresh, c)
+		}
+	}
+	rng.Shuffle(len(fresh), func(i, j int) { fresh[i], fresh[j] = fresh[j], fresh[i] })
+	if w.cfg.PathNoveltyPreference {
+		sort.SliceStable(fresh, func(i, j int) bool {
+			ni := seenDirs[dirPattern(fresh[i])]
+			nj := seenDirs[dirPattern(fresh[j])]
+			return !ni && nj // unseen patterns first
+		})
+	}
+	out := make([]string, 0, w.cfg.Branch)
+	for _, c := range fresh {
+		if len(out) >= w.cfg.Branch {
+			break
+		}
+		out = append(out, c)
+		seenDirs[dirPattern(c)] = true
+		visited[c] = true
+	}
+	return out
+}
+
+// authenticate appends the members-area session token to closed-web URLs
+// (crawler credentialed mode, paper §7.3). Other URLs pass through.
+func authenticate(rawURL string) string {
+	u, err := url.Parse(rawURL)
+	if err != nil || !strings.HasPrefix(u.Path, "/account") {
+		return rawURL
+	}
+	if strings.Contains(u.RawQuery, "auth=") {
+		return rawURL
+	}
+	if u.RawQuery != "" {
+		u.RawQuery += "&"
+	}
+	u.RawQuery += "auth=" + synthweb.SessionToken
+	return u.String()
+}
+
+// dirPattern extracts a URL's directory structure: the path with the final
+// segment dropped.
+func dirPattern(rawURL string) string {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return rawURL
+	}
+	path := u.Path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[:i]
+	}
+	return u.Hostname() + path
+}
+
+// HumanVisit emulates the paper's external-validation protocol (§6.2): 90
+// seconds of casual browsing across three pages — reading (scrolling and
+// pointer movement), one search-box entry, and following one prominent
+// link per page. It returns the features observed.
+func (c *Crawler) HumanVisit(site *synthweb.Site, seed int64) (map[int]int64, error) {
+	m := extension.NewMeasurer()
+	fetcher := webserver.Fetcher(webserver.DirectFetcher{Web: c.Web})
+	if c.NewFetcher != nil {
+		fetcher = c.NewFetcher()
+	}
+	b := browser.New(c.Bindings, fetcher, m)
+	_ = seed // the human protocol is deterministic; seed kept for symmetry
+
+	counts := make(map[int]int64)
+	merge := func(mm map[int]int64) {
+		for id, n := range mm {
+			counts[id] += n
+		}
+	}
+
+	current := "http://" + site.Domain + "/"
+	for pageNo := 0; pageNo < 3; pageNo++ {
+		page, err := b.Load(current)
+		if err != nil {
+			if pageNo == 0 {
+				return nil, err
+			}
+			break
+		}
+		// 30 seconds of reading: scrolling, pointer movement, a
+		// little typing.
+		for i := 0; i < 10; i++ {
+			page.Scroll()
+			page.MouseMove()
+			page.AdvanceClock(2.5)
+		}
+		if input := page.DOM.QuerySelector("#q"); input != nil {
+			page.Input(input, "holiday offers")
+		}
+		page.AdvanceClock(5)
+
+		// Follow the most prominent link: the first visible local
+		// anchor.
+		next := ""
+		for _, href := range page.DOM.Links() {
+			resolved := page.URL.ResolveReference(mustParseURL(href)).String()
+			u, err := url.Parse(resolved)
+			if err != nil {
+				continue
+			}
+			if c.Web.Ranking.SameSite(u.Hostname(), site.Domain) {
+				page.Click(findAnchor(page, href))
+				next = resolved
+				break
+			}
+		}
+		merge(m.Take())
+		if next == "" {
+			break
+		}
+		current = next
+	}
+	return counts, nil
+}
+
+func mustParseURL(s string) *url.URL {
+	u, err := url.Parse(s)
+	if err != nil {
+		return &url.URL{}
+	}
+	return u
+}
+
+// findAnchor locates the anchor element carrying the href.
+func findAnchor(page *browser.Page, href string) *dom.Node {
+	for _, a := range page.DOM.ElementsByTag("a") {
+		if got, _ := a.Attr("href"); got == href {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+// Package cve models the vulnerability dataset of the paper's §3.5.
+//
+// The paper searches the CVE database for entries from the last three years
+// that mention Firefox: 470 records, of which 14 turn out on manual
+// inspection to concern other web software, leaving 456 Firefox CVEs; 111 of
+// those are manually associated with a specific web standard (Table 2,
+// column 6). This package generates a synthetic database with exactly that
+// triage structure, including the two records the paper cites by number:
+// CVE-2013-0763 (remote execution in the WebGL implementation) and
+// CVE-2014-1577 (information disclosure in the Web Audio implementation).
+package cve
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/standards"
+)
+
+// Totals from the paper's §3.5.
+const (
+	// TotalMentions is the number of CVEs mentioning Firefox.
+	TotalMentions = 470
+	// NotFirefox is the number of mentions that are not Firefox bugs.
+	NotFirefox = 14
+	// FirefoxRelevant is the number of genuine Firefox CVEs.
+	FirefoxRelevant = TotalMentions - NotFirefox
+	// StandardMapped is the number of CVEs attributable to a standard.
+	StandardMapped = 111
+)
+
+// Severity is a coarse impact class for a record.
+type Severity int
+
+const (
+	SeverityLow Severity = iota
+	SeverityModerate
+	SeverityHigh
+	SeverityCritical
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SeverityLow:
+		return "low"
+	case SeverityModerate:
+		return "moderate"
+	case SeverityHigh:
+		return "high"
+	case SeverityCritical:
+		return "critical"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Record is one CVE database entry after triage.
+type Record struct {
+	// ID is the CVE identifier, e.g. "CVE-2013-0763".
+	ID string
+	// Year is the publication year.
+	Year int
+	// Description is the advisory summary.
+	Description string
+	// Firefox reports whether manual inspection confirmed the record as
+	// a Firefox bug (the paper discards 14 records where Firefox was
+	// only the demonstration vehicle).
+	Firefox bool
+	// Standard is the associated standard's abbreviation, or "" when the
+	// record could not be attributed to a specific standard.
+	Standard standards.Abbrev
+	// Severity is the coarse impact class.
+	Severity Severity
+}
+
+// Database is the triaged record set.
+type Database struct {
+	Records []Record
+}
+
+var vulnKinds = []string{
+	"use-after-free",
+	"out-of-bounds read",
+	"out-of-bounds write",
+	"buffer overflow",
+	"memory corruption",
+	"type confusion",
+	"information disclosure",
+	"same-origin-policy bypass",
+	"integer overflow",
+	"privilege escalation",
+}
+
+// Generate builds the synthetic database for a seed. Record counts and
+// per-standard attribution match the paper exactly for every seed; only the
+// cosmetic fields (identifiers, descriptions, severities) vary.
+func Generate(seed int64) *Database {
+	rng := rand.New(rand.NewSource(seed))
+	db := &Database{Records: make([]Record, 0, TotalMentions)}
+
+	serialByYear := map[int]int{2013: 2000, 2014: 3000, 2015: 2700, 2016: 1900}
+	nextID := func(year int) string {
+		serialByYear[year]++
+		return fmt.Sprintf("CVE-%d-%04d", year, serialByYear[year])
+	}
+	year := func() int { return 2013 + rng.Intn(4) }
+
+	// The two records the paper cites, with their real identifiers.
+	db.Records = append(db.Records,
+		Record{
+			ID:          "CVE-2013-0763",
+			Year:        2013,
+			Description: "Potential remote execution vulnerability in Firefox's implementation of the WebGL standard.",
+			Firefox:     true,
+			Standard:    "WEBGL",
+			Severity:    SeverityCritical,
+		},
+		Record{
+			ID:          "CVE-2014-1577",
+			Year:        2014,
+			Description: "Potential information-disclosing bug in Firefox's implementation of the Web Audio API standard.",
+			Firefox:     true,
+			Standard:    "WEBA",
+			Severity:    SeverityHigh,
+		},
+	)
+
+	// Standard-mapped records per Table 2's CVE column (the two cited
+	// records count against their standards' budgets).
+	emitted := map[standards.Abbrev]int{"WEBGL": 1, "WEBA": 1}
+	for _, std := range standards.Catalog() {
+		for emitted[std.Abbrev] < std.CVEs {
+			emitted[std.Abbrev]++
+			y := year()
+			kind := vulnKinds[rng.Intn(len(vulnKinds))]
+			db.Records = append(db.Records, Record{
+				ID:          nextID(y),
+				Year:        y,
+				Description: fmt.Sprintf("A %s in Firefox's implementation of the %s standard.", kind, std.Name),
+				Firefox:     true,
+				Standard:    std.Abbrev,
+				Severity:    Severity(rng.Intn(4)),
+			})
+		}
+	}
+
+	// Firefox records with no standard attribution (engine internals,
+	// JIT, networking, UI spoofing, ...).
+	unmappedAreas := []string{
+		"the JavaScript JIT compiler", "the networking stack",
+		"the certificate verifier", "the URL bar rendering",
+		"the garbage collector", "the image decoding library",
+		"the add-on manager", "the layout engine",
+		"the sandboxing layer", "the font shaping library",
+	}
+	for len(db.Records) < FirefoxRelevant {
+		y := year()
+		kind := vulnKinds[rng.Intn(len(vulnKinds))]
+		area := unmappedAreas[rng.Intn(len(unmappedAreas))]
+		db.Records = append(db.Records, Record{
+			ID:          nextID(y),
+			Year:        y,
+			Description: fmt.Sprintf("A %s in %s of Firefox.", kind, area),
+			Firefox:     true,
+			Severity:    Severity(rng.Intn(4)),
+		})
+	}
+
+	// Non-Firefox mentions (Firefox used only to demonstrate a bug in
+	// other web software).
+	otherSoftware := []string{
+		"a WordPress plugin", "an enterprise proxy appliance",
+		"a Java applet runtime", "a PDF reader plugin",
+		"an ad server platform", "a web mail application",
+	}
+	for len(db.Records) < TotalMentions {
+		y := year()
+		sw := otherSoftware[rng.Intn(len(otherSoftware))]
+		db.Records = append(db.Records, Record{
+			ID:          nextID(y),
+			Year:        y,
+			Description: fmt.Sprintf("Vulnerability in %s, demonstrated using Firefox.", sw),
+			Firefox:     false,
+			Severity:    Severity(rng.Intn(4)),
+		})
+	}
+
+	sort.Slice(db.Records, func(i, j int) bool { return db.Records[i].ID < db.Records[j].ID })
+	return db
+}
+
+// FirefoxRecords returns the records confirmed as Firefox bugs (456).
+func (db *Database) FirefoxRecords() []Record {
+	var out []Record
+	for _, r := range db.Records {
+		if r.Firefox {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Mapped returns the Firefox records attributed to a standard (111).
+func (db *Database) Mapped() []Record {
+	var out []Record
+	for _, r := range db.Records {
+		if r.Firefox && r.Standard != "" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PerStandard returns the CVE count per standard abbreviation.
+func (db *Database) PerStandard() map[standards.Abbrev]int {
+	out := make(map[standards.Abbrev]int)
+	for _, r := range db.Records {
+		if r.Firefox && r.Standard != "" {
+			out[r.Standard]++
+		}
+	}
+	return out
+}
+
+// ByID returns the record with the given CVE identifier.
+func (db *Database) ByID(id string) (Record, bool) {
+	for _, r := range db.Records {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Record{}, false
+}
+
+// Validate checks the database against the paper's triage totals.
+func (db *Database) Validate() error {
+	if got := len(db.Records); got != TotalMentions {
+		return fmt.Errorf("cve: %d records, want %d", got, TotalMentions)
+	}
+	if got := len(db.FirefoxRecords()); got != FirefoxRelevant {
+		return fmt.Errorf("cve: %d Firefox records, want %d", got, FirefoxRelevant)
+	}
+	if got := len(db.Mapped()); got != StandardMapped {
+		return fmt.Errorf("cve: %d standard-mapped records, want %d", got, StandardMapped)
+	}
+	per := db.PerStandard()
+	for _, std := range standards.Catalog() {
+		if per[std.Abbrev] != std.CVEs {
+			return fmt.Errorf("cve: standard %s has %d CVEs, want %d", std.Abbrev, per[std.Abbrev], std.CVEs)
+		}
+	}
+	seen := make(map[string]bool, len(db.Records))
+	for _, r := range db.Records {
+		if seen[r.ID] {
+			return fmt.Errorf("cve: duplicate id %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package cve
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/standards"
+)
+
+func TestGenerateValidates(t *testing.T) {
+	db := Generate(1)
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(7)
+	b := Generate(7)
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs between runs: %+v vs %+v", i, a.Records[i], b.Records[i])
+		}
+	}
+}
+
+func TestCitedRecordsPresent(t *testing.T) {
+	db := Generate(1)
+	webgl, ok := db.ByID("CVE-2013-0763")
+	if !ok {
+		t.Fatal("CVE-2013-0763 missing")
+	}
+	if webgl.Standard != "WEBGL" || !webgl.Firefox {
+		t.Errorf("CVE-2013-0763 = %+v, want Firefox WebGL record", webgl)
+	}
+	weba, ok := db.ByID("CVE-2014-1577")
+	if !ok {
+		t.Fatal("CVE-2014-1577 missing")
+	}
+	if weba.Standard != "WEBA" || !weba.Firefox {
+		t.Errorf("CVE-2014-1577 = %+v, want Firefox Web Audio record", weba)
+	}
+	if !strings.Contains(weba.Description, "Web Audio") {
+		t.Errorf("CVE-2014-1577 description %q does not mention Web Audio", weba.Description)
+	}
+}
+
+func TestPerStandardCounts(t *testing.T) {
+	db := Generate(3)
+	per := db.PerStandard()
+	want := map[string]int{"H-C": 15, "SVG": 14, "WEBGL": 13, "H-WW": 11, "AJAX": 8, "DOM": 4, "V": 1}
+	for abbrev, n := range want {
+		if got := per[standards.Abbrev(abbrev)]; got != n {
+			t.Errorf("standard %s: %d CVEs, want %d", abbrev, got, n)
+		}
+	}
+}
+
+func TestYearsInWindow(t *testing.T) {
+	db := Generate(1)
+	for _, r := range db.Records {
+		if r.Year < 2013 || r.Year > 2016 {
+			t.Fatalf("record %s year %d outside the paper's 3-year window", r.ID, r.Year)
+		}
+		if !strings.HasPrefix(r.ID, "CVE-") {
+			t.Fatalf("record id %q malformed", r.ID)
+		}
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if SeverityCritical.String() != "critical" || SeverityLow.String() != "low" {
+		t.Error("severity strings wrong")
+	}
+	if got := Severity(42).String(); got != "Severity(42)" {
+		t.Errorf("unknown severity = %q", got)
+	}
+}
+
+func TestByIDMissing(t *testing.T) {
+	db := Generate(1)
+	if _, ok := db.ByID("CVE-1999-0001"); ok {
+		t.Fatal("found a record that should not exist")
+	}
+}
+
+func TestAnySeedValidates(t *testing.T) {
+	check := func(seed int64) bool {
+		return Generate(seed%100).Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,481 @@
+// Package dom implements the document object model of the browser
+// simulator: a mutable tree of elements, text, and comments with the query
+// operations the crawler and the monkey-testing horde need (id/class/tag
+// selectors, link and script extraction, interactive-element enumeration,
+// and visibility tracking for element-hiding rules).
+package dom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeType distinguishes tree node kinds.
+type NodeType int
+
+const (
+	DocumentNode NodeType = iota
+	ElementNode
+	TextNode
+	CommentNode
+)
+
+// Node is one tree node. The zero value is not useful; use the New*
+// constructors.
+type Node struct {
+	Type     NodeType
+	Tag      string // lower-case element tag, for ElementNode
+	Text     string // for TextNode and CommentNode
+	Parent   *Node
+	Children []*Node
+
+	// Hidden marks elements suppressed by element-hiding filter rules
+	// (AdBlock Plus "##" rules); hidden elements are invisible to the
+	// monkey-testing horde.
+	Hidden bool
+
+	attrs     map[string]string
+	attrOrder []string
+}
+
+// NewDocument returns an empty document root.
+func NewDocument() *Node { return &Node{Type: DocumentNode} }
+
+// NewElement returns a detached element with the given tag.
+func NewElement(tag string) *Node {
+	return &Node{Type: ElementNode, Tag: strings.ToLower(tag)}
+}
+
+// NewText returns a detached text node.
+func NewText(text string) *Node { return &Node{Type: TextNode, Text: text} }
+
+// NewComment returns a detached comment node.
+func NewComment(text string) *Node { return &Node{Type: CommentNode, Text: text} }
+
+// SetAttr sets an attribute, preserving first-set order for serialization.
+func (n *Node) SetAttr(name, value string) {
+	name = strings.ToLower(name)
+	if n.attrs == nil {
+		n.attrs = make(map[string]string)
+	}
+	if _, ok := n.attrs[name]; !ok {
+		n.attrOrder = append(n.attrOrder, name)
+	}
+	n.attrs[name] = value
+}
+
+// Attr returns the attribute value and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	v, ok := n.attrs[strings.ToLower(name)]
+	return v, ok
+}
+
+// AttrOr returns the attribute value or a default.
+func (n *Node) AttrOr(name, def string) string {
+	if v, ok := n.Attr(name); ok {
+		return v
+	}
+	return def
+}
+
+// AttrNames returns the attribute names in first-set order.
+func (n *Node) AttrNames() []string {
+	out := make([]string, len(n.attrOrder))
+	copy(out, n.attrOrder)
+	return out
+}
+
+// ID returns the element's id attribute.
+func (n *Node) ID() string { return n.AttrOr("id", "") }
+
+// Classes returns the element's class list.
+func (n *Node) Classes() []string {
+	return strings.Fields(n.AttrOr("class", ""))
+}
+
+// HasClass reports whether the element carries the class.
+func (n *Node) HasClass(c string) bool {
+	for _, have := range n.Classes() {
+		if have == c {
+			return true
+		}
+	}
+	return false
+}
+
+// AppendChild attaches child as the last child of n, detaching it from any
+// previous parent.
+func (n *Node) AppendChild(child *Node) {
+	if child.Parent != nil {
+		child.Parent.RemoveChild(child)
+	}
+	child.Parent = n
+	n.Children = append(n.Children, child)
+}
+
+// InsertBefore inserts child immediately before ref, which must be a child
+// of n; a nil ref appends.
+func (n *Node) InsertBefore(child, ref *Node) error {
+	if ref == nil {
+		n.AppendChild(child)
+		return nil
+	}
+	idx := -1
+	for i, c := range n.Children {
+		if c == ref {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("dom: InsertBefore reference is not a child of %s", n.Tag)
+	}
+	if child.Parent != nil {
+		child.Parent.RemoveChild(child)
+	}
+	child.Parent = n
+	n.Children = append(n.Children, nil)
+	copy(n.Children[idx+1:], n.Children[idx:])
+	n.Children[idx] = child
+	return nil
+}
+
+// RemoveChild detaches child from n. Removing a non-child is a no-op.
+func (n *Node) RemoveChild(child *Node) {
+	for i, c := range n.Children {
+		if c == child {
+			n.Children = append(n.Children[:i], n.Children[i+1:]...)
+			child.Parent = nil
+			return
+		}
+	}
+}
+
+// Clone deep-copies the subtree rooted at n. The clone is detached.
+func (n *Node) Clone() *Node {
+	cp := &Node{Type: n.Type, Tag: n.Tag, Text: n.Text, Hidden: n.Hidden}
+	if n.attrs != nil {
+		cp.attrs = make(map[string]string, len(n.attrs))
+		cp.attrOrder = append([]string(nil), n.attrOrder...)
+		for k, v := range n.attrs {
+			cp.attrs[k] = v
+		}
+	}
+	for _, c := range n.Children {
+		cc := c.Clone()
+		cc.Parent = cp
+		cp.Children = append(cp.Children, cc)
+	}
+	return cp
+}
+
+// Walk visits the subtree rooted at n in document (pre-)order. Returning
+// false from fn stops the walk.
+func (n *Node) Walk(fn func(*Node) bool) bool {
+	if !fn(n) {
+		return false
+	}
+	for _, c := range n.Children {
+		if !c.Walk(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// TextContent concatenates all descendant text.
+func (n *Node) TextContent() string {
+	var b strings.Builder
+	n.Walk(func(c *Node) bool {
+		if c.Type == TextNode {
+			b.WriteString(c.Text)
+		}
+		return true
+	})
+	return b.String()
+}
+
+// Visible reports whether the element and all its ancestors are unhidden.
+func (n *Node) Visible() bool {
+	for c := n; c != nil; c = c.Parent {
+		if c.Hidden {
+			return false
+		}
+	}
+	return true
+}
+
+// Path returns the element's tag path from the root, e.g.
+// "html/body/div/a", used for diagnostics.
+func (n *Node) Path() string {
+	var parts []string
+	for c := n; c != nil && c.Type == ElementNode; c = c.Parent {
+		parts = append(parts, c.Tag)
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, "/")
+}
+
+// --- selector support (subset: tag, #id, .class, and compounds) ---
+
+// Selector is a parsed simple selector.
+type Selector struct {
+	Tag     string
+	ID      string
+	Classes []string
+}
+
+// ParseSelector parses a simple selector of the form
+// "tag#id.class1.class2" where every component is optional.
+func ParseSelector(s string) (Selector, error) {
+	var sel Selector
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return sel, fmt.Errorf("dom: empty selector")
+	}
+	cur := &sel.Tag
+	var buf strings.Builder
+	flush := func() {
+		switch cur {
+		case &sel.Tag:
+			sel.Tag = strings.ToLower(buf.String())
+		case &sel.ID:
+			sel.ID = buf.String()
+		default:
+			if buf.Len() > 0 {
+				sel.Classes = append(sel.Classes, buf.String())
+			}
+		}
+		buf.Reset()
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '#':
+			flush()
+			cur = &sel.ID
+		case '.':
+			flush()
+			cur = nil // subsequent runs are class names
+		case ' ', '\t', '>', '[':
+			return sel, fmt.Errorf("dom: unsupported selector syntax %q", s)
+		default:
+			buf.WriteByte(s[i])
+		}
+	}
+	flush()
+	return sel, nil
+}
+
+// Matches reports whether the element satisfies the selector.
+func (sel Selector) Matches(n *Node) bool {
+	if n.Type != ElementNode {
+		return false
+	}
+	if sel.Tag != "" && sel.Tag != "*" && n.Tag != sel.Tag {
+		return false
+	}
+	if sel.ID != "" && n.ID() != sel.ID {
+		return false
+	}
+	for _, c := range sel.Classes {
+		if !n.HasClass(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// QuerySelector returns the first descendant element matching the selector
+// string, or nil.
+func (n *Node) QuerySelector(s string) *Node {
+	sel, err := ParseSelector(s)
+	if err != nil {
+		return nil
+	}
+	var found *Node
+	n.Walk(func(c *Node) bool {
+		if c != n && sel.Matches(c) {
+			found = c
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// QuerySelectorAll returns all descendant elements matching the selector
+// string, in document order.
+func (n *Node) QuerySelectorAll(s string) []*Node {
+	sel, err := ParseSelector(s)
+	if err != nil {
+		return nil
+	}
+	var out []*Node
+	n.Walk(func(c *Node) bool {
+		if c != n && sel.Matches(c) {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// GetElementByID returns the first element with the given id, or nil.
+func (n *Node) GetElementByID(id string) *Node {
+	var found *Node
+	n.Walk(func(c *Node) bool {
+		if c.Type == ElementNode && c.ID() == id {
+			found = c
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ElementsByTag returns all descendant elements with the tag, in document
+// order.
+func (n *Node) ElementsByTag(tag string) []*Node {
+	tag = strings.ToLower(tag)
+	var out []*Node
+	n.Walk(func(c *Node) bool {
+		if c.Type == ElementNode && c.Tag == tag {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// --- document-level conveniences used by the browser and crawler ---
+
+// interactiveTags are the element kinds the monkey-testing horde interacts
+// with.
+var interactiveTags = map[string]bool{
+	"a": true, "button": true, "input": true, "textarea": true,
+	"select": true, "iframe": true,
+}
+
+// Interactive returns the visible interactive elements of the subtree in
+// document order: links, buttons, form fields, iframes, and any element
+// carrying a data-action attribute.
+func (n *Node) Interactive() []*Node {
+	var out []*Node
+	n.Walk(func(c *Node) bool {
+		if c.Type != ElementNode || !c.Visible() {
+			return c.Type != ElementNode || !c.Hidden // skip hidden subtrees entirely
+		}
+		if interactiveTags[c.Tag] {
+			out = append(out, c)
+			return true
+		}
+		if _, ok := c.Attr("data-action"); ok {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// Links returns the href values of all visible anchors, deduplicated in
+// document order.
+func (n *Node) Links() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range n.ElementsByTag("a") {
+		if !a.Visible() {
+			continue
+		}
+		href, ok := a.Attr("href")
+		if !ok || href == "" || seen[href] {
+			continue
+		}
+		seen[href] = true
+		out = append(out, href)
+	}
+	return out
+}
+
+// ScriptRef is one script reference found in a document.
+type ScriptRef struct {
+	// Src is the external script URL; empty for inline scripts.
+	Src string
+	// Inline is the inline script body when Src is empty.
+	Inline string
+	// Node is the defining element.
+	Node *Node
+}
+
+// Scripts returns the document's scripts in document order. Scripts execute
+// whether or not their element is hidden (hiding is cosmetic), matching
+// real element-hiding semantics.
+func (n *Node) Scripts() []ScriptRef {
+	var out []ScriptRef
+	for _, s := range n.ElementsByTag("script") {
+		if src, ok := s.Attr("src"); ok && src != "" {
+			out = append(out, ScriptRef{Src: src, Node: s})
+			continue
+		}
+		out = append(out, ScriptRef{Inline: s.TextContent(), Node: s})
+	}
+	return out
+}
+
+// Head returns the document's head element, or nil.
+func (n *Node) Head() *Node {
+	heads := n.ElementsByTag("head")
+	if len(heads) == 0 {
+		return nil
+	}
+	return heads[0]
+}
+
+// Body returns the document's body element, or nil.
+func (n *Node) Body() *Node {
+	bodies := n.ElementsByTag("body")
+	if len(bodies) == 0 {
+		return nil
+	}
+	return bodies[0]
+}
+
+// CountElements returns the number of element nodes in the subtree.
+func (n *Node) CountElements() int {
+	count := 0
+	n.Walk(func(c *Node) bool {
+		if c.Type == ElementNode {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// String renders a compact description for diagnostics.
+func (n *Node) String() string {
+	switch n.Type {
+	case DocumentNode:
+		return "#document"
+	case TextNode:
+		t := n.Text
+		if len(t) > 20 {
+			t = t[:20] + "..."
+		}
+		return fmt.Sprintf("#text(%q)", t)
+	case CommentNode:
+		return "#comment"
+	default:
+		var b strings.Builder
+		b.WriteString("<" + n.Tag)
+		names := n.AttrNames()
+		sort.Strings(names)
+		for _, a := range names {
+			fmt.Fprintf(&b, " %s=%q", a, n.attrs[a])
+		}
+		b.WriteString(">")
+		return b.String()
+	}
+}

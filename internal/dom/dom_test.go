@@ -1,0 +1,348 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildTestTree constructs:
+//
+//	<html><head></head><body>
+//	  <div id="main" class="wrap content">
+//	    <a href="/one">one</a>
+//	    <a href="/two" class="nav">two</a>
+//	    <button id="go">Go</button>
+//	    <input>
+//	  </div>
+//	  <div id="ads" class="ad-banner"><a href="/ad">ad</a></div>
+//	</body></html>
+func buildTestTree() *Node {
+	doc := NewDocument()
+	htmlEl := NewElement("html")
+	doc.AppendChild(htmlEl)
+	head := NewElement("head")
+	body := NewElement("body")
+	htmlEl.AppendChild(head)
+	htmlEl.AppendChild(body)
+
+	main := NewElement("div")
+	main.SetAttr("id", "main")
+	main.SetAttr("class", "wrap content")
+	body.AppendChild(main)
+
+	a1 := NewElement("a")
+	a1.SetAttr("href", "/one")
+	a1.AppendChild(NewText("one"))
+	main.AppendChild(a1)
+
+	a2 := NewElement("a")
+	a2.SetAttr("href", "/two")
+	a2.SetAttr("class", "nav")
+	a2.AppendChild(NewText("two"))
+	main.AppendChild(a2)
+
+	btn := NewElement("button")
+	btn.SetAttr("id", "go")
+	btn.AppendChild(NewText("Go"))
+	main.AppendChild(btn)
+
+	main.AppendChild(NewElement("input"))
+
+	ads := NewElement("div")
+	ads.SetAttr("id", "ads")
+	ads.SetAttr("class", "ad-banner")
+	adLink := NewElement("a")
+	adLink.SetAttr("href", "/ad")
+	ads.AppendChild(adLink)
+	body.AppendChild(ads)
+
+	return doc
+}
+
+func TestTreeNavigation(t *testing.T) {
+	doc := buildTestTree()
+	main := doc.GetElementByID("main")
+	if main == nil || main.Tag != "div" {
+		t.Fatal("GetElementByID(main) failed")
+	}
+	if got := len(doc.ElementsByTag("a")); got != 3 {
+		t.Fatalf("got %d anchors, want 3", got)
+	}
+	if main.Parent.Tag != "body" {
+		t.Errorf("main parent = %s, want body", main.Parent.Tag)
+	}
+}
+
+func TestSelectors(t *testing.T) {
+	doc := buildTestTree()
+	cases := []struct {
+		sel  string
+		want int
+	}{
+		{"a", 3},
+		{"#main", 1},
+		{".nav", 1},
+		{"a.nav", 1},
+		{"div", 2},
+		{"div.ad-banner", 1},
+		{"div.wrap.content", 1},
+		{"span", 0},
+		{"a#missing", 0},
+		{"*", 10},
+	}
+	for _, c := range cases {
+		if got := len(doc.QuerySelectorAll(c.sel)); got != c.want {
+			t.Errorf("QuerySelectorAll(%q) = %d matches, want %d", c.sel, got, c.want)
+		}
+	}
+	if el := doc.QuerySelector("button#go"); el == nil || el.ID() != "go" {
+		t.Error("QuerySelector(button#go) failed")
+	}
+	if el := doc.QuerySelector("nope"); el != nil {
+		t.Error("QuerySelector(nope) should be nil")
+	}
+}
+
+func TestParseSelectorErrors(t *testing.T) {
+	for _, bad := range []string{"", "div > a", "a[href]", "div .x"} {
+		if _, err := ParseSelector(bad); err == nil {
+			t.Errorf("ParseSelector(%q) should fail", bad)
+		}
+	}
+}
+
+func TestInsertRemove(t *testing.T) {
+	doc := buildTestTree()
+	main := doc.GetElementByID("main")
+	ref := main.Children[1]
+	el := NewElement("span")
+	if err := main.InsertBefore(el, ref); err != nil {
+		t.Fatal(err)
+	}
+	if main.Children[1] != el {
+		t.Fatal("InsertBefore misplaced the node")
+	}
+	if el.Parent != main {
+		t.Fatal("InsertBefore did not set parent")
+	}
+	main.RemoveChild(el)
+	if el.Parent != nil || main.Children[1] != ref {
+		t.Fatal("RemoveChild failed")
+	}
+	if err := main.InsertBefore(el, NewElement("q")); err == nil {
+		t.Fatal("InsertBefore with foreign ref should fail")
+	}
+	// nil ref appends.
+	if err := main.InsertBefore(el, nil); err != nil {
+		t.Fatal(err)
+	}
+	if main.Children[len(main.Children)-1] != el {
+		t.Fatal("InsertBefore(nil) did not append")
+	}
+}
+
+func TestAppendChildReparents(t *testing.T) {
+	doc := buildTestTree()
+	main := doc.GetElementByID("main")
+	ads := doc.GetElementByID("ads")
+	link := ads.Children[0]
+	main.AppendChild(link)
+	if link.Parent != main {
+		t.Fatal("AppendChild did not reparent")
+	}
+	if len(ads.Children) != 0 {
+		t.Fatal("AppendChild did not detach from old parent")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	doc := buildTestTree()
+	cp := doc.Clone()
+	if cp.CountElements() != doc.CountElements() {
+		t.Fatal("clone element count differs")
+	}
+	cp.GetElementByID("main").SetAttr("id", "changed")
+	if doc.GetElementByID("main") == nil {
+		t.Fatal("mutating clone affected original")
+	}
+	if cp.Parent != nil {
+		t.Fatal("clone should be detached")
+	}
+}
+
+func TestHiddenAndVisibility(t *testing.T) {
+	doc := buildTestTree()
+	ads := doc.GetElementByID("ads")
+	ads.Hidden = true
+	adLink := ads.Children[0]
+	if adLink.Visible() {
+		t.Fatal("child of hidden element should be invisible")
+	}
+	links := doc.Links()
+	for _, href := range links {
+		if href == "/ad" {
+			t.Fatal("Links returned hidden anchor")
+		}
+	}
+	if len(links) != 2 {
+		t.Fatalf("Links = %v, want 2 visible", links)
+	}
+	inter := doc.Interactive()
+	for _, el := range inter {
+		if el.ID() == "ads" || (el.Tag == "a" && el.AttrOr("href", "") == "/ad") {
+			t.Fatal("Interactive returned hidden element")
+		}
+	}
+	// 2 visible anchors + button + input = 4
+	if len(inter) != 4 {
+		t.Fatalf("Interactive = %d elements, want 4", len(inter))
+	}
+}
+
+func TestInteractiveDataAction(t *testing.T) {
+	doc := buildTestTree()
+	div := NewElement("div")
+	div.SetAttr("data-action", "expand")
+	doc.Body().AppendChild(div)
+	found := false
+	for _, el := range doc.Interactive() {
+		if el == div {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("data-action element not interactive")
+	}
+}
+
+func TestTextContent(t *testing.T) {
+	doc := buildTestTree()
+	if got := doc.GetElementByID("main").TextContent(); got != "onetwoGo" {
+		t.Errorf("TextContent = %q", got)
+	}
+}
+
+func TestLinksDeduplicated(t *testing.T) {
+	doc := buildTestTree()
+	dup := NewElement("a")
+	dup.SetAttr("href", "/one")
+	doc.Body().AppendChild(dup)
+	links := doc.Links()
+	count := 0
+	for _, l := range links {
+		if l == "/one" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("duplicate hrefs not deduplicated: %v", links)
+	}
+}
+
+func TestScripts(t *testing.T) {
+	doc := buildTestTree()
+	ext := NewElement("script")
+	ext.SetAttr("src", "/app.js")
+	doc.Head().AppendChild(ext)
+	inline := NewElement("script")
+	inline.AppendChild(NewText("invoke Document.createElement 1;"))
+	doc.Body().AppendChild(inline)
+
+	scripts := doc.Scripts()
+	if len(scripts) != 2 {
+		t.Fatalf("got %d scripts, want 2", len(scripts))
+	}
+	if scripts[0].Src != "/app.js" || scripts[0].Inline != "" {
+		t.Errorf("script 0 = %+v", scripts[0])
+	}
+	if scripts[1].Src != "" || !strings.Contains(scripts[1].Inline, "createElement") {
+		t.Errorf("script 1 = %+v", scripts[1])
+	}
+}
+
+func TestPath(t *testing.T) {
+	doc := buildTestTree()
+	btn := doc.GetElementByID("go")
+	if got := btn.Path(); got != "html/body/div/button" {
+		t.Errorf("Path = %q", got)
+	}
+}
+
+func TestAttrOrder(t *testing.T) {
+	el := NewElement("div")
+	el.SetAttr("b", "1")
+	el.SetAttr("a", "2")
+	el.SetAttr("b", "3") // overwrite keeps position
+	names := el.AttrNames()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Errorf("AttrNames = %v", names)
+	}
+	if v, _ := el.Attr("B"); v != "3" {
+		t.Errorf("attr lookup case-insensitive failed: %q", v)
+	}
+}
+
+func TestWalkStops(t *testing.T) {
+	doc := buildTestTree()
+	visits := 0
+	doc.Walk(func(n *Node) bool {
+		visits++
+		return visits < 3
+	})
+	if visits != 3 {
+		t.Errorf("walk visited %d nodes after stop, want 3", visits)
+	}
+}
+
+func TestSelectorMatchProperty(t *testing.T) {
+	// Property: an element always matches the selector synthesized from
+	// its own tag, id, and classes.
+	tags := []string{"div", "a", "span", "section"}
+	check := func(tagIdx uint8, id string, hasClass bool) bool {
+		id = sanitizeIdent(id)
+		el := NewElement(tags[int(tagIdx)%len(tags)])
+		sel := el.Tag
+		if id != "" {
+			el.SetAttr("id", id)
+			sel += "#" + id
+		}
+		if hasClass {
+			el.SetAttr("class", "x")
+			sel += ".x"
+		}
+		parsed, err := ParseSelector(sel)
+		if err != nil {
+			return false
+		}
+		return parsed.Matches(el)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitizeIdent(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() > 8 {
+		return b.String()[:8]
+	}
+	return b.String()
+}
+
+func TestNodeString(t *testing.T) {
+	doc := buildTestTree()
+	if got := doc.String(); got != "#document" {
+		t.Errorf("document String = %q", got)
+	}
+	main := doc.GetElementByID("main")
+	s := main.String()
+	if !strings.Contains(s, `<div`) || !strings.Contains(s, `id="main"`) {
+		t.Errorf("element String = %q", s)
+	}
+}

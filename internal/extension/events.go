@@ -1,0 +1,105 @@
+package extension
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/blocking"
+	"repro/internal/browser"
+	"repro/internal/webscript"
+)
+
+// EventMeasurer implements the event-registration measurement the paper
+// describes but deliberately omits (§4.2.3): by watching addEventListener-
+// style registrations it can observe *some* event use, but it cannot see
+// legacy DOM0 registrations (onclick assignments) on non-singleton objects,
+// so its counts are a documented subset of true event usage. It exists so
+// the omission can be quantified: comparing its registrations against the
+// WebScript ground truth shows what fraction of event behaviour an
+// extension-based approach captures.
+type EventMeasurer struct {
+	mu sync.Mutex
+	// counts maps event name → registrations observed.
+	counts map[string]int64
+	// selectors maps event name → distinct selectors seen.
+	selectors map[string]map[string]bool
+}
+
+// NewEventMeasurer creates an empty event measurer.
+func NewEventMeasurer() *EventMeasurer {
+	return &EventMeasurer{
+		counts:    make(map[string]int64),
+		selectors: make(map[string]map[string]bool),
+	}
+}
+
+// Name implements browser.Extension.
+func (m *EventMeasurer) Name() string { return "event-measurer" }
+
+// OnBeforeRequest implements browser.Extension; the measurer never blocks.
+func (m *EventMeasurer) OnBeforeRequest(blocking.Request) bool { return false }
+
+// OnDOMReady hooks the page's registration callback, chaining any callback
+// already installed so multiple observers compose.
+func (m *EventMeasurer) OnDOMReady(p *browser.Page) {
+	prev := p.OnHandlerRegistered
+	p.OnHandlerRegistered = func(ev webscript.EventType, selector string) {
+		m.observe(ev, selector)
+		if prev != nil {
+			prev(ev, selector)
+		}
+	}
+}
+
+func (m *EventMeasurer) observe(ev webscript.EventType, selector string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name := ev.String()
+	m.counts[name]++
+	set := m.selectors[name]
+	if set == nil {
+		set = make(map[string]bool)
+		m.selectors[name] = set
+	}
+	if selector != "" {
+		set[selector] = true
+	}
+}
+
+// Registrations returns the per-event registration counts observed so far.
+func (m *EventMeasurer) Registrations() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.counts))
+	for k, v := range m.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Events returns the distinct event names observed, sorted.
+func (m *EventMeasurer) Events() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.counts))
+	for k := range m.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SelectorCount returns how many distinct selectors were bound for an event.
+func (m *EventMeasurer) SelectorCount(event string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.selectors[event])
+}
+
+// Reset clears the measurer.
+func (m *EventMeasurer) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counts = make(map[string]int64)
+	m.selectors = make(map[string]map[string]bool)
+}

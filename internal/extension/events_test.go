@@ -1,0 +1,90 @@
+package extension
+
+import (
+	"testing"
+
+	"repro/internal/webserver"
+
+	brws "repro/internal/browser"
+)
+
+func TestEventMeasurerObservesRegistrations(t *testing.T) {
+	web, bind, site := setup(t)
+	em := NewEventMeasurer()
+	b := brws.New(bind, webserver.DirectFetcher{Web: web}, em)
+	if _, err := b.Load("http://" + site.Domain + "/"); err != nil {
+		t.Fatal(err)
+	}
+	regs := em.Registrations()
+	if len(regs) == 0 {
+		t.Fatal("no event registrations observed (generated pages carry handlers)")
+	}
+	var total int64
+	for _, n := range regs {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("zero registrations")
+	}
+	if len(em.Events()) != len(regs) {
+		t.Error("Events and Registrations disagree")
+	}
+}
+
+func TestEventMeasurerComposesWithFeatureMeasurer(t *testing.T) {
+	web, bind, site := setup(t)
+	em := NewEventMeasurer()
+	fm := NewMeasurer()
+	b := brws.New(bind, webserver.DirectFetcher{Web: web}, fm, em)
+	if _, err := b.Load("http://" + site.Domain + "/"); err != nil {
+		t.Fatal(err)
+	}
+	if len(fm.Take()) == 0 {
+		t.Error("feature measurer starved by event measurer")
+	}
+	if len(em.Registrations()) == 0 {
+		t.Error("event measurer observed nothing alongside feature measurer")
+	}
+}
+
+func TestEventMeasurerChainsCallbacks(t *testing.T) {
+	web, bind, site := setup(t)
+	em1 := NewEventMeasurer()
+	em2 := NewEventMeasurer()
+	b := brws.New(bind, webserver.DirectFetcher{Web: web}, em1, em2)
+	if _, err := b.Load("http://" + site.Domain + "/"); err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := em1.Registrations(), em2.Registrations()
+	if len(r1) == 0 || len(r2) == 0 {
+		t.Fatal("chained observers did not both fire")
+	}
+	for ev, n := range r1 {
+		if r2[ev] != n {
+			t.Errorf("event %s: observer counts differ (%d vs %d)", ev, n, r2[ev])
+		}
+	}
+}
+
+func TestEventMeasurerSelectorsAndReset(t *testing.T) {
+	web, bind, site := setup(t)
+	em := NewEventMeasurer()
+	b := brws.New(bind, webserver.DirectFetcher{Web: web}, em)
+	if _, err := b.Load("http://" + site.Domain + "/"); err != nil {
+		t.Fatal(err)
+	}
+	// Click handlers in the generated web always carry selectors.
+	if em.SelectorCount("click") == 0 {
+		t.Error("no click selectors observed")
+	}
+	em.Reset()
+	if len(em.Registrations()) != 0 || em.SelectorCount("click") != 0 {
+		t.Error("reset did not clear state")
+	}
+	if em.OnBeforeRequest(blockingRequestStub()) {
+		t.Error("event measurer blocked a request")
+	}
+	if em.Name() == "" {
+		t.Error("unnamed extension")
+	}
+}

@@ -1,0 +1,75 @@
+// Package extension implements the paper's measuring extension (§4.2): a
+// browser extension that, injected before any page script runs, shims every
+// method on the interface prototypes with a counting wrapper (§4.2.1) and
+// registers Object.watch-style watchpoints on the writable properties of
+// singleton objects (§4.2.2). Everything the extension observes lands in a
+// per-visit count table the crawler drains after each page.
+package extension
+
+import (
+	"sync"
+
+	"repro/internal/blocking"
+	"repro/internal/browser"
+	"repro/internal/webapi"
+	"repro/internal/webidl"
+)
+
+// Measurer is the measuring extension. One Measurer serves one browser
+// worker; counts accumulate until Take is called.
+type Measurer struct {
+	mu     sync.Mutex
+	counts map[int]int64
+	// watchpoints counts installed property watchpoints on the last
+	// instrumented page (diagnostic).
+	watchpoints int
+}
+
+// NewMeasurer creates an empty measurer.
+func NewMeasurer() *Measurer {
+	return &Measurer{counts: make(map[int]int64)}
+}
+
+// Name implements browser.Extension.
+func (m *Measurer) Name() string { return "feature-measurer" }
+
+// OnBeforeRequest implements browser.Extension; the measurer never blocks.
+func (m *Measurer) OnBeforeRequest(blocking.Request) bool { return false }
+
+// OnDOMReady instruments the page: every prototype method is replaced with
+// a closure-wrapped shim that logs and forwards to the original, and every
+// watchable singleton property gets a write watchpoint.
+func (m *Measurer) OnDOMReady(p *browser.Page) {
+	p.Runtime.PatchAllMethods(func(f *webidl.Feature, original webapi.MethodFunc) webapi.MethodFunc {
+		return func(ctx *webapi.CallContext) {
+			m.observe(ctx.Feature.ID, int64(ctx.Count))
+			original(ctx) // preserve page functionality
+		}
+	})
+	m.watchpoints = p.Runtime.WatchAllSingletons(func(f *webidl.Feature, count int) {
+		m.observe(f.ID, int64(count))
+	})
+}
+
+func (m *Measurer) observe(id int, n int64) {
+	m.mu.Lock()
+	m.counts[id] += n
+	m.mu.Unlock()
+}
+
+// Take returns the accumulated counts and resets the measurer.
+func (m *Measurer) Take() map[int]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.counts
+	m.counts = make(map[int]int64)
+	return out
+}
+
+// Watchpoints reports how many property watchpoints the last instrumented
+// page received.
+func (m *Measurer) Watchpoints() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.watchpoints
+}

@@ -1,0 +1,108 @@
+package extension
+
+import (
+	"testing"
+
+	"repro/internal/blocking"
+
+	"repro/internal/synthweb"
+	"repro/internal/webapi"
+	"repro/internal/webidl"
+	"repro/internal/webserver"
+
+	brws "repro/internal/browser"
+)
+
+func setup(t testing.TB) (*synthweb.Web, *webapi.Bindings, *synthweb.Site) {
+	t.Helper()
+	reg, err := webidl.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	web, err := synthweb.Generate(reg, synthweb.Config{Sites: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range web.Sites {
+		if s.Failure == synthweb.FailNone {
+			return web, webapi.NewBindings(reg), s
+		}
+	}
+	t.Fatal("no measurable site")
+	return nil, nil, nil
+}
+
+func TestMeasurerObservesLoadActivity(t *testing.T) {
+	web, bind, site := setup(t)
+	m := NewMeasurer()
+	b := brws.New(bind, webserver.DirectFetcher{Web: web}, m)
+	page, err := b.Load("http://" + site.Domain + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := m.Take()
+	if len(counts) == 0 {
+		t.Fatal("measurer observed nothing")
+	}
+	// The measurer's observations must equal the runtime's native call
+	// counts: shims forward every call.
+	var measured, native int64
+	for id, n := range counts {
+		measured += n
+		native += page.Runtime.NativeCalls(web.Registry.Features[id])
+	}
+	if measured != native {
+		t.Errorf("measured %d calls, native %d", measured, native)
+	}
+	if m.Watchpoints() == 0 {
+		t.Error("no singleton watchpoints installed")
+	}
+}
+
+func TestTakeResets(t *testing.T) {
+	web, bind, site := setup(t)
+	m := NewMeasurer()
+	b := brws.New(bind, webserver.DirectFetcher{Web: web}, m)
+	if _, err := b.Load("http://" + site.Domain + "/"); err != nil {
+		t.Fatal(err)
+	}
+	first := m.Take()
+	if len(first) == 0 {
+		t.Fatal("first take empty")
+	}
+	if second := m.Take(); len(second) != 0 {
+		t.Fatalf("take did not reset: %d entries remain", len(second))
+	}
+}
+
+func TestMeasurerNeverBlocks(t *testing.T) {
+	m := NewMeasurer()
+	req := blocking.Request{URL: "http://adnet-00.example/x.js", PageHost: "a.example"}
+	if m.OnBeforeRequest(req) {
+		t.Fatal("measurer blocked a request")
+	}
+	if m.Name() == "" {
+		t.Fatal("measurer has no name")
+	}
+}
+
+func TestMeasurerCountsMatchGroundTruthKinds(t *testing.T) {
+	web, bind, site := setup(t)
+	m := NewMeasurer()
+	b := brws.New(bind, webserver.DirectFetcher{Web: web}, m)
+	if _, err := b.Load("http://" + site.Domain + "/"); err != nil {
+		t.Fatal(err)
+	}
+	counts := m.Take()
+	for id := range counts {
+		f := web.Registry.Features[id]
+		if !webapi.Measurable(f) {
+			t.Errorf("measurer observed unmeasurable feature %s", f.Name())
+		}
+	}
+}
+
+// blockingRequestStub builds a representative third-party script request.
+func blockingRequestStub() blocking.Request {
+	return blocking.Request{URL: "http://adnet-00.example/x.js", PageHost: "a.example", Type: blocking.ResourceScript}
+}

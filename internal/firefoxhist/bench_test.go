@@ -1,0 +1,32 @@
+package firefoxhist
+
+import (
+	"testing"
+
+	"repro/internal/webidl"
+)
+
+func BenchmarkNewHistory(b *testing.B) {
+	reg, err := webidl.Generate(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(reg)
+	}
+}
+
+func BenchmarkIntroduced(b *testing.B) {
+	reg, err := webidl.Generate(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := New(reg)
+	f := reg.TopFeature("AJAX")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Introduced(f)
+	}
+}

@@ -1,0 +1,179 @@
+package firefoxhist
+
+import (
+	"testing"
+
+	"repro/internal/standards"
+	"repro/internal/webidl"
+)
+
+func testHistory(t testing.TB) (*History, *webidl.Registry) {
+	t.Helper()
+	reg, err := webidl.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(reg), reg
+}
+
+func TestCalendarCount(t *testing.T) {
+	rels := calendar()
+	if len(rels) != ReleaseCount {
+		t.Fatalf("calendar has %d releases, want %d", len(rels), ReleaseCount)
+	}
+}
+
+func TestCalendarSortedAndUnique(t *testing.T) {
+	rels := calendar()
+	seen := map[string]bool{}
+	for i, r := range rels {
+		if seen[r.Version] {
+			t.Errorf("duplicate version %s", r.Version)
+		}
+		seen[r.Version] = true
+		if i > 0 && rels[i].Date.Before(rels[i-1].Date) {
+			t.Errorf("releases out of order at %d: %s before %s", i, rels[i], rels[i-1])
+		}
+	}
+}
+
+func TestCalendarSpan(t *testing.T) {
+	rels := calendar()
+	if got := rels[0].Version; got != "1.0" {
+		t.Errorf("first release = %s, want 1.0", got)
+	}
+	if y := rels[0].Date.Year(); y != 2004 {
+		t.Errorf("first release year = %d, want 2004", y)
+	}
+	last := rels[len(rels)-1]
+	if y := last.Date.Year(); y != 2016 {
+		t.Errorf("last release year = %d, want 2016", y)
+	}
+}
+
+func TestIntroducedMatchesBuildScan(t *testing.T) {
+	h, reg := testHistory(t)
+	// Linear scan must agree with the binary search for a sample.
+	for _, f := range reg.Features[:40] {
+		want := Release{}
+		for _, b := range h.Builds() {
+			if b.Has(f) {
+				want = b.Release
+				break
+			}
+		}
+		got := h.Introduced(f)
+		if got != want {
+			t.Errorf("%s: Introduced = %s, linear scan = %s", f.Name(), got, want)
+		}
+	}
+}
+
+func TestBuildsMonotone(t *testing.T) {
+	h, reg := testHistory(t)
+	// Once a feature appears it never disappears (vendors rarely remove
+	// features — the premise of the paper).
+	builds := h.Builds()
+	for _, f := range reg.Features[:60] {
+		present := false
+		for _, b := range builds {
+			has := b.Has(f)
+			if present && !has {
+				t.Fatalf("feature %s disappeared in %s", f.Name(), b.Release)
+			}
+			present = has
+		}
+		if !present {
+			t.Fatalf("feature %s never appeared", f.Name())
+		}
+	}
+}
+
+func TestTopFeatureLandsInIntroYear(t *testing.T) {
+	h, reg := testHistory(t)
+	for _, std := range standards.Catalog() {
+		top := reg.TopFeature(std.Abbrev)
+		if top == nil {
+			continue
+		}
+		got := h.Introduced(top).Date.Year()
+		// The first release at or after Jan 1 of the intro year may
+		// itself be dated in that year or the one before ties; the
+		// calendar guarantees a release in every year, so the year
+		// must match exactly.
+		if got != std.IntroYear {
+			t.Errorf("standard %s top feature introduced %d, want %d", std.Abbrev, got, std.IntroYear)
+		}
+	}
+}
+
+func TestAJAXOldVibrationNewer(t *testing.T) {
+	h, reg := testHistory(t)
+	ajax := h.Introduced(reg.TopFeature("AJAX"))
+	vib := h.Introduced(reg.TopFeature("V"))
+	slc := h.Introduced(reg.TopFeature("SLC"))
+	if !ajax.Date.Before(vib.Date) {
+		t.Errorf("AJAX (%s) should predate Vibration (%s)", ajax, vib)
+	}
+	// Paper §5.6: Vibration has been available longer than Selectors API
+	// Level 1.
+	if !vib.Date.Before(slc.Date) {
+		t.Errorf("Vibration (%s) should predate Selectors L1 (%s)", vib, slc)
+	}
+}
+
+func TestStandardDateUsesPopularity(t *testing.T) {
+	h, reg := testHistory(t)
+	fs := reg.OfStandard("HTML")
+	// Pretend the rank-5 feature is the most popular.
+	sites := func(f *webidl.Feature) int {
+		if f.ID == fs[5].ID {
+			return 100
+		}
+		return 1
+	}
+	rel, ok := h.StandardDate("HTML", sites)
+	if !ok {
+		t.Fatal("StandardDate(HTML) failed")
+	}
+	if want := h.Introduced(fs[5]); rel != want {
+		t.Errorf("StandardDate = %s, want %s (rank-5 intro)", rel, want)
+	}
+}
+
+func TestStandardDateTieFallsBackToEarliest(t *testing.T) {
+	h, reg := testHistory(t)
+	// A standard with zero usage dates to its earliest feature.
+	zero := func(*webidl.Feature) int { return 0 }
+	rel, ok := h.StandardDate("SW", zero)
+	if !ok {
+		t.Fatal("StandardDate(SW) failed")
+	}
+	earliest := h.Introduced(reg.OfStandard("SW")[0])
+	for _, f := range reg.OfStandard("SW") {
+		if r := h.Introduced(f); r.Date.Before(earliest.Date) {
+			earliest = r
+		}
+	}
+	if rel != earliest {
+		t.Errorf("StandardDate(SW, zero) = %s, want earliest %s", rel, earliest)
+	}
+}
+
+func TestReleasesReturnsCopy(t *testing.T) {
+	h, _ := testHistory(t)
+	a := h.Releases()
+	a[0].Version = "mutated"
+	b := h.Releases()
+	if b[0].Version == "mutated" {
+		t.Fatal("Releases returned shared storage")
+	}
+}
+
+func TestHasOutOfRange(t *testing.T) {
+	h, _ := testHistory(t)
+	b := h.Builds()[0]
+	if b.Has(&webidl.Feature{ID: -1}) || b.Has(&webidl.Feature{ID: 1 << 20}) {
+		t.Fatal("Has accepted out-of-range feature ID")
+	}
+}

@@ -1,0 +1,17 @@
+package gremlins
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkUnleash30s(b *testing.B) {
+	page := loadPage(b)
+	rng := rand.New(rand.NewSource(1))
+	h := Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Unleash(page, rng)
+	}
+}

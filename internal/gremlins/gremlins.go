@@ -1,0 +1,148 @@
+// Package gremlins implements monkey testing over simulated pages, after
+// the gremlins.js library the paper uses (§4.3.1): a horde of species that
+// click, scroll, and enter text on random elements for a fixed interaction
+// budget (30 virtual seconds per page in the paper's methodology).
+package gremlins
+
+import (
+	"math/rand"
+
+	"repro/internal/browser"
+	"repro/internal/dom"
+)
+
+// Species is one kind of gremlin.
+type Species interface {
+	// Name identifies the species.
+	Name() string
+	// Act performs one interaction; it reports whether it found
+	// something to do.
+	Act(p *browser.Page, rng *rand.Rand) bool
+}
+
+// Clicker clicks a random visible interactive element.
+type Clicker struct{}
+
+// Name implements Species.
+func (Clicker) Name() string { return "clicker" }
+
+// Act implements Species.
+func (Clicker) Act(p *browser.Page, rng *rand.Rand) bool {
+	els := p.Interactive()
+	if len(els) == 0 {
+		return false
+	}
+	p.Click(els[rng.Intn(len(els))])
+	return true
+}
+
+// Scroller scrolls the page.
+type Scroller struct{}
+
+// Name implements Species.
+func (Scroller) Name() string { return "scroller" }
+
+// Act implements Species.
+func (Scroller) Act(p *browser.Page, rng *rand.Rand) bool {
+	p.Scroll()
+	return true
+}
+
+// Typer enters random text into a random form field.
+type Typer struct{}
+
+// Name implements Species.
+func (Typer) Name() string { return "typer" }
+
+var typerWords = []string{"hello", "test", "gremlin", "query", "42", "zzz"}
+
+// Act implements Species.
+func (Typer) Act(p *browser.Page, rng *rand.Rand) bool {
+	var fields []*dom.Node
+	for _, el := range p.Interactive() {
+		if el.Tag == "input" || el.Tag == "textarea" {
+			fields = append(fields, el)
+		}
+	}
+	if len(fields) == 0 {
+		return false
+	}
+	p.Input(fields[rng.Intn(len(fields))], typerWords[rng.Intn(len(typerWords))])
+	return true
+}
+
+// Weighted pairs a species with its selection weight.
+type Weighted struct {
+	Species Species
+	Weight  float64
+}
+
+// Stats summarizes one horde run.
+type Stats struct {
+	// Actions is the total number of gremlin actions performed.
+	Actions int
+	// PerSpecies counts actions by species name.
+	PerSpecies map[string]int
+	// VirtualSeconds is the interaction time simulated.
+	VirtualSeconds float64
+}
+
+// Horde drives a weighted mix of species against a page for a fixed
+// virtual-time budget.
+type Horde struct {
+	// Species is the weighted species mix.
+	Species []Weighted
+	// Seconds is the interaction budget per page (paper: 30).
+	Seconds float64
+	// ActionsPerSecond is the gremlin action rate.
+	ActionsPerSecond float64
+}
+
+// Default returns the paper-shaped horde: clicking dominates, with
+// scrolling and text entry mixed in, 30 seconds at 2 actions per second.
+func Default() *Horde {
+	return &Horde{
+		Species: []Weighted{
+			{Clicker{}, 0.55},
+			{Scroller{}, 0.25},
+			{Typer{}, 0.20},
+		},
+		Seconds:          30,
+		ActionsPerSecond: 2,
+	}
+}
+
+// Unleash runs the horde against a page, advancing the page's virtual
+// clock as it goes (so timer handlers fire on schedule).
+func (h *Horde) Unleash(p *browser.Page, rng *rand.Rand) Stats {
+	stats := Stats{PerSpecies: make(map[string]int)}
+	if h.ActionsPerSecond <= 0 || h.Seconds <= 0 || len(h.Species) == 0 {
+		return stats
+	}
+	step := 1.0 / h.ActionsPerSecond
+	var totalWeight float64
+	for _, w := range h.Species {
+		totalWeight += w.Weight
+	}
+	for t := 0.0; t < h.Seconds; t += step {
+		x := rng.Float64() * totalWeight
+		var chosen Species
+		for _, w := range h.Species {
+			if x < w.Weight {
+				chosen = w.Species
+				break
+			}
+			x -= w.Weight
+		}
+		if chosen == nil {
+			chosen = h.Species[len(h.Species)-1].Species
+		}
+		if chosen.Act(p, rng) {
+			stats.Actions++
+			stats.PerSpecies[chosen.Name()]++
+		}
+		p.AdvanceClock(step)
+	}
+	stats.VirtualSeconds = h.Seconds
+	return stats
+}

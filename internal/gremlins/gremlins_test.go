@@ -1,0 +1,130 @@
+package gremlins
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/browser"
+	"repro/internal/synthweb"
+	"repro/internal/webapi"
+	"repro/internal/webidl"
+	"repro/internal/webserver"
+)
+
+func loadPage(t testing.TB) *browser.Page {
+	t.Helper()
+	reg, err := webidl.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	web, err := synthweb.Generate(reg, synthweb.Config{Sites: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := browser.New(webapi.NewBindings(reg), webserver.DirectFetcher{Web: web})
+	for _, s := range web.Sites {
+		if s.Failure != synthweb.FailNone {
+			continue
+		}
+		page, err := b.Load("http://" + s.Domain + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return page
+	}
+	t.Fatal("no loadable site")
+	return nil
+}
+
+func TestDefaultHordeShape(t *testing.T) {
+	h := Default()
+	if h.Seconds != 30 {
+		t.Errorf("default budget = %v, want 30 (paper §4.3.1)", h.Seconds)
+	}
+	var total float64
+	for _, w := range h.Species {
+		total += w.Weight
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Errorf("species weights sum to %v", total)
+	}
+}
+
+func TestUnleashActsAndAdvancesClock(t *testing.T) {
+	page := loadPage(t)
+	rng := rand.New(rand.NewSource(1))
+	stats := Default().Unleash(page, rng)
+	if stats.Actions == 0 {
+		t.Fatal("horde performed no actions")
+	}
+	if page.Clock < 29.9 {
+		t.Errorf("page clock = %v, want ~30", page.Clock)
+	}
+	if stats.VirtualSeconds != 30 {
+		t.Errorf("virtual seconds = %v", stats.VirtualSeconds)
+	}
+	if len(stats.PerSpecies) == 0 {
+		t.Error("no per-species stats")
+	}
+}
+
+func TestHordeTriggersNavigations(t *testing.T) {
+	page := loadPage(t)
+	rng := rand.New(rand.NewSource(2))
+	Default().Unleash(page, rng)
+	if len(page.NavAttempts) == 0 {
+		t.Error("30s of monkey testing produced no navigation attempts")
+	}
+}
+
+func TestHordeDeterministic(t *testing.T) {
+	p1 := loadPage(t)
+	p2 := loadPage(t)
+	s1 := Default().Unleash(p1, rand.New(rand.NewSource(7)))
+	s2 := Default().Unleash(p2, rand.New(rand.NewSource(7)))
+	if s1.Actions != s2.Actions {
+		t.Fatalf("same seed, different actions: %d vs %d", s1.Actions, s2.Actions)
+	}
+	if p1.Runtime.TotalNativeCalls() != p2.Runtime.TotalNativeCalls() {
+		t.Fatal("same seed, different feature activity")
+	}
+}
+
+func TestSpeciesMixRoughlyMatchesWeights(t *testing.T) {
+	page := loadPage(t)
+	h := &Horde{
+		Species: []Weighted{
+			{Clicker{}, 0.5},
+			{Scroller{}, 0.5},
+		},
+		Seconds:          200,
+		ActionsPerSecond: 2,
+	}
+	stats := h.Unleash(page, rand.New(rand.NewSource(3)))
+	clicks := stats.PerSpecies["clicker"]
+	scrolls := stats.PerSpecies["scroller"]
+	if clicks == 0 || scrolls == 0 {
+		t.Fatalf("species starved: clicks=%d scrolls=%d", clicks, scrolls)
+	}
+	ratio := float64(clicks) / float64(clicks+scrolls)
+	if ratio < 0.35 || ratio > 0.65 {
+		t.Errorf("click share %.2f, want ~0.5", ratio)
+	}
+}
+
+func TestEmptyHordeDoesNothing(t *testing.T) {
+	page := loadPage(t)
+	h := &Horde{}
+	stats := h.Unleash(page, rand.New(rand.NewSource(4)))
+	if stats.Actions != 0 {
+		t.Fatal("empty horde acted")
+	}
+}
+
+func TestTyperFindsFields(t *testing.T) {
+	page := loadPage(t)
+	rng := rand.New(rand.NewSource(5))
+	if !(Typer{}).Act(page, rng) {
+		t.Fatal("typer found no fields on a generated page (pages carry #q)")
+	}
+}

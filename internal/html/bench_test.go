@@ -1,0 +1,25 @@
+package html
+
+import "testing"
+
+func BenchmarkParseSamplePage(b *testing.B) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(samplePage)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(samplePage); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	doc, err := Parse(samplePage)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Render(doc)
+	}
+}

@@ -1,0 +1,62 @@
+package measure
+
+import (
+	"bytes"
+	"testing"
+)
+
+func benchLogLarge() *Log {
+	domains := make([]string, 500)
+	for i := range domains {
+		domains[i] = "site.example"
+	}
+	l := NewLog(1392, domains)
+	for site := 0; site < 500; site++ {
+		counts := map[int]int64{}
+		for f := 0; f < 60; f++ {
+			counts[(site*7+f*13)%1392] = int64(f + 1)
+		}
+		for round := 0; round < 5; round++ {
+			l.Record(CaseDefault, round, site, counts, 13)
+		}
+	}
+	return l
+}
+
+func BenchmarkFeatureSites(b *testing.B) {
+	l := benchLogLarge()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.FeatureSites(CaseDefault)
+	}
+}
+
+func BenchmarkWriteCSV(b *testing.B) {
+	l := benchLogLarge()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := l.WriteCSV(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadCSV(b *testing.B) {
+	l := benchLogLarge()
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadCSV(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

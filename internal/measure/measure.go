@@ -1,0 +1,346 @@
+// Package measure holds the survey's measurement records: which features
+// executed on which sites, per browser configuration and crawl round. It is
+// the analog of the CSV log the paper's measuring extension emits
+// ("blocking,example.com,Crypto.getRandomValues(),1" — Figure 2) plus the
+// aggregation structures the analysis needs.
+package measure
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Case identifies a browser configuration of the survey.
+type Case string
+
+const (
+	// CaseDefault is the unmodified browser (paper: "default").
+	CaseDefault Case = "default"
+	// CaseBlocking is AdBlock Plus + Ghostery (paper: "blocking").
+	CaseBlocking Case = "blocking"
+	// CaseAdBlock is AdBlock Plus alone (Figure 7's x-axis).
+	CaseAdBlock Case = "adblock"
+	// CaseGhostery is Ghostery alone (Figure 7's y-axis).
+	CaseGhostery Case = "ghostery"
+)
+
+// AllCases lists the survey configurations in canonical order.
+func AllCases() []Case {
+	return []Case{CaseDefault, CaseBlocking, CaseAdBlock, CaseGhostery}
+}
+
+// Bitset is a fixed-capacity bit vector keyed by feature ID.
+type Bitset []uint64
+
+// NewBitset allocates a bitset for n bits.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Get reports bit i.
+func (b Bitset) Get(i int) bool {
+	w := i / 64
+	if w >= len(b) {
+		return false
+	}
+	return b[w]&(1<<(uint(i)%64)) != 0
+}
+
+// Or merges other into b.
+func (b Bitset) Or(other Bitset) {
+	for i := range other {
+		if i < len(b) {
+			b[i] |= other[i]
+		}
+	}
+}
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Any reports whether any bit is set.
+func (b Bitset) Any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone copies the bitset.
+func (b Bitset) Clone() Bitset {
+	out := make(Bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+// RoundLog is one crawl round's per-site feature observations.
+type RoundLog struct {
+	// SiteFeatures[siteIndex] is the set of features observed on the
+	// site in this round.
+	SiteFeatures []Bitset
+}
+
+// CaseLog aggregates one browser configuration across rounds.
+type CaseLog struct {
+	Rounds []*RoundLog
+	// Invocations is the total number of logical feature invocations
+	// recorded (Table 1).
+	Invocations int64
+	// PagesVisited is the number of page visits performed (Table 1).
+	PagesVisited int64
+}
+
+// Log is the complete survey measurement.
+type Log struct {
+	// NumFeatures is the corpus size.
+	NumFeatures int
+	// Domains[siteIndex] is the site's domain.
+	Domains []string
+	// Measured[siteIndex] reports whether the domain could be measured;
+	// the paper lost 267 of 10,000 domains.
+	Measured []bool
+	// Cases holds per-configuration observations.
+	Cases map[Case]*CaseLog
+}
+
+// NewLog allocates a log for a corpus and site list.
+func NewLog(numFeatures int, domains []string) *Log {
+	l := &Log{
+		NumFeatures: numFeatures,
+		Domains:     append([]string(nil), domains...),
+		Measured:    make([]bool, len(domains)),
+		Cases:       make(map[Case]*CaseLog),
+	}
+	return l
+}
+
+// EnsureRound returns the round log, growing structures as needed.
+func (l *Log) EnsureRound(c Case, round int) *RoundLog {
+	cl := l.Cases[c]
+	if cl == nil {
+		cl = &CaseLog{}
+		l.Cases[c] = cl
+	}
+	for len(cl.Rounds) <= round {
+		rl := &RoundLog{SiteFeatures: make([]Bitset, len(l.Domains))}
+		cl.Rounds = append(cl.Rounds, rl)
+	}
+	return cl.Rounds[round]
+}
+
+// Record stores one site-round observation: the features (by ID) and their
+// logical invocation counts.
+func (l *Log) Record(c Case, round, site int, counts map[int]int64, pagesVisited int) {
+	rl := l.EnsureRound(c, round)
+	if rl.SiteFeatures[site] == nil {
+		rl.SiteFeatures[site] = NewBitset(l.NumFeatures)
+	}
+	cl := l.Cases[c]
+	for id, n := range counts {
+		rl.SiteFeatures[site].Set(id)
+		cl.Invocations += n
+	}
+	cl.PagesVisited += int64(pagesVisited)
+	l.Measured[site] = true
+}
+
+// SiteUnion returns the union of a site's feature sets across rounds for a
+// case, or nil if the site was never observed under the case.
+func (l *Log) SiteUnion(c Case, site int) Bitset {
+	cl := l.Cases[c]
+	if cl == nil {
+		return nil
+	}
+	var out Bitset
+	for _, rl := range cl.Rounds {
+		if sf := rl.SiteFeatures[site]; sf != nil {
+			if out == nil {
+				out = sf.Clone()
+			} else {
+				out.Or(sf)
+			}
+		}
+	}
+	return out
+}
+
+// FeatureSites returns, per feature ID, the number of sites on which the
+// feature was observed at least once under the case.
+func (l *Log) FeatureSites(c Case) []int {
+	out := make([]int, l.NumFeatures)
+	for site := range l.Domains {
+		u := l.SiteUnion(c, site)
+		if u == nil {
+			continue
+		}
+		for id := 0; id < l.NumFeatures; id++ {
+			if u.Get(id) {
+				out[id]++
+			}
+		}
+	}
+	return out
+}
+
+// MeasuredCount returns how many domains produced measurements.
+func (l *Log) MeasuredCount() int {
+	n := 0
+	for _, m := range l.Measured {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+// --- CSV serialization ---
+//
+// The format aggregates per (case, round, site, feature):
+//
+//	case,round,domain,featureID,used
+//
+// preceded by a header carrying corpus and site metadata.
+
+// WriteCSV serializes the log.
+func (l *Log) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#features,%d\n", l.NumFeatures)
+	fmt.Fprintf(bw, "#domains,%d\n", len(l.Domains))
+	for i, d := range l.Domains {
+		fmt.Fprintf(bw, "#domain,%d,%s,%v\n", i, d, l.Measured[i])
+	}
+	cases := make([]string, 0, len(l.Cases))
+	for c := range l.Cases {
+		cases = append(cases, string(c))
+	}
+	sort.Strings(cases)
+	for _, cs := range cases {
+		cl := l.Cases[Case(cs)]
+		fmt.Fprintf(bw, "#case,%s,%d,%d,%d\n", cs, len(cl.Rounds), cl.Invocations, cl.PagesVisited)
+		for round, rl := range cl.Rounds {
+			for site, sf := range rl.SiteFeatures {
+				// Empty-but-present observations matter: a site that
+				// was visited and used no features (a static site)
+				// is different from an unvisited site.
+				if sf == nil {
+					continue
+				}
+				var ids []string
+				for id := 0; id < l.NumFeatures; id++ {
+					if sf.Get(id) {
+						ids = append(ids, strconv.Itoa(id))
+					}
+				}
+				fmt.Fprintf(bw, "%s,%d,%d,%s\n", cs, round, site, strings.Join(ids, " "))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV deserializes a log written by WriteCSV.
+func ReadCSV(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	l := &Log{Cases: make(map[Case]*CaseLog)}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		switch {
+		case strings.HasPrefix(text, "#features,"):
+			n, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("measure: line %d: bad feature count", line)
+			}
+			l.NumFeatures = n
+		case strings.HasPrefix(text, "#domains,"):
+			n, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("measure: line %d: bad domain count", line)
+			}
+			l.Domains = make([]string, n)
+			l.Measured = make([]bool, n)
+		case strings.HasPrefix(text, "#domain,"):
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("measure: line %d: bad domain record", line)
+			}
+			idx, err := strconv.Atoi(parts[1])
+			if err != nil || idx < 0 || idx >= len(l.Domains) {
+				return nil, fmt.Errorf("measure: line %d: bad domain index", line)
+			}
+			l.Domains[idx] = parts[2]
+			l.Measured[idx] = parts[3] == "true"
+		case strings.HasPrefix(text, "#case,"):
+			if len(parts) != 5 {
+				return nil, fmt.Errorf("measure: line %d: bad case record", line)
+			}
+			cl := &CaseLog{}
+			var err error
+			if cl.Invocations, err = strconv.ParseInt(parts[3], 10, 64); err != nil {
+				return nil, fmt.Errorf("measure: line %d: bad invocation count", line)
+			}
+			if cl.PagesVisited, err = strconv.ParseInt(parts[4], 10, 64); err != nil {
+				return nil, fmt.Errorf("measure: line %d: bad page count", line)
+			}
+			rounds, err := strconv.Atoi(parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("measure: line %d: bad round count", line)
+			}
+			for i := 0; i < rounds; i++ {
+				cl.Rounds = append(cl.Rounds, &RoundLog{SiteFeatures: make([]Bitset, len(l.Domains))})
+			}
+			l.Cases[Case(parts[1])] = cl
+		default:
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("measure: line %d: bad observation %q", line, text)
+			}
+			cl := l.Cases[Case(parts[0])]
+			if cl == nil {
+				return nil, fmt.Errorf("measure: line %d: unknown case %q", line, parts[0])
+			}
+			round, err := strconv.Atoi(parts[1])
+			if err != nil || round < 0 || round >= len(cl.Rounds) {
+				return nil, fmt.Errorf("measure: line %d: bad round", line)
+			}
+			site, err := strconv.Atoi(parts[2])
+			if err != nil || site < 0 || site >= len(l.Domains) {
+				return nil, fmt.Errorf("measure: line %d: bad site", line)
+			}
+			sf := NewBitset(l.NumFeatures)
+			for _, idStr := range strings.Fields(parts[3]) {
+				id, err := strconv.Atoi(idStr)
+				if err != nil || id < 0 || id >= l.NumFeatures {
+					return nil, fmt.Errorf("measure: line %d: bad feature id %q", line, idStr)
+				}
+				sf.Set(id)
+			}
+			cl.Rounds[round].SiteFeatures[site] = sf
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if l.NumFeatures == 0 || l.Domains == nil {
+		return nil, fmt.Errorf("measure: log missing header records")
+	}
+	return l, nil
+}

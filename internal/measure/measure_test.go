@@ -1,0 +1,183 @@
+package measure
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(200)
+	if b.Any() {
+		t.Fatal("fresh bitset has bits set")
+	}
+	for _, i := range []int{0, 63, 64, 127, 199} {
+		b.Set(i)
+	}
+	if b.Count() != 5 {
+		t.Fatalf("count = %d, want 5", b.Count())
+	}
+	if !b.Get(64) || b.Get(65) {
+		t.Fatal("get wrong")
+	}
+	if b.Get(10_000) {
+		t.Fatal("out-of-range get should be false")
+	}
+}
+
+func TestBitsetOrAndClone(t *testing.T) {
+	a := NewBitset(128)
+	b := NewBitset(128)
+	a.Set(1)
+	b.Set(100)
+	c := a.Clone()
+	c.Or(b)
+	if !c.Get(1) || !c.Get(100) {
+		t.Fatal("or/clone wrong")
+	}
+	if a.Get(100) {
+		t.Fatal("clone aliased storage")
+	}
+}
+
+func TestBitsetProperty(t *testing.T) {
+	check := func(idxs []uint16) bool {
+		b := NewBitset(1 << 16)
+		seen := map[int]bool{}
+		for _, i := range idxs {
+			b.Set(int(i))
+			seen[int(i)] = true
+		}
+		if b.Count() != len(seen) {
+			return false
+		}
+		for i := range seen {
+			if !b.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildLog() *Log {
+	l := NewLog(100, []string{"a.example", "b.example", "c.example"})
+	l.Record(CaseDefault, 0, 0, map[int]int64{1: 5, 2: 1}, 13)
+	l.Record(CaseDefault, 1, 0, map[int]int64{3: 2}, 13)
+	l.Record(CaseDefault, 0, 1, map[int]int64{1: 1}, 13)
+	l.Record(CaseBlocking, 0, 0, map[int]int64{1: 2}, 13)
+	return l
+}
+
+func TestLogRecordAndUnion(t *testing.T) {
+	l := buildLog()
+	u := l.SiteUnion(CaseDefault, 0)
+	if u == nil || !u.Get(1) || !u.Get(2) || !u.Get(3) {
+		t.Fatalf("site union wrong: %v", u)
+	}
+	if u.Get(4) {
+		t.Fatal("phantom feature in union")
+	}
+	if l.SiteUnion(CaseDefault, 2) != nil {
+		t.Fatal("unvisited site has a union")
+	}
+	if l.SiteUnion("nope", 0) != nil {
+		t.Fatal("unknown case has a union")
+	}
+}
+
+func TestLogFeatureSites(t *testing.T) {
+	l := buildLog()
+	fs := l.FeatureSites(CaseDefault)
+	if fs[1] != 2 || fs[2] != 1 || fs[3] != 1 || fs[0] != 0 {
+		t.Fatalf("feature sites = %v", fs[:5])
+	}
+	fsB := l.FeatureSites(CaseBlocking)
+	if fsB[1] != 1 {
+		t.Fatalf("blocking feature sites = %v", fsB[:3])
+	}
+}
+
+func TestLogTotals(t *testing.T) {
+	l := buildLog()
+	cl := l.Cases[CaseDefault]
+	if cl.Invocations != 9 {
+		t.Errorf("invocations = %d, want 9", cl.Invocations)
+	}
+	if cl.PagesVisited != 39 {
+		t.Errorf("pages = %d, want 39", cl.PagesVisited)
+	}
+	if l.MeasuredCount() != 2 {
+		t.Errorf("measured = %d, want 2", l.MeasuredCount())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	l := buildLog()
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumFeatures != l.NumFeatures || len(got.Domains) != len(l.Domains) {
+		t.Fatal("header lost in round trip")
+	}
+	for i := range l.Domains {
+		if got.Domains[i] != l.Domains[i] || got.Measured[i] != l.Measured[i] {
+			t.Fatalf("domain %d mismatch", i)
+		}
+	}
+	for _, cs := range AllCases() {
+		want := l.Cases[cs]
+		have := got.Cases[cs]
+		if (want == nil) != (have == nil) {
+			t.Fatalf("case %s presence mismatch", cs)
+		}
+		if want == nil {
+			continue
+		}
+		if want.Invocations != have.Invocations || want.PagesVisited != have.PagesVisited {
+			t.Fatalf("case %s totals mismatch", cs)
+		}
+		for site := range l.Domains {
+			a := l.SiteUnion(cs, site)
+			b := got.SiteUnion(cs, site)
+			if (a == nil) != (b == nil) {
+				t.Fatalf("case %s site %d presence mismatch", cs, site)
+			}
+			if a != nil && a.Count() != b.Count() {
+				t.Fatalf("case %s site %d bits mismatch", cs, site)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                      // no header
+		"#features,xyz\n",       // bad count
+		"#features,10\nbogus\n", // bad observation
+		"#features,10\n#domains,1\n#domain,5,x,true\n",                   // bad index
+		"#features,10\n#domains,1\n#domain,0,x,true\nno,0,0,1\n",         // unknown case
+		"#features,10\n#domains,1\n#case,default,1,0,0\nq\n",             // malformed line
+		"#features,10\n#domains,1\n#case,default,1,0,0\ndefault,9,0,1\n", // bad round
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(bytes.NewBufferString(c)); err == nil {
+			t.Errorf("ReadCSV(%q) should fail", c)
+		}
+	}
+}
+
+func TestAllCasesOrder(t *testing.T) {
+	cs := AllCases()
+	if len(cs) != 4 || cs[0] != CaseDefault || cs[1] != CaseBlocking {
+		t.Fatalf("AllCases = %v", cs)
+	}
+}

@@ -1,0 +1,224 @@
+// Package report renders the paper's tables and figures as text from
+// analysis results: the same rows and series the paper prints, regenerated
+// from measured data. Figures are rendered as aligned data series (and
+// simple ASCII plots) suitable for diffing against EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/browserstats"
+	"repro/internal/crawler"
+	"repro/internal/cve"
+	"repro/internal/measure"
+	"repro/internal/standards"
+)
+
+// Figure1 renders the browser-complexity time series (standards families
+// and MLoC per browser, 2009–2015).
+func Figure1(w io.Writer) {
+	fmt.Fprintln(w, "Figure 1: Feature families and lines of code in popular browsers over time")
+	fmt.Fprintf(w, "%-6s %-10s", "year", "standards")
+	for _, b := range browserstats.Browsers() {
+		fmt.Fprintf(w, " %8s", b)
+	}
+	fmt.Fprintln(w)
+	for _, p := range browserstats.Series() {
+		fmt.Fprintf(w, "%-6d %-10d", p.Year, p.Standards)
+		for _, b := range browserstats.Browsers() {
+			fmt.Fprintf(w, " %7.1fM", p.MLoC[b])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "note: Chrome's 2013 drop reflects the Blink switch (-%.1f MLoC of WebKit code)\n",
+		browserstats.BlinkCutMLoC)
+}
+
+// Table1 renders the crawl-scale summary.
+func Table1(w io.Writer, stats *crawler.Stats) {
+	fmt.Fprintln(w, "Table 1: Amount of data gathered regarding JavaScript feature usage")
+	fmt.Fprintf(w, "%-36s %15d\n", "Domains measured", stats.DomainsMeasured)
+	fmt.Fprintf(w, "%-36s %15d\n", "Domains failed", stats.DomainsFailed)
+	fmt.Fprintf(w, "%-36s %12.1f da\n", "Total website interaction time", stats.InteractionSeconds/86400)
+	fmt.Fprintf(w, "%-36s %15d\n", "Web pages visited", stats.PagesVisited)
+	fmt.Fprintf(w, "%-36s %15d\n", "Feature invocations recorded", stats.Invocations)
+}
+
+// Figure3 renders the cumulative distribution of standard popularity.
+func Figure3(w io.Writer, a *analysis.Analysis) {
+	fmt.Fprintln(w, "Figure 3: Cumulative distribution of standard popularity")
+	fmt.Fprintf(w, "%-14s %s\n", "sites using", "portion of all standards")
+	for _, p := range a.StandardPopularityCDF() {
+		bar := strings.Repeat("#", int(p.Fraction*40))
+		fmt.Fprintf(w, "%-14.0f %6.1f%% %s\n", p.X, p.Fraction*100, bar)
+	}
+}
+
+// Figure4 renders standard popularity against block rate (the quadrant
+// scatter), one row per standard observed in the default case.
+func Figure4(w io.Writer, a *analysis.Analysis) {
+	fmt.Fprintln(w, "Figure 4: Popularity of standards versus their block rate")
+	fmt.Fprintf(w, "%-8s %10s %10s\n", "std", "sites", "blockrate")
+	rates := a.BlockRates(measure.CaseBlocking)
+	sites := a.StandardSites(measure.CaseDefault)
+	var rows []standards.Abbrev
+	for _, std := range standards.Catalog() {
+		if sites[std.Abbrev] > 0 {
+			rows = append(rows, std.Abbrev)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return sites[rows[i]] > sites[rows[j]] })
+	for _, ab := range rows {
+		fmt.Fprintf(w, "%-8s %10d %9.1f%%\n", ab, sites[ab], rates[ab].Rate*100)
+	}
+}
+
+// Figure5 renders site-weighted vs visit-weighted standard popularity.
+func Figure5(w io.Writer, points []analysis.VisitWeighted) {
+	fmt.Fprintln(w, "Figure 5: Portion of all websites vs portion of all website visits using a standard")
+	fmt.Fprintf(w, "%-8s %12s %12s %8s\n", "std", "site-frac", "visit-frac", "delta")
+	sorted := append([]analysis.VisitWeighted(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].SiteFraction > sorted[j].SiteFraction })
+	for _, p := range sorted {
+		if p.SiteFraction == 0 && p.VisitFraction == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-8s %11.1f%% %11.1f%% %+7.1f%%\n",
+			p.Standard, p.SiteFraction*100, p.VisitFraction*100,
+			(p.VisitFraction-p.SiteFraction)*100)
+	}
+}
+
+// Figure6 renders standard introduction date against popularity, bucketed by
+// block rate as in the paper's legend.
+func Figure6(w io.Writer, points []analysis.AgePoint) {
+	fmt.Fprintln(w, "Figure 6: Standard introduction date vs sites using the standard")
+	fmt.Fprintf(w, "%-8s %-12s %8s %10s %s\n", "std", "introduced", "sites", "blockrate", "bucket")
+	for _, p := range points {
+		bucket := "block rate < 33%"
+		switch {
+		case p.BlockRate > 0.66:
+			bucket = "66% < block rate"
+		case p.BlockRate > 0.33:
+			bucket = "33% < block rate < 66%"
+		}
+		fmt.Fprintf(w, "%-8s %-12s %8d %9.1f%% %s\n",
+			p.Standard, p.Introduced.Date.Format("2006-01-02"), p.Sites, p.BlockRate*100, bucket)
+	}
+}
+
+// Figure7 renders ad-only vs tracking-only block rates.
+func Figure7(w io.Writer, points []analysis.AdVsTracker) {
+	fmt.Fprintln(w, "Figure 7: Block rates with advertising-only vs tracking-only extensions")
+	fmt.Fprintf(w, "%-8s %10s %13s %8s %s\n", "std", "ad-rate", "tracker-rate", "sites", "leaning")
+	for _, p := range points {
+		leaning := "balanced"
+		switch {
+		case p.TrackerRate > p.AdRate+0.05:
+			leaning = "tracker-blocked"
+		case p.AdRate > p.TrackerRate+0.05:
+			leaning = "ad-blocked"
+		}
+		fmt.Fprintf(w, "%-8s %9.1f%% %12.1f%% %8d %s\n",
+			p.Standard, p.AdRate*100, p.TrackerRate*100, p.Sites, leaning)
+	}
+}
+
+// Table2 renders the per-standard popularity/block-rate/CVE table.
+func Table2(w io.Writer, rows []analysis.Table2Row) {
+	fmt.Fprintln(w, "Table 2: Popularity and block rate for standards used on >=1% of sites or with CVEs")
+	fmt.Fprintf(w, "%-50s %-8s %9s %7s %10s %6s\n",
+		"Standard Name", "Abbrev", "#Features", "#Sites", "BlockRate", "#CVEs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-50s %-8s %9d %7d %9.1f%% %6d\n",
+			truncate(r.Standard.Name, 50), r.Standard.Abbrev, r.Features, r.Sites, r.BlockRate*100, r.CVEs)
+	}
+}
+
+// Table3 renders the internal-validation round table.
+func Table3(w io.Writer, perRound []float64) {
+	fmt.Fprintln(w, "Table 3: Average number of new standards encountered per crawl round")
+	fmt.Fprintf(w, "%-8s %s\n", "Round #", "Avg. New Standards")
+	for round, avg := range perRound {
+		if round == 0 {
+			continue // the paper's table starts at round 2
+		}
+		fmt.Fprintf(w, "%-8d %.2f\n", round+1, avg)
+	}
+}
+
+// Figure8 renders the site-complexity probability density function.
+func Figure8(w io.Writer, complexity []int) {
+	fmt.Fprintln(w, "Figure 8: PDF of number of standards used by sites")
+	values := make([]float64, len(complexity))
+	maxV := 0.0
+	for i, c := range complexity {
+		values[i] = float64(c)
+		if values[i] > maxV {
+			maxV = values[i]
+		}
+	}
+	bins := analysis.Histogram(values, 0, maxV+1, int(maxV)+1)
+	for _, b := range bins {
+		if b.Count == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", int(b.Fraction*200))
+		fmt.Fprintf(w, "%3.0f standards %6.1f%% %s\n", b.Lo, b.Fraction*100, bar)
+	}
+}
+
+// Figure9 renders the external-validation histogram: number of domains by
+// how many new standards manual interaction surfaced.
+func Figure9(w io.Writer, deltas []int) {
+	fmt.Fprintln(w, "Figure 9: New standards observed during manual interaction (per domain)")
+	counts := map[int]int{}
+	maxD := 0
+	for _, d := range deltas {
+		counts[d]++
+		if d > maxD {
+			maxD = d
+		}
+	}
+	fmt.Fprintf(w, "%-22s %s\n", "new standards observed", "number of domains")
+	for d := 0; d <= maxD; d++ {
+		if counts[d] == 0 && d != 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-22d %d\n", d, counts[d])
+	}
+	if n := len(deltas); n > 0 {
+		fmt.Fprintf(w, "domains with no new standards: %.1f%%\n", float64(counts[0])/float64(n)*100)
+	}
+}
+
+// Headlines renders the §5.3 headline numbers for a log.
+func Headlines(w io.Writer, a *analysis.Analysis, db *cve.Database) {
+	def := a.Bands(measure.CaseDefault)
+	blk := a.Bands(measure.CaseBlocking)
+	fmt.Fprintln(w, "Headline results (paper §5.2-5.3):")
+	fmt.Fprintf(w, "  features in corpus:                      %d\n", def.Total)
+	fmt.Fprintf(w, "  never used (default):                    %d (paper: 689)\n", def.NeverUsed)
+	fmt.Fprintf(w, "  used on <1%% of sites (default):          %d (paper: 416)\n", def.UnderOnePct)
+	fmt.Fprintf(w, "  used on <1%% incl. never (default):       %.0f%% of corpus (paper: 79%%)\n",
+		float64(def.NeverUsed+def.UnderOnePct)/float64(def.Total)*100)
+	fmt.Fprintf(w, "  <1%% of sites under blocking:             %d = %.0f%% (paper: 1,159 = 83%%)\n",
+		blk.NeverUsed+blk.UnderOnePct,
+		float64(blk.NeverUsed+blk.UnderOnePct)/float64(blk.Total)*100)
+	fmt.Fprintf(w, "  standards observed (default):            %d of %d\n",
+		a.UsedStandards(measure.CaseDefault), standards.Count())
+	fmt.Fprintf(w, "  standards observed (blocking):           %d of %d\n",
+		a.UsedStandards(measure.CaseBlocking), standards.Count())
+	fmt.Fprintf(w, "  CVEs mapped to standards:                %d (paper: 111)\n", len(db.Mapped()))
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

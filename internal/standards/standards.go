@@ -1,0 +1,302 @@
+// Package standards catalogs the Web API standards studied in "Browser
+// Feature Usage on the Modern Web" (Snyder et al., IMC 2016).
+//
+// The paper identifies 74 Web API standards implemented in Firefox 46 plus a
+// catch-all Non-Standard bucket, for 75 categories covering 1,392
+// JavaScript-exposed features. This package embeds that catalog together
+// with the paper's per-standard ground truth (Table 2): instrumented feature
+// counts, default-case site counts on the Alexa 10k, block rates under
+// AdBlock Plus + Ghostery, and associated Firefox CVE counts. The synthetic
+// web generator consumes these values as calibration targets; the analysis
+// pipeline never reads them directly.
+package standards
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Abbrev is the short identifier the paper uses for a standard (e.g. "AJAX",
+// "H-C", "DOM1"). Abbreviations are unique within the catalog.
+type Abbrev string
+
+// Era buckets standards by when Firefox first shipped their most popular
+// feature. It drives Figure 6 (introduction date vs popularity).
+type Era int
+
+// TrackerAffinity expresses how much of a standard's blockable usage is
+// attributable to tracking scripts rather than advertising scripts. It
+// drives Figure 7 (ad-only vs tracking-only block rates).
+type TrackerAffinity float64
+
+// Standard describes one Web API standard and its paper ground truth.
+type Standard struct {
+	// Abbrev is the paper's short label (unique key).
+	Abbrev Abbrev
+	// Name is the full standard name as published.
+	Name string
+	// Features is the number of instrumented methods and properties the
+	// paper attributes to this standard (Table 2 column 3).
+	Features int
+	// Sites is the number of Alexa 10k sites that used at least one
+	// feature of the standard in the default case (Table 2 column 4).
+	Sites int
+	// BlockRate is the fraction of default-case sites on which no feature
+	// of the standard executed once AdBlock Plus and Ghostery were
+	// installed (Table 2 column 5, 0..1).
+	BlockRate float64
+	// CVEs is the number of Firefox CVEs from the prior three years
+	// associated with the standard's implementation (Table 2 column 6).
+	CVEs int
+	// IntroYear is the year Firefox first shipped the standard's most
+	// popular feature (Figure 6 x-axis).
+	IntroYear int
+	// Tracker is the standard's tracker affinity in [0,1]; 0 means its
+	// blockable usage is purely advertising, 1 purely tracking.
+	Tracker TrackerAffinity
+	// Fragmented marks standards whose most popular feature covers only
+	// part of the standard's site set (the paper calls out HTML: Plugins,
+	// whose top feature appears on 90 of the standard's 129 sites).
+	Fragmented bool
+	// SubStandard marks entries the paper carves out of a larger parent
+	// standard (e.g. HTML: Canvas out of the HTML living standard).
+	SubStandard bool
+	// Parent is the abbreviation of the parent standard for sub-standards.
+	Parent Abbrev
+}
+
+// NonStandard is the catch-all bucket for Firefox API endpoints that appear
+// in no published standard document.
+const NonStandard Abbrev = "NS"
+
+// catalog lists all 75 categories. Rows present in the paper's Table 2 carry
+// its exact numbers. The paper's Table 2 prints the abbreviation "H-WS" for
+// both HTML: Web Sockets and HTML: Web Storage; Figure 4 distinguishes them
+// as H-WB and H-WS, which is the disambiguation adopted here. Tail standards
+// absent from Table 2 (used on <1% of sites and carrying no CVEs) take
+// site-count targets consistent with the paper's aggregate claims: exactly
+// 11 standards never used and 28 used on at most 1% of sites.
+var catalog = []Standard{
+	// --- Table 2 rows (paper ground truth) ---
+	{Abbrev: "H-C", Name: "HTML: Canvas", Features: 54, Sites: 7061, BlockRate: 0.331, CVEs: 15, IntroYear: 2009, Tracker: 0.55, SubStandard: true, Parent: "HTML"},
+	{Abbrev: "SVG", Name: "Scalable Vector Graphics 1.1 (2nd Edition)", Features: 138, Sites: 1554, BlockRate: 0.868, CVEs: 14, IntroYear: 2006, Tracker: 0.60},
+	{Abbrev: "WEBGL", Name: "WebGL", Features: 136, Sites: 913, BlockRate: 0.607, CVEs: 13, IntroYear: 2011, Tracker: 0.55},
+	{Abbrev: "H-WW", Name: "HTML: Web Workers", Features: 2, Sites: 952, BlockRate: 0.599, CVEs: 11, IntroYear: 2009, Tracker: 0.45, SubStandard: true, Parent: "HTML"},
+	{Abbrev: "HTML5", Name: "HTML 5", Features: 69, Sites: 7077, BlockRate: 0.262, CVEs: 10, IntroYear: 2009, Tracker: 0.40},
+	{Abbrev: "WEBA", Name: "Web Audio API", Features: 52, Sites: 157, BlockRate: 0.811, CVEs: 10, IntroYear: 2013, Tracker: 0.60},
+	{Abbrev: "WRTC", Name: "WebRTC 1.0", Features: 28, Sites: 30, BlockRate: 0.292, CVEs: 8, IntroYear: 2013, Tracker: 0.90},
+	{Abbrev: "AJAX", Name: "XMLHttpRequest", Features: 13, Sites: 7957, BlockRate: 0.139, CVEs: 8, IntroYear: 2004, Tracker: 0.45},
+	{Abbrev: "DOM", Name: "DOM", Features: 36, Sites: 9088, BlockRate: 0.020, CVEs: 4, IntroYear: 2004, Tracker: 0.50},
+	{Abbrev: "IDB", Name: "Indexed Database API", Features: 48, Sites: 302, BlockRate: 0.563, CVEs: 3, IntroYear: 2011, Tracker: 0.70},
+	{Abbrev: "BE", Name: "Beacon", Features: 1, Sites: 2373, BlockRate: 0.836, CVEs: 2, IntroYear: 2014, Tracker: 0.85},
+	{Abbrev: "MCS", Name: "Media Capture and Streams", Features: 4, Sites: 54, BlockRate: 0.490, CVEs: 2, IntroYear: 2012, Tracker: 0.50},
+	{Abbrev: "WCR", Name: "Web Cryptography API", Features: 14, Sites: 7113, BlockRate: 0.678, CVEs: 2, IntroYear: 2014, Tracker: 0.90},
+	{Abbrev: "CSS-VM", Name: "CSSOM View Module", Features: 28, Sites: 4833, BlockRate: 0.190, CVEs: 1, IntroYear: 2008, Tracker: 0.40},
+	{Abbrev: "F", Name: "Fetch", Features: 21, Sites: 77, BlockRate: 0.333, CVEs: 1, IntroYear: 2015, Tracker: 0.55},
+	{Abbrev: "GP", Name: "Gamepad", Features: 1, Sites: 3, BlockRate: 0.0, CVEs: 1, IntroYear: 2014, Tracker: 0.50},
+	{Abbrev: "HRT", Name: "High Resolution Time, Level 2", Features: 1, Sites: 5769, BlockRate: 0.502, CVEs: 1, IntroYear: 2013, Tracker: 0.80},
+	{Abbrev: "H-WB", Name: "HTML: Web Sockets", Features: 2, Sites: 544, BlockRate: 0.646, CVEs: 1, IntroYear: 2010, Tracker: 0.50, SubStandard: true, Parent: "HTML"},
+	{Abbrev: "H-P", Name: "HTML: Plugins", Features: 10, Sites: 129, BlockRate: 0.293, CVEs: 1, IntroYear: 2005, Tracker: 0.65, Fragmented: true, SubStandard: true, Parent: "HTML"},
+	{Abbrev: "WN", Name: "Web Notifications", Features: 5, Sites: 16, BlockRate: 0.0, CVEs: 1, IntroYear: 2013, Tracker: 0.50},
+	{Abbrev: "RT", Name: "Resource Timing", Features: 3, Sites: 786, BlockRate: 0.575, CVEs: 1, IntroYear: 2012, Tracker: 0.80},
+	{Abbrev: "V", Name: "Vibration API", Features: 1, Sites: 1, BlockRate: 0.0, CVEs: 1, IntroYear: 2012, Tracker: 0.50},
+	{Abbrev: "BA", Name: "Battery Status API", Features: 2, Sites: 2579, BlockRate: 0.373, CVEs: 0, IntroYear: 2012, Tracker: 0.75},
+	{Abbrev: "CSS-CR", Name: "CSS Conditional Rules Module, Level 3", Features: 1, Sites: 449, BlockRate: 0.365, CVEs: 0, IntroYear: 2013, Tracker: 0.40},
+	{Abbrev: "CSS-FO", Name: "CSS Font Loading Module, Level 3", Features: 12, Sites: 2560, BlockRate: 0.335, CVEs: 0, IntroYear: 2014, Tracker: 0.45},
+	{Abbrev: "CSS-OM", Name: "CSS Object Model (CSSOM)", Features: 15, Sites: 8193, BlockRate: 0.126, CVEs: 0, IntroYear: 2008, Tracker: 0.40},
+	{Abbrev: "DOM1", Name: "DOM, Level 1 - Specification", Features: 47, Sites: 9139, BlockRate: 0.018, CVEs: 0, IntroYear: 2004, Tracker: 0.50},
+	{Abbrev: "DOM2-C", Name: "DOM, Level 2 - Core Specification", Features: 31, Sites: 8951, BlockRate: 0.030, CVEs: 0, IntroYear: 2004, Tracker: 0.50},
+	{Abbrev: "DOM2-E", Name: "DOM, Level 2 - Events Specification", Features: 7, Sites: 9077, BlockRate: 0.027, CVEs: 0, IntroYear: 2004, Tracker: 0.50},
+	{Abbrev: "DOM2-H", Name: "DOM, Level 2 - HTML Specification", Features: 11, Sites: 9003, BlockRate: 0.045, CVEs: 0, IntroYear: 2004, Tracker: 0.50},
+	{Abbrev: "DOM2-S", Name: "DOM, Level 2 - Style Specification", Features: 19, Sites: 8835, BlockRate: 0.043, CVEs: 0, IntroYear: 2004, Tracker: 0.45},
+	{Abbrev: "DOM2-T", Name: "DOM, Level 2 - Traversal and Range Specification", Features: 36, Sites: 4590, BlockRate: 0.334, CVEs: 0, IntroYear: 2005, Tracker: 0.50},
+	{Abbrev: "DOM3-C", Name: "DOM, Level 3 - Core Specification", Features: 10, Sites: 8495, BlockRate: 0.039, CVEs: 0, IntroYear: 2005, Tracker: 0.50},
+	{Abbrev: "DOM3-X", Name: "DOM, Level 3 - XPath Specification", Features: 9, Sites: 381, BlockRate: 0.791, CVEs: 0, IntroYear: 2005, Tracker: 0.65},
+	{Abbrev: "DOM-PS", Name: "DOM Parsing and Serialization", Features: 3, Sites: 2922, BlockRate: 0.607, CVEs: 0, IntroYear: 2012, Tracker: 0.55},
+	{Abbrev: "EC", Name: "execCommand", Features: 12, Sites: 2730, BlockRate: 0.240, CVEs: 0, IntroYear: 2005, Tracker: 0.45},
+	{Abbrev: "FA", Name: "File API", Features: 9, Sites: 1991, BlockRate: 0.580, CVEs: 0, IntroYear: 2010, Tracker: 0.55},
+	{Abbrev: "FULL", Name: "Fullscreen API", Features: 9, Sites: 383, BlockRate: 0.799, CVEs: 0, IntroYear: 2012, Tracker: 0.50},
+	{Abbrev: "GEO", Name: "Geolocation API", Features: 4, Sites: 174, BlockRate: 0.131, CVEs: 0, IntroYear: 2009, Tracker: 0.60},
+	{Abbrev: "H-CM", Name: "HTML: Channel Messaging", Features: 4, Sites: 5018, BlockRate: 0.774, CVEs: 0, IntroYear: 2010, Tracker: 0.40, SubStandard: true, Parent: "HTML"},
+	{Abbrev: "H-WS", Name: "HTML: Web Storage", Features: 8, Sites: 7875, BlockRate: 0.292, CVEs: 0, IntroYear: 2009, Tracker: 0.65, SubStandard: true, Parent: "HTML"},
+	{Abbrev: "HTML", Name: "HTML", Features: 195, Sites: 8980, BlockRate: 0.043, CVEs: 0, IntroYear: 2004, Tracker: 0.45},
+	{Abbrev: "H-HI", Name: "HTML: History Interface", Features: 6, Sites: 1729, BlockRate: 0.187, CVEs: 0, IntroYear: 2010, Tracker: 0.45, SubStandard: true, Parent: "HTML"},
+	{Abbrev: "MSE", Name: "Media Source Extensions", Features: 8, Sites: 1616, BlockRate: 0.375, CVEs: 0, IntroYear: 2013, Tracker: 0.45},
+	{Abbrev: "PT", Name: "Performance Timeline", Features: 2, Sites: 4690, BlockRate: 0.758, CVEs: 0, IntroYear: 2012, Tracker: 0.80},
+	{Abbrev: "PT2", Name: "Performance Timeline, Level 2", Features: 1, Sites: 1728, BlockRate: 0.937, CVEs: 0, IntroYear: 2015, Tracker: 0.90},
+	{Abbrev: "SEL", Name: "Selection API", Features: 14, Sites: 2575, BlockRate: 0.366, CVEs: 0, IntroYear: 2009, Tracker: 0.45},
+	{Abbrev: "SLC", Name: "Selectors API, Level 1", Features: 6, Sites: 8674, BlockRate: 0.077, CVEs: 0, IntroYear: 2013, Tracker: 0.45},
+	{Abbrev: "TC", Name: "Timing control for script-based animations", Features: 1, Sites: 3568, BlockRate: 0.769, CVEs: 0, IntroYear: 2011, Tracker: 0.50},
+	{Abbrev: "UIE", Name: "UI Events Specification", Features: 8, Sites: 1137, BlockRate: 0.568, CVEs: 0, IntroYear: 2013, Tracker: 0.15},
+	{Abbrev: "UTL", Name: "User Timing, Level 2", Features: 4, Sites: 3325, BlockRate: 0.337, CVEs: 0, IntroYear: 2013, Tracker: 0.75},
+	{Abbrev: "DOM4", Name: "DOM4", Features: 3, Sites: 5747, BlockRate: 0.376, CVEs: 0, IntroYear: 2012, Tracker: 0.50},
+	{Abbrev: NonStandard, Name: "Non-Standard", Features: 65, Sites: 8669, BlockRate: 0.245, CVEs: 0, IntroYear: 2004, Tracker: 0.55},
+
+	// --- Tail standards (not in Table 2: <1% of sites, no CVEs) ---
+	{Abbrev: "ALS", Name: "Ambient Light Events", Features: 2, Sites: 14, BlockRate: 1.000, CVEs: 0, IntroYear: 2013, Tracker: 0.85},
+	{Abbrev: "CO", Name: "Console API", Features: 12, Sites: 88, BlockRate: 0.180, CVEs: 0, IntroYear: 2010, Tracker: 0.35},
+	{Abbrev: "DO", Name: "DeviceOrientation Event Specification", Features: 6, Sites: 43, BlockRate: 0.420, CVEs: 0, IntroYear: 2011, Tracker: 0.70},
+	{Abbrev: "DU", Name: "UndoManager and DOM Transaction", Features: 4, Sites: 0, BlockRate: 0, CVEs: 0, IntroYear: 2012, Tracker: 0.50},
+	{Abbrev: "E", Name: "Encoding", Features: 8, Sites: 1, BlockRate: 0.0, CVEs: 0, IntroYear: 2014, Tracker: 0.50},
+	{Abbrev: "EME", Name: "Encrypted Media Extensions", Features: 14, Sites: 0, BlockRate: 0, CVEs: 0, IntroYear: 2015, Tracker: 0.50},
+	{Abbrev: "GIM", Name: "MediaStream Image Capture", Features: 6, Sites: 0, BlockRate: 0, CVEs: 0, IntroYear: 2015, Tracker: 0.50},
+	{Abbrev: "H-B", Name: "HTML: Base64 Utility Methods", Features: 2, Sites: 0, BlockRate: 0, CVEs: 0, IntroYear: 2009, Tracker: 0.50, SubStandard: true, Parent: "HTML"},
+	{Abbrev: "HTML51", Name: "HTML 5.1", Features: 22, Sites: 72, BlockRate: 0.350, CVEs: 0, IntroYear: 2015, Tracker: 0.45},
+	{Abbrev: "MCD", Name: "Media Capture Depth Stream Extensions", Features: 4, Sites: 0, BlockRate: 0, CVEs: 0, IntroYear: 2015, Tracker: 0.50},
+	{Abbrev: "MSR", Name: "MediaStream Recording", Features: 6, Sites: 0, BlockRate: 0, CVEs: 0, IntroYear: 2014, Tracker: 0.50},
+	{Abbrev: "NT", Name: "Navigation Timing", Features: 8, Sites: 95, BlockRate: 0.540, CVEs: 0, IntroYear: 2011, Tracker: 0.80},
+	{Abbrev: "PE", Name: "Pointer Events", Features: 12, Sites: 61, BlockRate: 0.250, CVEs: 0, IntroYear: 2015, Tracker: 0.25},
+	{Abbrev: "PL", Name: "Pointer Lock", Features: 4, Sites: 0, BlockRate: 0, CVEs: 0, IntroYear: 2013, Tracker: 0.50},
+	{Abbrev: "PV", Name: "Page Visibility", Features: 2, Sites: 37, BlockRate: 0.610, CVEs: 0, IntroYear: 2012, Tracker: 0.75},
+	{Abbrev: "SD", Name: "Shadow DOM", Features: 8, Sites: 0, BlockRate: 0, CVEs: 0, IntroYear: 2015, Tracker: 0.50},
+	{Abbrev: "SO", Name: "Screen Orientation", Features: 4, Sites: 9, BlockRate: 0.330, CVEs: 0, IntroYear: 2014, Tracker: 0.60},
+	{Abbrev: "SW", Name: "Service Workers", Features: 14, Sites: 0, BlockRate: 0, CVEs: 0, IntroYear: 2015, Tracker: 0.50},
+	{Abbrev: "TPE", Name: "Tracking Preference Expression (DNT)", Features: 2, Sites: 0, BlockRate: 0, CVEs: 0, IntroYear: 2013, Tracker: 0.85},
+	{Abbrev: "URL", Name: "URL", Features: 10, Sites: 54, BlockRate: 0.290, CVEs: 0, IntroYear: 2013, Tracker: 0.45},
+	{Abbrev: "WEBVTT", Name: "WebVTT: The Web Video Text Tracks Format", Features: 10, Sites: 0, BlockRate: 0, CVEs: 0, IntroYear: 2014, Tracker: 0.50},
+	{Abbrev: "DOM2-V", Name: "DOM, Level 2 - Views Specification", Features: 3, Sites: 2, BlockRate: 0.0, CVEs: 0, IntroYear: 2004, Tracker: 0.50},
+}
+
+// Catalog returns the full catalog of 75 categories (74 standards plus the
+// Non-Standard bucket) in a stable, deterministic order: descending by paper
+// site count, ties broken by abbreviation. The returned slice is a copy.
+func Catalog() []Standard {
+	out := make([]Standard, len(catalog))
+	copy(out, catalog)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sites != out[j].Sites {
+			return out[i].Sites > out[j].Sites
+		}
+		return out[i].Abbrev < out[j].Abbrev
+	})
+	return out
+}
+
+// ByAbbrev returns the standard with the given abbreviation.
+func ByAbbrev(a Abbrev) (Standard, bool) {
+	for _, s := range catalog {
+		if s.Abbrev == a {
+			return s, true
+		}
+	}
+	return Standard{}, false
+}
+
+// MustByAbbrev is ByAbbrev for abbreviations known to exist; it panics on a
+// missing entry, which indicates a programming error.
+func MustByAbbrev(a Abbrev) Standard {
+	s, ok := ByAbbrev(a)
+	if !ok {
+		panic(fmt.Sprintf("standards: unknown abbreviation %q", a))
+	}
+	return s
+}
+
+// Count returns the number of catalog categories (75 in the paper).
+func Count() int { return len(catalog) }
+
+// TotalFeatures returns the total number of instrumented features across the
+// catalog (1,392 in the paper).
+func TotalFeatures() int {
+	n := 0
+	for _, s := range catalog {
+		n += s.Features
+	}
+	return n
+}
+
+// NeverUsed returns the standards whose paper site count is zero (11 in the
+// paper).
+func NeverUsed() []Standard {
+	var out []Standard
+	for _, s := range Catalog() {
+		if s.Sites == 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// UsedAtMost returns the standards used on at most maxSites sites, including
+// never-used ones. With maxSites = 100 (1% of the Alexa 10k) the paper
+// reports 28 standards.
+func UsedAtMost(maxSites int) []Standard {
+	var out []Standard
+	for _, s := range Catalog() {
+		if s.Sites <= maxSites {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// MappedCVEs returns the total number of CVEs associated with any standard
+// (111 in the paper).
+func MappedCVEs() int {
+	n := 0
+	for _, s := range catalog {
+		n += s.CVEs
+	}
+	return n
+}
+
+// Abbrevs returns all abbreviations in Catalog order.
+func Abbrevs() []Abbrev {
+	cat := Catalog()
+	out := make([]Abbrev, len(cat))
+	for i, s := range cat {
+		out[i] = s.Abbrev
+	}
+	return out
+}
+
+// Validate checks catalog invariants. It is exercised by tests and by
+// consumers that want a startup sanity check.
+func Validate() error {
+	seen := make(map[Abbrev]bool, len(catalog))
+	for _, s := range catalog {
+		if s.Abbrev == "" || s.Name == "" {
+			return fmt.Errorf("standards: entry with empty abbrev or name: %+v", s)
+		}
+		if seen[s.Abbrev] {
+			return fmt.Errorf("standards: duplicate abbreviation %q", s.Abbrev)
+		}
+		seen[s.Abbrev] = true
+		if s.Features <= 0 {
+			return fmt.Errorf("standards: %s has non-positive feature count %d", s.Abbrev, s.Features)
+		}
+		if s.Sites < 0 || s.Sites > 10000 {
+			return fmt.Errorf("standards: %s has site count %d outside [0,10000]", s.Abbrev, s.Sites)
+		}
+		if s.BlockRate < 0 || s.BlockRate > 1 {
+			return fmt.Errorf("standards: %s has block rate %v outside [0,1]", s.Abbrev, s.BlockRate)
+		}
+		if s.Tracker < 0 || s.Tracker > 1 {
+			return fmt.Errorf("standards: %s has tracker affinity %v outside [0,1]", s.Abbrev, s.Tracker)
+		}
+		if s.IntroYear < 2004 || s.IntroYear > 2016 {
+			return fmt.Errorf("standards: %s has intro year %d outside [2004,2016]", s.Abbrev, s.IntroYear)
+		}
+		if s.SubStandard {
+			if _, ok := ByAbbrev(s.Parent); !ok {
+				return fmt.Errorf("standards: sub-standard %s has unknown parent %q", s.Abbrev, s.Parent)
+			}
+		}
+	}
+	if got := TotalFeatures(); got != 1392 {
+		return fmt.Errorf("standards: total features = %d, want 1392", got)
+	}
+	if got := len(catalog); got != 75 {
+		return fmt.Errorf("standards: catalog has %d entries, want 75", got)
+	}
+	if got := len(NeverUsed()); got != 11 {
+		return fmt.Errorf("standards: %d never-used standards, want 11", got)
+	}
+	if got := len(UsedAtMost(100)); got != 28 {
+		return fmt.Errorf("standards: %d standards at <=1%% of sites, want 28", got)
+	}
+	if got := MappedCVEs(); got != 111 {
+		return fmt.Errorf("standards: %d mapped CVEs, want 111", got)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package standards
+
+import (
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalogOrderDeterministic(t *testing.T) {
+	a := Catalog()
+	b := Catalog()
+	if len(a) != len(b) {
+		t.Fatalf("catalog lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Abbrev != b[i].Abbrev {
+			t.Fatalf("catalog order not deterministic at %d: %s vs %s", i, a[i].Abbrev, b[i].Abbrev)
+		}
+	}
+	// Descending by site count.
+	for i := 1; i < len(a); i++ {
+		if a[i].Sites > a[i-1].Sites {
+			t.Fatalf("catalog not sorted by sites at %d: %d > %d", i, a[i].Sites, a[i-1].Sites)
+		}
+	}
+}
+
+func TestCatalogIsCopy(t *testing.T) {
+	a := Catalog()
+	a[0].Sites = -1
+	b := Catalog()
+	if b[0].Sites == -1 {
+		t.Fatal("Catalog returned a shared slice; mutation leaked")
+	}
+}
+
+func TestByAbbrev(t *testing.T) {
+	cases := []struct {
+		abbrev Abbrev
+		name   string
+		sites  int
+	}{
+		{"AJAX", "XMLHttpRequest", 7957},
+		{"H-C", "HTML: Canvas", 7061},
+		{"V", "Vibration API", 1},
+		{"E", "Encoding", 1},
+		{"ALS", "Ambient Light Events", 14},
+		{NonStandard, "Non-Standard", 8669},
+	}
+	for _, c := range cases {
+		s, ok := ByAbbrev(c.abbrev)
+		if !ok {
+			t.Fatalf("ByAbbrev(%q) not found", c.abbrev)
+		}
+		if s.Name != c.name {
+			t.Errorf("ByAbbrev(%q).Name = %q, want %q", c.abbrev, s.Name, c.name)
+		}
+		if s.Sites != c.sites {
+			t.Errorf("ByAbbrev(%q).Sites = %d, want %d", c.abbrev, s.Sites, c.sites)
+		}
+	}
+	if _, ok := ByAbbrev("NOPE"); ok {
+		t.Fatal("ByAbbrev(NOPE) unexpectedly found")
+	}
+}
+
+func TestMustByAbbrevPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustByAbbrev did not panic on unknown abbreviation")
+		}
+	}()
+	MustByAbbrev("NOPE")
+}
+
+func TestPaperHeadlineNumbers(t *testing.T) {
+	if got := TotalFeatures(); got != 1392 {
+		t.Errorf("TotalFeatures = %d, want 1392", got)
+	}
+	if got := Count(); got != 75 {
+		t.Errorf("Count = %d, want 75", got)
+	}
+	if got := len(NeverUsed()); got != 11 {
+		t.Errorf("NeverUsed = %d standards, want 11", got)
+	}
+	if got := len(UsedAtMost(100)); got != 28 {
+		t.Errorf("UsedAtMost(100) = %d standards, want 28", got)
+	}
+	if got := MappedCVEs(); got != 111 {
+		t.Errorf("MappedCVEs = %d, want 111", got)
+	}
+}
+
+func TestSubStandardParents(t *testing.T) {
+	for _, s := range Catalog() {
+		if !s.SubStandard {
+			continue
+		}
+		p, ok := ByAbbrev(s.Parent)
+		if !ok {
+			t.Errorf("%s: parent %q not in catalog", s.Abbrev, s.Parent)
+			continue
+		}
+		if p.SubStandard {
+			t.Errorf("%s: parent %s is itself a sub-standard", s.Abbrev, p.Abbrev)
+		}
+	}
+}
+
+func TestAbbrevsMatchesCatalog(t *testing.T) {
+	cat := Catalog()
+	abbrevs := Abbrevs()
+	if len(abbrevs) != len(cat) {
+		t.Fatalf("Abbrevs length %d != catalog length %d", len(abbrevs), len(cat))
+	}
+	for i := range cat {
+		if abbrevs[i] != cat[i].Abbrev {
+			t.Errorf("Abbrevs[%d] = %s, want %s", i, abbrevs[i], cat[i].Abbrev)
+		}
+	}
+}
+
+func TestSixStandardsOver90Percent(t *testing.T) {
+	// Paper §5.2: six standards are used on over 90% of all websites.
+	// "All websites" means the 9,733 measured domains; with Table 2's
+	// site counts the six are DOM1, DOM, DOM2-E, DOM2-H, DOM2-C and HTML.
+	n := 0
+	for _, s := range Catalog() {
+		if s.Sites > 8900 {
+			n++
+		}
+	}
+	if n != 6 {
+		t.Errorf("standards used on >9000 sites = %d, want 6 (paper §5.2)", n)
+	}
+}
+
+func TestBlockedOver90Percent(t *testing.T) {
+	// Paper §5.4/§5.7: some standards (e.g. PT2, ALS) have block rates
+	// above 90%.
+	for _, a := range []Abbrev{"PT2", "ALS"} {
+		s := MustByAbbrev(a)
+		if s.BlockRate < 0.9 {
+			t.Errorf("%s block rate %v, want >= 0.9", a, s.BlockRate)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package synthweb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/standards"
+	"repro/internal/webapi"
+	"repro/internal/webscript"
+)
+
+// Closed-web support implements the paper's §7.3 future work: "The closed
+// web (i.e. web content and functionality that are only available after
+// logging in to a website) likely uses a broader set of features. With the
+// correct credentials, the monkey testing approach could be used to
+// evaluate those sites."
+//
+// A quarter of generated sites carry a members area under /account. Without
+// credentials the server answers with a login-wall page (no scripts), so
+// the open-web survey measures nothing there — exactly the paper's stated
+// measurement boundary. With the session token appended (the crawler's
+// WithCredentials mode), the members pages serve scripts exercising
+// standards from the closed-web pool below, which the open-web survey never
+// observes.
+
+// closedWebShare is the fraction of sites with a members area.
+const closedWebShare = 0.25
+
+// SessionToken is the query credential that unlocks members areas
+// ("?auth=<token>").
+const SessionToken = "member"
+
+// closedWebPool lists standards plausibly used only behind logins: media
+// DRM, service workers, media recording — the standards that are never
+// observed on the open web.
+var closedWebPool = []standards.Abbrev{"EME", "SW", "MSR", "GIM", "PL", "SD"}
+
+// HasMembersArea reports whether a site carries a closed members area.
+func (w *Web) HasMembersArea(site *Site) bool {
+	if site.Failure != FailNone {
+		return false
+	}
+	return (uint32(site.Index)*2654435761)%100 < uint32(closedWebShare*100)
+}
+
+// ClosedWebStandards returns the closed-web standard pool (for analysis and
+// examples).
+func ClosedWebStandards() []standards.Abbrev {
+	return append([]standards.Abbrev(nil), closedWebPool...)
+}
+
+// accountPaths are the members-area page paths.
+var accountPaths = []string{"/account", "/account/p1", "/account/p2"}
+
+// AccountPaths returns the members-area paths.
+func AccountPaths() []string { return append([]string(nil), accountPaths...) }
+
+// closedResource serves a members-area URL: the login wall without
+// credentials, the members page with them.
+func (w *Web) closedResource(site *Site, path, rawQuery string) (Resource, error) {
+	if !w.HasMembersArea(site) {
+		return Resource{}, &ErrNotFound{URL: "http://" + site.Domain + path}
+	}
+	authed := strings.Contains(rawQuery, "auth="+SessionToken)
+	if strings.HasSuffix(path, ".js") {
+		if !authed {
+			return Resource{}, &ErrNotFound{URL: "http://" + site.Domain + path}
+		}
+		return Resource{
+			ContentType: "application/javascript",
+			Body:        w.memberScript(site, strings.TrimSuffix(strings.TrimPrefix(path, "/account/static/"), ".js")),
+		}, nil
+	}
+	valid := false
+	for _, p := range accountPaths {
+		if p == path {
+			valid = true
+		}
+	}
+	if !valid {
+		return Resource{}, &ErrNotFound{URL: "http://" + site.Domain + path}
+	}
+	if !authed {
+		return Resource{ContentType: "text/html", Body: loginWallHTML(site)}, nil
+	}
+	return Resource{ContentType: "text/html", Body: w.memberPageHTML(site, path)}, nil
+}
+
+// loginWallHTML is the page unauthenticated visitors see: a form, no
+// scripts, no features — the open-web crawl passes through without
+// observations, as the paper's open-web scope dictates.
+func loginWallHTML(site *Site) string {
+	return fmt.Sprintf(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>%s — sign in</title></head>
+<body>
+<div id="content"><p>Please sign in to continue.</p>
+<form><input id="user" type="text" name="user"><input id="pass" type="text" name="pass">
+<button id="login-submit" data-action="login">Sign in</button></form>
+<a href="/">back</a></div>
+</body></html>`, site.Domain)
+}
+
+// memberPageHTML is the authenticated members page; its script URL carries
+// the session token so subresource fetches stay authenticated.
+func (w *Web) memberPageHTML(site *Site, path string) string {
+	key := "account"
+	if strings.HasPrefix(path, "/account/") {
+		key = "account-" + strings.TrimPrefix(path, "/account/")
+	}
+	var links strings.Builder
+	for _, p := range accountPaths {
+		if p != path {
+			fmt.Fprintf(&links, `<a href="%s?auth=%s">%s</a>`, p, SessionToken, p)
+		}
+	}
+	return fmt.Sprintf(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>%s — members</title>
+<script src="/account/static/%s.js?auth=%s"></script></head>
+<body>
+<nav>%s<a href="/">home</a></nav>
+<div id="content"><p>member content</p>
+<button id="act-0" data-action="play">Play</button>
+<button id="act-1" data-action="record">Record</button>
+<form><input id="q" type="text" name="q"></form></div>
+</body></html>`, site.Domain, key, SessionToken, links.String())
+}
+
+// memberScript generates the members-area WebScript: invocations of
+// closed-web-pool features, deterministic per (site, page).
+func (w *Web) memberScript(site *Site, key string) string {
+	rng := rand.New(rand.NewSource(w.Cfg.Seed ^ (int64(site.Index)+7)*7_368_787))
+	s := &webscript.Script{}
+	// 2-3 closed-web standards per site; one or two features each.
+	nStd := 2 + int(uint32(site.Index)%2)
+	for i := 0; i < nStd; i++ {
+		std := closedWebPool[(site.Index+i)%len(closedWebPool)]
+		fs := w.Registry.OfStandard(std)
+		used := 0
+		for _, f := range fs {
+			if !webapi.Measurable(f) {
+				continue
+			}
+			stmt := webscript.Invoke{Interface: f.Interface, Member: f.Member, Count: 1 + rng.Intn(4)}
+			if rng.Float64() < 0.7 {
+				s.Immediate = append(s.Immediate, stmt)
+			} else {
+				h := &webscript.Handler{Event: webscript.EventClick, Selector: "#act-0", Interval: 1}
+				h.Body = append(h.Body, stmt)
+				s.Handlers = append(s.Handlers, h)
+			}
+			used++
+			if used >= 2 {
+				break
+			}
+		}
+	}
+	if key != "account" {
+		// Deeper member pages also navigate among themselves.
+		h := &webscript.Handler{Event: webscript.EventClick, Selector: "#act-1", Interval: 1}
+		h.Body = append(h.Body, webscript.Navigate{Path: "/account?auth=" + SessionToken})
+		s.Handlers = append(s.Handlers, h)
+	}
+	return webscript.Format(s)
+}

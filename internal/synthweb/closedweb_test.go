@@ -1,0 +1,145 @@
+package synthweb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/html"
+	"repro/internal/webscript"
+)
+
+func memberSite(t testing.TB, w *Web) *Site {
+	t.Helper()
+	for _, s := range w.Sites {
+		if w.HasMembersArea(s) {
+			return s
+		}
+	}
+	t.Fatal("no member site generated")
+	return nil
+}
+
+func TestMembersAreaShare(t *testing.T) {
+	w := testWebOnce(t)
+	n := 0
+	for _, s := range w.Sites {
+		if w.HasMembersArea(s) {
+			n++
+		}
+	}
+	share := float64(n) / float64(len(w.Sites))
+	if share < 0.15 || share > 0.35 {
+		t.Errorf("members-area share %.2f, want ~%.2f", share, closedWebShare)
+	}
+}
+
+func TestLoginWallWithoutCredentials(t *testing.T) {
+	w := testWebOnce(t)
+	site := memberSite(t, w)
+	res, err := w.Resource("http://" + site.Domain + "/account")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Body, "Please sign in") {
+		t.Errorf("unauthenticated /account is not the login wall:\n%s", res.Body)
+	}
+	doc, err := html.Parse(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Scripts()) != 0 {
+		t.Error("login wall carries scripts; open-web survey would observe the closed web")
+	}
+}
+
+func TestMembersPageWithCredentials(t *testing.T) {
+	w := testWebOnce(t)
+	site := memberSite(t, w)
+	res, err := w.Resource("http://" + site.Domain + "/account?auth=" + SessionToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(res.Body, "Please sign in") {
+		t.Fatal("credentials did not unlock the members area")
+	}
+	doc, err := html.Parse(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts := doc.Scripts()
+	if len(scripts) == 0 {
+		t.Fatal("members page has no scripts")
+	}
+	js, err := w.Resource("http://" + site.Domain + scripts[0].Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := webscript.Parse(js.Body)
+	if err != nil {
+		t.Fatalf("member script does not parse: %v", err)
+	}
+	if len(parsed.Immediate)+len(parsed.Handlers) == 0 {
+		t.Fatal("member script is empty")
+	}
+	// The script must reference closed-web-pool interfaces.
+	foundPool := false
+	for _, std := range ClosedWebStandards() {
+		for _, f := range w.Registry.OfStandard(std) {
+			if strings.Contains(js.Body, f.Interface+"."+f.Member) {
+				foundPool = true
+			}
+		}
+	}
+	if !foundPool {
+		t.Errorf("member script uses no closed-web standards:\n%s", js.Body)
+	}
+}
+
+func TestMemberScriptRequiresAuth(t *testing.T) {
+	w := testWebOnce(t)
+	site := memberSite(t, w)
+	if _, err := w.Resource("http://" + site.Domain + "/account/static/account.js"); err == nil {
+		t.Fatal("member script served without credentials")
+	}
+}
+
+func TestNonMemberSiteHasNoAccount(t *testing.T) {
+	w := testWebOnce(t)
+	for _, s := range w.Sites {
+		if s.Failure != FailNone || w.HasMembersArea(s) {
+			continue
+		}
+		if _, err := w.Resource("http://" + s.Domain + "/account?auth=" + SessionToken); err == nil {
+			t.Fatal("non-member site served a members area")
+		}
+		return
+	}
+}
+
+func TestHomePageAdvertisesLogin(t *testing.T) {
+	w := testWebOnce(t)
+	site := memberSite(t, w)
+	res, err := w.Resource("http://" + site.Domain + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := html.Parse(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	login := doc.GetElementByID("login")
+	if login == nil || login.AttrOr("href", "") != "/account" {
+		t.Error("member site home page lacks the login link")
+	}
+}
+
+func TestClosedWebPoolNeverUsedOpenly(t *testing.T) {
+	w := testWebOnce(t)
+	// The closed-web pool consists of standards the open-web profile
+	// never assigns; otherwise the paper's never-used band would leak.
+	for _, std := range ClosedWebStandards() {
+		if got := w.GroundTruthSites(std); got != 0 {
+			t.Errorf("closed-web standard %s assigned to %d open-web sites", std, got)
+		}
+	}
+}

@@ -1,0 +1,475 @@
+package synthweb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/html"
+	"repro/internal/standards"
+	"repro/internal/webidl"
+	"repro/internal/webscript"
+)
+
+// Gating parameters: a slice of (site, standard) pairs hides all its
+// invocations behind interactions or rarely-visited leaf pages, which is
+// what gives the paper's Table 3 (new standards per crawl round) and
+// Figure 9 (human vs monkey) their non-trivial dynamics.
+const (
+	gatedShare        = 0.45 // fraction of eligible (site, standard) pairs that are gated
+	gatedMinSites     = 10   // standards on fewer target sites are never gated
+	humanOnlyShare    = 0.006
+	humanOnlyMinSites = 100
+)
+
+// sitePlan is the materialized form of one site: page tree, HTML, and the
+// per-party scripts every page serves.
+type sitePlan struct {
+	pages  map[string]*pagePlan // page key → plan
+	byPath map[string]*pagePlan // URL path → plan
+	// adHost/trackerHost/dualHost are the site's chosen third-party
+	// service domains.
+	partyHost map[Party]string
+}
+
+// pagePlan is one page of a site.
+type pagePlan struct {
+	key  string
+	path string
+	html string
+	// firstPartySource is the page's "/static/<key>.js" WebScript.
+	firstPartySource string
+	// thirdPartySource maps ad/tracker/dual parties to the script their
+	// domain serves for this page.
+	thirdPartySource map[Party]string
+}
+
+// pageKeys returns all page keys of the fixed site layout: a home page,
+// three sections, and five leaves per section. The crawler's 13-page BFS
+// visits home + 3 sections + 9 of the 15 leaves.
+func pageKeys() []string {
+	keys := []string{"home", "sec1", "sec2", "sec3"}
+	for s := 1; s <= 3; s++ {
+		for p := 1; p <= 5; p++ {
+			keys = append(keys, fmt.Sprintf("sec%dp%d", s, p))
+		}
+	}
+	return keys
+}
+
+func pathOfKey(key string) string {
+	if key == "home" {
+		return "/"
+	}
+	if len(key) == 4 { // secN
+		return "/" + key
+	}
+	return fmt.Sprintf("/%s/p%s", key[:4], key[5:]) // secNpM → /secN/pM
+}
+
+// placement is one statement's location in the site.
+type placement struct {
+	pageKey  string
+	event    webscript.EventType
+	selector string
+	interval int
+	load     bool // immediate execution at script parse time
+	stmt     webscript.Stmt
+}
+
+// buildPlan materializes a site deterministically from its profile
+// assignments.
+func (w *Web) buildPlan(site *Site) *sitePlan {
+	rng := rand.New(rand.NewSource(w.Cfg.Seed ^ (int64(site.Index)+1)*2654435761))
+	plan := &sitePlan{
+		pages:     make(map[string]*pagePlan),
+		byPath:    make(map[string]*pagePlan),
+		partyHost: make(map[Party]string),
+	}
+	plan.partyHost[PartyAd] = w.AdDomains[(site.Index*7)%len(w.AdDomains)]
+	plan.partyHost[PartyTracker] = w.TrackerDomains[(site.Index*13)%len(w.TrackerDomains)]
+	plan.partyHost[PartyDual] = w.DualDomains[(site.Index*17)%len(w.DualDomains)]
+
+	keys := pageKeys()
+	for _, k := range keys {
+		plan.pages[k] = &pagePlan{key: k, path: pathOfKey(k), thirdPartySource: make(map[Party]string)}
+		plan.byPath[plan.pages[k].path] = plan.pages[k]
+	}
+
+	placements := w.placeAssignments(site, rng)
+
+	// Assemble per (party, page) scripts.
+	type scriptKey struct {
+		party Party
+		page  string
+	}
+	scripts := make(map[scriptKey]*webscript.Script)
+	scriptOf := func(party Party, page string) *webscript.Script {
+		k := scriptKey{party, page}
+		if s, ok := scripts[k]; ok {
+			return s
+		}
+		s := &webscript.Script{}
+		scripts[k] = s
+		return s
+	}
+	handlerOf := func(s *webscript.Script, ev webscript.EventType, sel string, interval int) *webscript.Handler {
+		if interval == 0 {
+			interval = 1 // normalize to the parser's default
+		}
+		for _, h := range s.Handlers {
+			if h.Event == ev && h.Selector == sel && h.Interval == interval {
+				return h
+			}
+		}
+		h := &webscript.Handler{Event: ev, Selector: sel, Interval: interval}
+		s.Handlers = append(s.Handlers, h)
+		return h
+	}
+
+	for _, party := range []Party{PartyFirst, PartyAd, PartyTracker, PartyDual} {
+		pls := placements[party]
+		for _, pl := range pls {
+			s := scriptOf(party, pl.pageKey)
+			if pl.load {
+				s.Immediate = append(s.Immediate, pl.stmt)
+				continue
+			}
+			h := handlerOf(s, pl.event, pl.selector, pl.interval)
+			h.Body = append(h.Body, pl.stmt)
+		}
+	}
+
+	// First-party navigation affordances: a click handler per section
+	// page driving deeper navigation, plus one on home.
+	nav := scriptOf(PartyFirst, "home")
+	h := handlerOf(nav, webscript.EventClick, "#act-0", 1)
+	h.Body = append(h.Body, webscript.Navigate{Path: "/sec1/p2"})
+	for i := 1; i <= 3; i++ {
+		s := scriptOf(PartyFirst, fmt.Sprintf("sec%d", i))
+		h := handlerOf(s, webscript.EventClick, "#act-1", 1)
+		h.Body = append(h.Body, webscript.Navigate{Path: fmt.Sprintf("/sec%d/p%d", i, 1+rng.Intn(5))})
+	}
+	// Ad popup behaviour: clicking the ad element attempts an external
+	// navigation (intercepted by the crawler).
+	for _, party := range []Party{PartyAd, PartyDual} {
+		for _, k := range []string{"home", "sec1"} {
+			if s, ok := scripts[scriptKey{party, k}]; ok {
+				h := handlerOf(s, webscript.EventClick, "#ad-link", 1)
+				h.Body = append(h.Body, webscript.Navigate{Path: "http://" + plan.partyHost[party] + "/landing"})
+			}
+		}
+	}
+
+	// Serialize scripts and render pages.
+	for _, k := range keys {
+		page := plan.pages[k]
+		if s, ok := scripts[scriptKey{PartyFirst, k}]; ok {
+			page.firstPartySource = webscript.Format(s)
+		} else {
+			page.firstPartySource = "// no first-party behaviour on this page\n"
+		}
+		for _, party := range []Party{PartyAd, PartyTracker, PartyDual} {
+			if s, ok := scripts[scriptKey{party, k}]; ok {
+				page.thirdPartySource[party] = webscript.Format(s)
+			}
+		}
+		page.html = w.renderPage(site, plan, page, rng)
+	}
+	return plan
+}
+
+// placeAssignments maps each (feature, party) obligation to a concrete
+// placement, honouring the gating rules.
+func (w *Web) placeAssignments(site *Site, rng *rand.Rand) map[Party][]placement {
+	assigns := w.assign[site.Index]
+	out := make(map[Party][]placement)
+
+	// Group by standard, preserving deterministic order.
+	type group struct {
+		std     standards.Abbrev
+		party   Party
+		members []Assignment
+	}
+	var groups []*group
+	index := make(map[standards.Abbrev]*group)
+	for _, a := range assigns {
+		g, ok := index[a.Feature.Standard]
+		if !ok {
+			g = &group{std: a.Feature.Standard, party: a.Party}
+			index[a.Feature.Standard] = g
+			groups = append(groups, g)
+		}
+		g.members = append(g.members, a)
+	}
+
+	leafKeys := pageKeys()[4:]
+	sectionKeys := pageKeys()[1:4]
+
+	for _, g := range groups {
+		target := len(w.Profile.SitesUsing(g.std))
+		gated := target >= gatedMinSites && rng.Float64() < gatedShare
+		humanOnly := target >= humanOnlyMinSites && rng.Float64() < humanOnlyShare
+
+		for i, a := range g.members {
+			stmt := stmtFor(a, rng)
+			var pl placement
+			switch {
+			case humanOnly:
+				// Mouse-movement-gated: the monkey horde does
+				// not move the pointer, but human browsing
+				// does (Figure 9's outliers).
+				pl = placement{pageKey: "home", event: webscript.EventMove, stmt: stmt}
+			case gated:
+				pl = w.gatedPlacement(stmt, leafKeys, sectionKeys, rng)
+			case i == 0:
+				// The group's first instance loads on the home
+				// page, guaranteeing the standard is observable
+				// on every assigned site.
+				pl = placement{pageKey: "home", load: true, stmt: stmt}
+			default:
+				pl = w.freePlacement(stmt, rng)
+			}
+			out[g.party] = append(out[g.party], pl)
+		}
+	}
+	return out
+}
+
+// stmtFor converts an assignment into a statement with an invocation
+// multiplicity (hot loops batch many calls; Table 1's invocation total
+// comes from these counts).
+func stmtFor(a Assignment, rng *rand.Rand) webscript.Stmt {
+	if a.Feature.Kind == webidl.Method {
+		count := 1 + rng.Intn(12)
+		if rng.Float64() < 0.08 {
+			count += 20 + rng.Intn(220)
+		}
+		return webscript.Invoke{Interface: a.Feature.Interface, Member: a.Feature.Member, Count: count}
+	}
+	return webscript.SetProp{Interface: a.Feature.Interface, Member: a.Feature.Member}
+}
+
+// gatedPlacement hides a statement deep in the site: on a leaf page (only
+// observed in rounds whose BFS sample reaches that leaf) and often behind an
+// interaction on top. The per-round discovery probability of a gated
+// placement is roughly the leaf-visit rate (~0.6), which produces the
+// paper's Table 3 decay.
+func (w *Web) gatedPlacement(stmt webscript.Stmt, leafKeys, sectionKeys []string, rng *rand.Rand) placement {
+	leaf := leafKeys[rng.Intn(len(leafKeys))]
+	switch r := rng.Float64(); {
+	case r < 0.55:
+		// Leaf-page load.
+		return placement{pageKey: leaf, load: true, stmt: stmt}
+	case r < 0.80:
+		// Click on a specific button on a leaf page.
+		return placement{
+			pageKey:  leaf,
+			event:    webscript.EventClick,
+			selector: fmt.Sprintf("#act-%d", rng.Intn(4)),
+			stmt:     stmt,
+		}
+	case r < 0.90:
+		return placement{pageKey: leaf, event: webscript.EventInput, selector: "#q", stmt: stmt}
+	default:
+		// A slow timer on a leaf page: fires late in the 30-second
+		// dwell.
+		return placement{pageKey: leaf, event: webscript.EventTimer, interval: 17, stmt: stmt}
+	}
+}
+
+// freePlacement spreads non-critical instances across the site.
+func (w *Web) freePlacement(stmt webscript.Stmt, rng *rand.Rand) placement {
+	keys := pageKeys()
+	var pageKey string
+	switch r := rng.Float64(); {
+	case r < 0.45:
+		pageKey = "home"
+	case r < 0.75:
+		pageKey = keys[1+rng.Intn(3)] // a section
+	default:
+		pageKey = keys[4+rng.Intn(len(keys)-4)] // a leaf
+	}
+	switch r := rng.Float64(); {
+	case r < 0.70:
+		return placement{pageKey: pageKey, load: true, stmt: stmt}
+	case r < 0.82:
+		return placement{pageKey: pageKey, event: webscript.EventClick, selector: fmt.Sprintf("#act-%d", rng.Intn(4)), stmt: stmt}
+	case r < 0.90:
+		return placement{pageKey: pageKey, event: webscript.EventScroll, stmt: stmt}
+	case r < 0.96:
+		return placement{pageKey: pageKey, event: webscript.EventInput, selector: "#q", stmt: stmt}
+	default:
+		ivals := []int{3, 7, 11}
+		return placement{pageKey: pageKey, event: webscript.EventTimer, interval: ivals[rng.Intn(len(ivals))], stmt: stmt}
+	}
+}
+
+// renderPage builds the page's HTML document.
+func (w *Web) renderPage(site *Site, plan *sitePlan, page *pagePlan, rng *rand.Rand) string {
+	doc := dom.NewDocument()
+	htmlEl := dom.NewElement("html")
+	doc.AppendChild(htmlEl)
+
+	head := dom.NewElement("head")
+	htmlEl.AppendChild(head)
+	meta := dom.NewElement("meta")
+	meta.SetAttr("charset", "utf-8")
+	head.AppendChild(meta)
+	title := dom.NewElement("title")
+	title.AppendChild(dom.NewText(fmt.Sprintf("%s — %s", site.Domain, page.key)))
+	head.AppendChild(title)
+
+	appScript := dom.NewElement("script")
+	appScript.SetAttr("src", "/static/"+page.key+".js")
+	head.AppendChild(appScript)
+
+	body := dom.NewElement("body")
+	htmlEl.AppendChild(body)
+
+	// Navigation links.
+	navEl := dom.NewElement("nav")
+	body.AppendChild(navEl)
+	for _, href := range w.pageLinks(page.key, rng) {
+		a := dom.NewElement("a")
+		a.SetAttr("href", href)
+		a.AppendChild(dom.NewText(linkLabel(href)))
+		navEl.AppendChild(a)
+	}
+	// Member sites advertise their login wall from the home page; the
+	// open-web crawl hits the wall, a credentialed crawl goes through
+	// (paper §7.3).
+	if page.key == "home" && w.HasMembersArea(site) {
+		login := dom.NewElement("a")
+		login.SetAttr("href", "/account")
+		login.SetAttr("id", "login")
+		login.AppendChild(dom.NewText("Sign in"))
+		navEl.AppendChild(login)
+	}
+
+	// Content with action buttons and a search field.
+	mainEl := dom.NewElement("div")
+	mainEl.SetAttr("id", "content")
+	body.AppendChild(mainEl)
+	for i := 0; i < 2+rng.Intn(3); i++ {
+		p := dom.NewElement("p")
+		p.AppendChild(dom.NewText(loremText(rng)))
+		mainEl.AppendChild(p)
+	}
+	for i := 0; i < 4; i++ {
+		btn := dom.NewElement("button")
+		btn.SetAttr("id", fmt.Sprintf("act-%d", i))
+		btn.SetAttr("data-action", fmt.Sprintf("action-%d", i))
+		btn.AppendChild(dom.NewText(fmt.Sprintf("Action %d", i)))
+		mainEl.AppendChild(btn)
+	}
+	form := dom.NewElement("form")
+	input := dom.NewElement("input")
+	input.SetAttr("id", "q")
+	input.SetAttr("type", "text")
+	input.SetAttr("name", "q")
+	form.AppendChild(input)
+	mainEl.AppendChild(form)
+
+	// Third-party script tags and the ad container.
+	hasAd := false
+	for _, party := range []Party{PartyAd, PartyTracker, PartyDual} {
+		src, ok := page.thirdPartySource[party]
+		if !ok || src == "" {
+			continue
+		}
+		tag := dom.NewElement("script")
+		tag.SetAttr("src", fmt.Sprintf("http://%s/tags/%s/%s.js", plan.partyHost[party], site.Domain, page.key))
+		body.AppendChild(tag)
+		if party == PartyAd || party == PartyDual {
+			hasAd = true
+		}
+	}
+	if hasAd {
+		ad := dom.NewElement("div")
+		ad.SetAttr("class", "ad-banner")
+		adLink := dom.NewElement("a")
+		adLink.SetAttr("id", "ad-link")
+		adLink.SetAttr("href", "http://"+plan.partyHost[PartyAd]+"/landing")
+		adLink.AppendChild(dom.NewText("Sponsored offer"))
+		ad.AppendChild(adLink)
+		body.AppendChild(ad)
+	}
+
+	return html.Render(doc)
+}
+
+// pageLinks returns the local (and one external) links of a page.
+func (w *Web) pageLinks(key string, rng *rand.Rand) []string {
+	var links []string
+	switch {
+	case key == "home":
+		links = append(links, "/sec1", "/sec2", "/sec3")
+		links = append(links, fmt.Sprintf("/sec%d/p%d", 1+rng.Intn(3), 1+rng.Intn(5)))
+		links = append(links, fmt.Sprintf("/sec%d/p%d", 1+rng.Intn(3), 1+rng.Intn(5)))
+	case strings.HasPrefix(key, "sec") && len(key) == 4:
+		for p := 1; p <= 5; p++ {
+			links = append(links, fmt.Sprintf("/%s/p%d", key, p))
+		}
+		links = append(links, "/")
+	default: // a leaf: cross-links into other sections keep the BFS
+		// candidate pool rich, as real article pages link sideways
+		sec := key[:4]
+		links = append(links, "/"+sec, "/", "/sec1", "/sec2", "/sec3")
+		links = append(links, fmt.Sprintf("/%s/p%d", sec, 1+rng.Intn(5)))
+		links = append(links, fmt.Sprintf("/%s/p%d", sec, 1+rng.Intn(5)))
+		links = append(links, fmt.Sprintf("/sec%d/p%d", 1+rng.Intn(3), 1+rng.Intn(5)))
+	}
+	links = append(links, "http://partner-offers.example/deals")
+	return dedupe(links)
+}
+
+func dedupe(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func linkLabel(href string) string {
+	href = strings.TrimPrefix(href, "http://")
+	href = strings.Trim(href, "/")
+	if href == "" {
+		return "home"
+	}
+	return strings.ReplaceAll(href, "/", " ")
+}
+
+var loremWords = []string{
+	"latency", "budget", "render", "stream", "cache", "signal", "vector",
+	"packet", "session", "module", "layout", "metric", "canvas", "widget",
+	"origin", "socket", "beacon", "cipher", "frame", "worker",
+}
+
+func loremText(rng *rand.Rand) string {
+	n := 8 + rng.Intn(18)
+	words := make([]string, n)
+	for i := range words {
+		words[i] = loremWords[rng.Intn(len(loremWords))]
+	}
+	return strings.Join(words, " ") + "."
+}
+
+// PagePaths returns the URL paths of the site layout in BFS-friendly order
+// (used by tests and the crawler's validation tooling).
+func PagePaths() []string {
+	keys := pageKeys()
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = pathOfKey(k)
+	}
+	sort.Strings(out[1:]) // keep "/" first, rest sorted for determinism
+	return out
+}

@@ -1,0 +1,440 @@
+// Package synthweb deterministically generates the synthetic Alexa-10k web
+// the survey crawls: ranked sites with page trees, first-party application
+// scripts, and third-party advertising/tracking scripts, calibrated so that
+// dynamically measuring the generated web reproduces the paper's per-standard
+// ground truth (Table 2) and aggregate feature-popularity claims (§5.3).
+//
+// Calibration happens in two stages. The Profile assigns every corpus
+// feature a target site count and every (site, standard) pair a party
+// attribution (first-party, ad network, tracker, or dual); materialization
+// then emits concrete HTML and WebScript whose dynamic behaviour realizes
+// the profile. The analysis pipeline only ever sees the crawler's
+// measurements — never the profile.
+package synthweb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/standards"
+	"repro/internal/webapi"
+	"repro/internal/webidl"
+)
+
+// Party attributes a (site, standard) usage to the script origin carrying
+// it. The attribution is exclusive per (site, standard): all of a standard's
+// invocations on a given site come from one party class, which is what makes
+// the paper's block-rate definition (no feature of the standard executes
+// under blocking) reproducible.
+type Party int8
+
+const (
+	// PartyFirst is the site's own application code (never blocked).
+	PartyFirst Party = iota
+	// PartyAd is an advertising network script (blocked by AdBlock Plus).
+	PartyAd
+	// PartyTracker is a tracking service script (blocked by Ghostery).
+	PartyTracker
+	// PartyDual is an ad-and-tracking script (blocked by either).
+	PartyDual
+)
+
+func (p Party) String() string {
+	switch p {
+	case PartyFirst:
+		return "first-party"
+	case PartyAd:
+		return "ad"
+	case PartyTracker:
+		return "tracker"
+	case PartyDual:
+		return "ad+tracker"
+	default:
+		return fmt.Sprintf("Party(%d)", int8(p))
+	}
+}
+
+// Paper band targets (§5.3): of the 1,392 corpus features, 689 are never
+// used on the Alexa 10k and a further 416 are used on less than 1% of
+// sites.
+const (
+	NeverUsedTarget    = 689
+	UnderOnePctTarget  = 416
+	dualBlockedShare   = 0.30 // share of a standard's blocked sites served by dual-party scripts
+	staticSiteShare    = 0.03 // sites that use little to no JavaScript (Figure 8's zero mode)
+	featureDecay       = 0.60 // geometric decay of feature popularity within a standard
+	fragmentedTopShare = 0.70 // top-feature coverage for "fragmented" standards (e.g. HTML: Plugins)
+)
+
+// Profile is the calibrated ground-truth plan for one generated web.
+type Profile struct {
+	// SiteCount is the number of generated sites (the paper's n=10,000).
+	SiteCount int
+	// FeatureSites[featureID] is the target number of measured sites
+	// using the feature.
+	FeatureSites []int
+	// stdSites[abbrev] lists the site indices using the standard.
+	stdSites map[standards.Abbrev][]int
+	// party[abbrev][siteIndex] is the (site, standard) attribution.
+	party map[standards.Abbrev]map[int]Party
+	// featureRuns[featureID] is the start offset of the feature's
+	// contiguous run within its standard's site permutation.
+	featureRuns []int
+	reg         *webidl.Registry
+}
+
+// NewProfile calibrates a profile against the standards catalog.
+// measurableSites lists the indices of sites that can be measured (failing
+// domains excluded); totalSites is the full ranking size, which is the
+// denominator the paper's Table 2 counts scale against.
+func NewProfile(reg *webidl.Registry, measurableSites []int, totalSites int, seed int64) *Profile {
+	rng := rand.New(rand.NewSource(seed))
+	n := len(measurableSites)
+	p := &Profile{
+		SiteCount:    totalSites,
+		FeatureSites: make([]int, len(reg.Features)),
+		featureRuns:  make([]int, len(reg.Features)),
+		stdSites:     make(map[standards.Abbrev][]int),
+		party:        make(map[standards.Abbrev]map[int]Party),
+		reg:          reg,
+	}
+
+	// Figure 8 shows a second mode around zero: a small but measurable
+	// subset of sites uses little to no JavaScript. Carve those off
+	// before assignment so no standard lands on them.
+	static := int(float64(n) * staticSiteShare)
+	scriptable := append([]int(nil), measurableSites...)
+	rng.Shuffle(len(scriptable), func(i, j int) { scriptable[i], scriptable[j] = scriptable[j], scriptable[i] })
+	scriptable = scriptable[static:]
+	n = len(scriptable)
+
+	// Stage 1: per-standard site counts scaled from the paper's Table 2.
+	stdTarget := make(map[standards.Abbrev]int)
+	for _, std := range standards.Catalog() {
+		if std.Sites == 0 {
+			continue
+		}
+		t := int(math.Round(float64(std.Sites) * float64(totalSites) / 10000.0))
+		if t < 1 {
+			t = 1
+		}
+		if t > n {
+			t = n
+		}
+		stdTarget[std.Abbrev] = t
+	}
+
+	// Stage 2: per-feature counts with geometric within-standard decay,
+	// restricted to measurable features.
+	for _, std := range standards.Catalog() {
+		c0 := stdTarget[std.Abbrev]
+		fs := reg.OfStandard(std.Abbrev)
+		if c0 == 0 || len(fs) == 0 {
+			continue
+		}
+		top := c0
+		if std.Fragmented && c0 >= 4 {
+			top = int(math.Round(float64(c0) * fragmentedTopShare))
+		}
+		decay := float64(top)
+		for _, f := range fs {
+			if !webapi.Measurable(f) {
+				continue
+			}
+			if f.Rank == 0 {
+				p.FeatureSites[f.ID] = top
+				continue
+			}
+			decay *= featureDecay
+			p.FeatureSites[f.ID] = int(decay)
+		}
+	}
+
+	// Stage 3: band repair — pin the never-used and <1% counts to the
+	// paper's targets.
+	p.repairBands(stdTarget, rng)
+
+	// Stage 4: site assignment. Each standard gets a deterministic
+	// permutation of the measurable sites; its first c0 entries form the
+	// standard's site set. Features occupy contiguous runs within the
+	// set, so the union of feature sites equals the set.
+	for _, std := range standards.Catalog() {
+		c0 := stdTarget[std.Abbrev]
+		if c0 == 0 {
+			continue
+		}
+		perm := sitePermutation(scriptable, std, rng)
+		set := perm[:c0]
+		p.stdSites[std.Abbrev] = set
+
+		// Blocked partition.
+		blocked := int(math.Round(float64(c0) * std.BlockRate))
+		parties := make(map[int]Party, c0)
+		for i, site := range set {
+			parties[site] = PartyFirst
+			if i >= blocked {
+				continue
+			}
+			// Within the blocked prefix: dual, tracker-only, or
+			// ad-only per the standard's tracker affinity.
+			frac := float64(i) / math.Max(1, float64(blocked))
+			tr := float64(std.Tracker)
+			switch {
+			case frac < dualBlockedShare:
+				parties[site] = PartyDual
+			case frac < dualBlockedShare+(1-dualBlockedShare)*tr:
+				parties[site] = PartyTracker
+			default:
+				parties[site] = PartyAd
+			}
+		}
+		p.party[std.Abbrev] = parties
+
+		// Feature run offsets: rank-0 starts at 0 (covering the whole
+		// set, except fragmented standards); deeper ranks start at
+		// stable pseudo-random offsets so their blocked-site overlap
+		// tracks the standard's block rate in expectation.
+		for _, f := range p.reg.OfStandard(std.Abbrev) {
+			if p.FeatureSites[f.ID] == 0 {
+				continue
+			}
+			if f.Rank == 0 {
+				p.featureRuns[f.ID] = 0
+			} else {
+				p.featureRuns[f.ID] = rng.Intn(c0)
+			}
+		}
+		// Coverage guarantee for fragmented standards: the rank-1 run
+		// starts where the top feature's run ends.
+		if std.Fragmented {
+			fs := p.reg.OfStandard(std.Abbrev)
+			if len(fs) > 1 && p.FeatureSites[fs[0].ID] < c0 {
+				need := c0 - p.FeatureSites[fs[0].ID]
+				if p.FeatureSites[fs[1].ID] < need {
+					p.FeatureSites[fs[1].ID] = need
+				}
+				p.featureRuns[fs[1].ID] = p.FeatureSites[fs[0].ID]
+			}
+		}
+	}
+	return p
+}
+
+// repairBands adjusts per-feature counts so that exactly NeverUsedTarget
+// features have zero sites and, best-effort, UnderOnePctTarget features sit
+// strictly under 1% of sites.
+func (p *Profile) repairBands(stdTarget map[standards.Abbrev]int, rng *rand.Rand) {
+	onePct := p.SiteCount / 100
+	if onePct < 2 {
+		onePct = 2
+	}
+
+	type candidate struct {
+		id    int
+		count int
+	}
+	zeros := 0
+	var nonzero []candidate
+	for id, c := range p.FeatureSites {
+		if c == 0 {
+			zeros++
+		} else {
+			nonzero = append(nonzero, candidate{id, c})
+		}
+	}
+	sort.Slice(nonzero, func(i, j int) bool {
+		if nonzero[i].count != nonzero[j].count {
+			return nonzero[i].count < nonzero[j].count
+		}
+		return nonzero[i].id < nonzero[j].id
+	})
+
+	// Too few zeros: zero out the least-used non-top features.
+	for i := 0; zeros < NeverUsedTarget && i < len(nonzero); i++ {
+		f := p.reg.Features[nonzero[i].id]
+		if f.Rank == 0 {
+			continue // never zero a standard's top feature
+		}
+		p.FeatureSites[f.ID] = 0
+		nonzero[i].count = 0
+		zeros++
+	}
+	// Too many zeros: revive measurable features of used standards with
+	// a single site.
+	for _, f := range p.reg.Features {
+		if zeros <= NeverUsedTarget {
+			break
+		}
+		if p.FeatureSites[f.ID] != 0 || !webapi.Measurable(f) {
+			continue
+		}
+		if stdTarget[f.Standard] == 0 {
+			continue
+		}
+		p.FeatureSites[f.ID] = 1
+		zeros--
+	}
+
+	// Second band: count features in [1, onePct) and nudge across the
+	// boundary where possible.
+	var under, over []int // feature IDs
+	for id, c := range p.FeatureSites {
+		switch {
+		case c == 0:
+		case c < onePct:
+			under = append(under, id)
+		default:
+			over = append(over, id)
+		}
+	}
+	switch {
+	case len(under) > UnderOnePctTarget:
+		// Promote just-under features to the boundary, richest
+		// standards first so the promoted count stays within the
+		// standard's site set.
+		excess := len(under) - UnderOnePctTarget
+		sort.Slice(under, func(i, j int) bool {
+			ti := stdTarget[p.reg.Features[under[i]].Standard]
+			tj := stdTarget[p.reg.Features[under[j]].Standard]
+			if ti != tj {
+				return ti > tj
+			}
+			return under[i] < under[j]
+		})
+		for _, id := range under {
+			if excess == 0 {
+				break
+			}
+			if stdTarget[p.reg.Features[id].Standard] >= onePct {
+				p.FeatureSites[id] = onePct
+				excess--
+			}
+		}
+	case len(under) < UnderOnePctTarget:
+		// Demote the smallest over-boundary non-top features.
+		need := UnderOnePctTarget - len(under)
+		sort.Slice(over, func(i, j int) bool {
+			if p.FeatureSites[over[i]] != p.FeatureSites[over[j]] {
+				return p.FeatureSites[over[i]] < p.FeatureSites[over[j]]
+			}
+			return over[i] < over[j]
+		})
+		for _, id := range over {
+			if need == 0 {
+				break
+			}
+			if p.reg.Features[id].Rank == 0 {
+				continue
+			}
+			p.FeatureSites[id] = onePct - 1
+			need--
+		}
+	}
+	_ = rng
+}
+
+// sitePermutation yields the standard's deterministic site ordering. Most
+// standards use a plain shuffle; a few are biased toward popular (or
+// unpopular) sites to reproduce Figure 5's off-diagonal points.
+func sitePermutation(sites []int, std standards.Standard, rng *rand.Rand) []int {
+	perm := append([]int(nil), sites...)
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	switch std.Abbrev {
+	case "DOM4", "DOM-PS", "H-HI", "TC":
+		// Figure 5 calls these out as more popular on frequently
+		// visited sites: bias the permutation head toward low ranks.
+		sort.SliceStable(perm, func(i, j int) bool {
+			return headScore(perm[i], rng) < headScore(perm[j], rng)
+		})
+	}
+	return perm
+}
+
+// headScore orders sites by rank with jitter, for head-biased permutations.
+func headScore(siteIndex int, rng *rand.Rand) float64 {
+	return float64(siteIndex) * (0.5 + rng.Float64())
+}
+
+// SitesUsing returns the site indices assigned to the standard.
+func (p *Profile) SitesUsing(a standards.Abbrev) []int { return p.stdSites[a] }
+
+// PartyOf returns the attribution for a (standard, site) pair.
+func (p *Profile) PartyOf(a standards.Abbrev, site int) (Party, bool) {
+	pa, ok := p.party[a][site]
+	return pa, ok
+}
+
+// FeatureOnSite reports whether the feature's run covers the given position
+// within its standard's site set.
+func (p *Profile) featureCoversPosition(f *webidl.Feature, pos, setSize int) bool {
+	c := p.FeatureSites[f.ID]
+	if c == 0 {
+		return false
+	}
+	if c >= setSize {
+		return true
+	}
+	start := p.featureRuns[f.ID] % setSize
+	end := (start + c) % setSize
+	if start < end {
+		return pos >= start && pos < end
+	}
+	return pos >= start || pos < end
+}
+
+// Assignments returns, for every site index in [0, totalSites), the
+// (feature, party) instances the site must exhibit. Failing sites (which are
+// not in the measurable list) get empty assignment lists.
+func (p *Profile) Assignments(totalSites int) [][]Assignment {
+	out := make([][]Assignment, totalSites)
+	// Map site index → position per standard.
+	for _, std := range standards.Catalog() {
+		set := p.stdSites[std.Abbrev]
+		if len(set) == 0 {
+			continue
+		}
+		for pos, site := range set {
+			party := p.party[std.Abbrev][site]
+			for _, f := range p.reg.OfStandard(std.Abbrev) {
+				if p.featureCoversPosition(f, pos, len(set)) {
+					out[site] = append(out[site], Assignment{Feature: f, Party: party})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Assignment is one (feature, party) obligation for a site.
+type Assignment struct {
+	Feature *webidl.Feature
+	Party   Party
+}
+
+// NeverUsed counts profile features with zero target sites.
+func (p *Profile) NeverUsed() int {
+	n := 0
+	for _, c := range p.FeatureSites {
+		if c == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// UnderOnePct counts used features under 1% of sites.
+func (p *Profile) UnderOnePct() int {
+	onePct := p.SiteCount / 100
+	if onePct < 2 {
+		onePct = 2
+	}
+	n := 0
+	for _, c := range p.FeatureSites {
+		if c > 0 && c < onePct {
+			n++
+		}
+	}
+	return n
+}

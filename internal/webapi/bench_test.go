@@ -1,0 +1,80 @@
+package webapi
+
+import (
+	"testing"
+
+	"repro/internal/webidl"
+)
+
+func benchBindings(b *testing.B) *Bindings {
+	b.Helper()
+	if sharedBindings == nil {
+		reg, err := webidl.Generate(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sharedBindings = NewBindings(reg)
+	}
+	return sharedBindings
+}
+
+func BenchmarkNewRuntime(b *testing.B) {
+	bind := benchBindings(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bind.NewRuntime()
+	}
+}
+
+func BenchmarkCallUnpatched(b *testing.B) {
+	rt := benchBindings(b).NewRuntime()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.Call("Document", "createElement", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCallPatched(b *testing.B) {
+	rt := benchBindings(b).NewRuntime()
+	var observed int64
+	rt.PatchAllMethods(func(f *webidl.Feature, original MethodFunc) MethodFunc {
+		return func(ctx *CallContext) {
+			observed += int64(ctx.Count)
+			original(ctx)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.Call("Document", "createElement", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = observed
+}
+
+func BenchmarkPatchAllMethods(b *testing.B) {
+	bind := benchBindings(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt := bind.NewRuntime()
+		rt.PatchAllMethods(func(f *webidl.Feature, original MethodFunc) MethodFunc {
+			return original
+		})
+	}
+}
+
+func BenchmarkResolveInherited(b *testing.B) {
+	bind := benchBindings(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := bind.Resolve("HTMLInputElement", "appendChild"); !ok {
+			b.Fatal("resolve failed")
+		}
+	}
+}

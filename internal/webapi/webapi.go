@@ -1,0 +1,287 @@
+// Package webapi implements the browser simulator's Web API dispatch layer:
+// the analog of the JavaScript engine's prototype objects that Firefox
+// generates from its WebIDL files.
+//
+// Every corpus feature gets a slot on its interface's prototype. Script
+// execution calls methods and writes properties through Runtime, which
+// resolves the member along the inheritance chain and invokes the slot's
+// current implementation. The measuring extension instruments a page the
+// way the paper's extension does (§4.2):
+//
+//   - PatchMethod replaces a method slot with a wrapper that receives the
+//     original implementation as a closure, so pages cannot reach the
+//     unwrapped function (§4.2.1);
+//   - Watch registers a write observer on a property of a singleton object
+//     (window, document, navigator, ...), the analog of Firefox's
+//     non-standard Object.watch (§4.2.2). Properties of non-singleton
+//     objects cannot be watched, reproducing the measurement blind spot the
+//     paper documents.
+package webapi
+
+import (
+	"fmt"
+
+	"repro/internal/webidl"
+)
+
+// CallContext carries one logical method invocation (or batch thereof)
+// through the dispatch chain.
+type CallContext struct {
+	// Feature is the resolved corpus feature being invoked.
+	Feature *webidl.Feature
+	// Count is the number of logical invocations this dispatch
+	// represents; tight script loops batch their calls, and
+	// instrumentation must account for each.
+	Count int
+}
+
+// MethodFunc is a method slot implementation.
+type MethodFunc func(*CallContext)
+
+// WatchFunc observes property writes, receiving the written feature and the
+// write multiplicity.
+type WatchFunc func(f *webidl.Feature, count int)
+
+// Bindings is the immutable, corpus-derived dispatch structure shared by
+// all pages: feature resolution tables and the inheritance chain. Build it
+// once per process with NewBindings.
+type Bindings struct {
+	reg *webidl.Registry
+	// resolve maps "Interface.member" (including inherited members) to
+	// the defining feature.
+	resolve map[string]*webidl.Feature
+}
+
+// NewBindings precomputes dispatch tables from the corpus.
+func NewBindings(reg *webidl.Registry) *Bindings {
+	b := &Bindings{reg: reg, resolve: make(map[string]*webidl.Feature, len(reg.Features)*2)}
+	// Direct members.
+	for _, f := range reg.Features {
+		b.resolve[f.Interface+"."+f.Member] = f
+	}
+	// Inherited members: for each interface, walk up the parent chain
+	// and expose ancestors' members under the derived interface name,
+	// unless shadowed.
+	for name := range reg.Interfaces {
+		chain := b.chainOf(name)
+		for _, anc := range chain {
+			ancIface, ok := reg.InterfaceOf(anc)
+			if !ok {
+				continue
+			}
+			for _, f := range ancIface.Members {
+				key := name + "." + f.Member
+				if _, shadowed := b.resolve[key]; !shadowed {
+					b.resolve[key] = f
+				}
+			}
+		}
+	}
+	return b
+}
+
+// chainOf returns the ancestor interface names of name, nearest first.
+func (b *Bindings) chainOf(name string) []string {
+	var chain []string
+	seen := map[string]bool{name: true}
+	cur, ok := b.reg.InterfaceOf(name)
+	for ok && cur.Parent != "" && !seen[cur.Parent] {
+		seen[cur.Parent] = true
+		chain = append(chain, cur.Parent)
+		cur, ok = b.reg.InterfaceOf(cur.Parent)
+	}
+	return chain
+}
+
+// Registry returns the corpus the bindings were built from.
+func (b *Bindings) Registry() *webidl.Registry { return b.reg }
+
+// Resolve finds the feature for an "Interface.member" reference, following
+// the inheritance chain.
+func (b *Bindings) Resolve(iface, member string) (*webidl.Feature, bool) {
+	f, ok := b.resolve[iface+"."+member]
+	return f, ok
+}
+
+// Measurable reports whether the paper's instrumentation can observe use of
+// the feature: methods are observable via prototype shims; properties are
+// observable only as writes to non-readonly attributes of singleton objects
+// (§4.2.2).
+func Measurable(f *webidl.Feature) bool {
+	if f.Kind == webidl.Method {
+		return true
+	}
+	return !f.ReadOnly && webidl.IsSingletonInterface(f.Interface)
+}
+
+// ReferenceError is returned when a script references a member no interface
+// provides — the analog of a JavaScript ReferenceError/TypeError, which
+// aborts the referencing script.
+type ReferenceError struct {
+	Interface string
+	Member    string
+}
+
+func (e *ReferenceError) Error() string {
+	return fmt.Sprintf("webapi: %s.%s is not a function", e.Interface, e.Member)
+}
+
+// WatchError is returned for invalid Watch registrations.
+type WatchError struct {
+	Feature *webidl.Feature
+	Reason  string
+}
+
+func (e *WatchError) Error() string {
+	return fmt.Sprintf("webapi: cannot watch %s: %s", e.Feature.Name(), e.Reason)
+}
+
+// Runtime is the per-page dispatch state: one fresh set of prototype slots
+// per page, plus singleton watchpoints. The zero value is not useful; use
+// Bindings.NewRuntime.
+type Runtime struct {
+	b *Bindings
+	// methods[featureID] is the current slot implementation; patching
+	// swaps entries, page scripts dispatch through them.
+	methods []MethodFunc
+	// native[featureID] counts logical invocations reaching the native
+	// (original) implementation, whether or not the slot is patched —
+	// the simulator's ground truth that shims preserve functionality.
+	native []int64
+	// watchers[featureID] holds property watchpoints.
+	watchers map[int][]WatchFunc
+}
+
+// NewRuntime creates a fresh page runtime with pristine (unpatched) slots.
+func (b *Bindings) NewRuntime() *Runtime {
+	rt := &Runtime{
+		b:        b,
+		methods:  make([]MethodFunc, len(b.reg.Features)),
+		native:   make([]int64, len(b.reg.Features)),
+		watchers: nil, // lazily allocated
+	}
+	return rt
+}
+
+// nativeImpl is the default implementation for every method slot: it
+// performs the feature's (simulated) effect, which for measurement purposes
+// is recording that the native code ran.
+func (rt *Runtime) nativeImpl(ctx *CallContext) {
+	rt.native[ctx.Feature.ID] += int64(ctx.Count)
+}
+
+// Call dispatches count logical invocations of Interface.member. Unknown
+// references return a ReferenceError; invoking an attribute as a function
+// is likewise an error, as in JavaScript.
+func (rt *Runtime) Call(iface, member string, count int) error {
+	f, ok := rt.b.Resolve(iface, member)
+	if !ok || f.Kind != webidl.Method {
+		return &ReferenceError{Interface: iface, Member: member}
+	}
+	ctx := &CallContext{Feature: f, Count: count}
+	if fn := rt.methods[f.ID]; fn != nil {
+		fn(ctx)
+		return nil
+	}
+	rt.nativeImpl(ctx)
+	return nil
+}
+
+// SetProperty dispatches one write to Interface.member. Writes to readonly
+// attributes and unknown members fail; writes to watched singleton
+// properties notify the watchers (the Object.watch analog). Writes to
+// non-singleton properties succeed silently and unobservably.
+func (rt *Runtime) SetProperty(iface, member string) error {
+	f, ok := rt.b.Resolve(iface, member)
+	if !ok || f.Kind != webidl.Attribute {
+		return &ReferenceError{Interface: iface, Member: member}
+	}
+	if f.ReadOnly {
+		return fmt.Errorf("webapi: cannot assign to read only property %s", f.Name())
+	}
+	rt.native[f.ID]++
+	for _, w := range rt.watchers[f.ID] {
+		w(f, 1)
+	}
+	return nil
+}
+
+// PatchMethod replaces a method slot with wrap(original), giving the
+// wrapper closure-private access to the original implementation, exactly
+// like the paper's extension shims (§4.2.1). It returns the feature's
+// pre-patch implementation indirectly: pages have no way to recover it.
+func (rt *Runtime) PatchMethod(f *webidl.Feature, wrap func(original MethodFunc) MethodFunc) error {
+	if f.Kind != webidl.Method {
+		return fmt.Errorf("webapi: cannot patch non-method %s", f.Name())
+	}
+	original := rt.methods[f.ID]
+	if original == nil {
+		original = rt.nativeImpl
+	}
+	rt.methods[f.ID] = wrap(original)
+	return nil
+}
+
+// PatchAllMethods applies wrap to every method in the corpus.
+func (rt *Runtime) PatchAllMethods(wrap func(f *webidl.Feature, original MethodFunc) MethodFunc) {
+	for _, f := range rt.b.reg.Features {
+		if f.Kind != webidl.Method {
+			continue
+		}
+		original := rt.methods[f.ID]
+		if original == nil {
+			original = rt.nativeImpl
+		}
+		rt.methods[f.ID] = wrap(f, original)
+	}
+}
+
+// Watch registers a write observer on a property feature. Only writable
+// attributes of singleton interfaces are watchable; everything else returns
+// a WatchError, reproducing the instrumentation limits of §4.2.2.
+func (rt *Runtime) Watch(f *webidl.Feature, w WatchFunc) error {
+	if f.Kind != webidl.Attribute {
+		return &WatchError{Feature: f, Reason: "not a property"}
+	}
+	if f.ReadOnly {
+		return &WatchError{Feature: f, Reason: "read-only property writes never occur"}
+	}
+	if !webidl.IsSingletonInterface(f.Interface) {
+		return &WatchError{Feature: f, Reason: "Object.watch is only available on singleton objects"}
+	}
+	if rt.watchers == nil {
+		rt.watchers = make(map[int][]WatchFunc)
+	}
+	rt.watchers[f.ID] = append(rt.watchers[f.ID], w)
+	return nil
+}
+
+// WatchAllSingletons registers w on every watchable property in the corpus
+// and returns how many watchpoints were installed.
+func (rt *Runtime) WatchAllSingletons(w WatchFunc) int {
+	n := 0
+	for _, f := range rt.b.reg.Features {
+		if f.Kind == webidl.Attribute && Measurable(f) {
+			if err := rt.Watch(f, w); err == nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// NativeCalls reports how many logical invocations (or writes) reached the
+// feature's native implementation on this page.
+func (rt *Runtime) NativeCalls(f *webidl.Feature) int64 { return rt.native[f.ID] }
+
+// TotalNativeCalls sums native invocations across all features.
+func (rt *Runtime) TotalNativeCalls() int64 {
+	var sum int64
+	for _, n := range rt.native {
+		sum += n
+	}
+	return sum
+}
+
+// Bindings returns the shared bindings backing this runtime.
+func (rt *Runtime) Bindings() *Bindings { return rt.b }

@@ -1,0 +1,28 @@
+package webidl
+
+import "testing"
+
+func BenchmarkGenerateCorpus(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(int64(i) + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseFile(b *testing.B) {
+	files, err := GenerateFiles(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := files["dom/Document.webidl"]
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseFile("dom/Document.webidl", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

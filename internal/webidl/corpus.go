@@ -1,0 +1,550 @@
+package webidl
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/standards"
+)
+
+// FileCount is the number of .webidl files in the generated corpus, matching
+// the 757 WebIDL files of the Firefox 46.0.1 source tree (paper §3.2).
+const FileCount = 757
+
+// TotalFeatures is the instrumented feature count (paper §3.2).
+const TotalFeatures = 1392
+
+// maxMembersPerChunk bounds how many member declarations one file carries;
+// larger interfaces are split across partial-interface files, as Firefox
+// does for Window and Document.
+const maxMembersPerChunk = 24
+
+// word pools for synthesized member names. The pools are deliberately large
+// so that a 1,392-feature corpus does not read as repetitive.
+var (
+	synthVerbs = []string{
+		"get", "set", "create", "update", "remove", "insert", "append",
+		"compute", "resolve", "observe", "register", "unregister",
+		"dispatch", "enumerate", "normalize", "serialize", "restore",
+		"clone", "attach", "detach", "request", "cancel", "begin",
+		"commit", "sync", "flush", "measure", "encode", "decode",
+		"lookup", "validate", "capture", "release", "suspend", "resume",
+		"invalidate", "reset", "initialize", "merge", "split",
+	}
+	synthNouns = []string{
+		"State", "Buffer", "Context", "Frame", "Region", "Rect",
+		"Channel", "Stream", "Track", "Sample", "Key", "Entry", "Range",
+		"Rule", "Layout", "Timing", "Metric", "Gradient", "Path",
+		"Texture", "Shader", "Matrix", "Transform", "Point", "Handle",
+		"Descriptor", "Registration", "Snapshot", "Segment", "Cursor",
+		"Binding", "Slot", "Record", "Source", "Target", "Anchor",
+		"Viewport", "Fragment", "Token", "Profile",
+	}
+	synthAdjectives = []string{
+		"pending", "active", "current", "default", "preferred", "cached",
+		"effective", "nominal", "raw", "committed", "visible", "internal",
+		"native", "initial", "maximum", "minimum", "total", "last",
+	}
+	synthArgTypes = []string{
+		"DOMString", "long", "unsigned long", "double", "boolean", "any",
+		"object", "Node", "Element", "sequence<DOMString>",
+	}
+	synthReturnTypes = []string{
+		"void", "DOMString", "long", "unsigned long", "double", "boolean",
+		"any", "object", "Promise<any>", "sequence<DOMString>",
+	}
+	synthAttrTypes = []string{
+		"DOMString", "long", "unsigned long", "double", "boolean", "any", "object",
+	}
+)
+
+// parentOf returns the inheritance parent for an interface, mirroring the
+// real DOM hierarchy closely enough for the corpus to read naturally.
+func parentOf(name string) string {
+	switch name {
+	case "EventTarget", "Event", "Blob", "HTMLElement", "SVGElement", "UIEvent", "AudioNode":
+		switch name {
+		case "HTMLElement", "SVGElement":
+			return "Element"
+		case "UIEvent":
+			return "Event"
+		case "AudioNode":
+			return "EventTarget"
+		}
+		return ""
+	case "Node", "Window", "Worker", "WebSocket", "XMLHttpRequest", "MediaStreamTrack",
+		"MediaSource", "SourceBuffer", "FileReader", "Notification", "BatteryManager",
+		"MediaRecorder", "ScreenOrientation", "Performance", "MediaKeySession",
+		"FontFaceSet", "IDBDatabase", "IDBTransaction", "IDBRequest", "RTCPeerConnection",
+		"RTCDataChannel", "TextTrack", "ServiceWorker", "ServiceWorkerContainer":
+		return "EventTarget"
+	case "Document", "Element", "CharacterData", "Attr", "DocumentFragment":
+		return "Node"
+	case "File":
+		return "Blob"
+	case "MouseEvent", "KeyboardEvent", "FocusEvent", "InputEvent", "CompositionEvent":
+		return "UIEvent"
+	case "WheelEvent", "DragEvent", "PointerEvent":
+		return "MouseEvent"
+	case "AudioDestinationNode", "OscillatorNode", "GainNode", "AnalyserNode",
+		"AudioBufferSourceNode", "BiquadFilterNode", "PannerNode", "ScriptProcessorNode":
+		return "AudioNode"
+	case "XMLHttpRequestUpload":
+		return "EventTarget"
+	}
+	if strings.HasPrefix(name, "HTML") && strings.HasSuffix(name, "Element") {
+		return "HTMLElement"
+	}
+	if strings.HasPrefix(name, "SVG") && strings.HasSuffix(name, "Element") {
+		return "SVGElement"
+	}
+	if strings.HasSuffix(name, "Event") {
+		return "Event"
+	}
+	return ""
+}
+
+// genFeature is a fully specified member before serialization.
+type genFeature struct {
+	genMember
+	std  standards.Abbrev
+	rank int
+	ret  string
+	args []string // rendered "Type name" strings
+	typ  string   // attribute type
+}
+
+// GenerateFiles deterministically produces the corpus as a set of .webidl
+// sources (file name → content). The same seed always yields byte-identical
+// files.
+func GenerateFiles(seed int64) (map[string]string, error) {
+	rng := rand.New(rand.NewSource(seed))
+	cat := standards.Catalog()
+
+	usedNames := make(map[string]bool) // "Interface.member"
+	for _, list := range curated {
+		for _, gm := range list {
+			usedNames[gm.iface+"."+gm.name] = true
+		}
+	}
+
+	// 1. Build the exact member list per standard.
+	perStd := make(map[standards.Abbrev][]genFeature, len(cat))
+	for _, std := range cat {
+		members := curated[std.Abbrev]
+		if len(members) > std.Features {
+			members = members[:std.Features]
+		}
+		pool := pools[std.Abbrev]
+		if len(pool) == 0 {
+			pool = []string{identFromAbbrev(std.Abbrev) + "Manager"}
+		}
+		feats := make([]genFeature, 0, std.Features)
+		for i, gm := range members {
+			feats = append(feats, fillSignature(rng, genFeature{genMember: gm, std: std.Abbrev, rank: i}))
+		}
+		for len(feats) < std.Features {
+			iface := pool[len(feats)%len(pool)]
+			gm := synthesizeMember(rng, iface, usedNames)
+			feats = append(feats, fillSignature(rng, genFeature{genMember: gm, std: std.Abbrev, rank: len(feats)}))
+		}
+		perStd[std.Abbrev] = feats
+	}
+
+	// 2. Group members by interface, preserving global generation order.
+	type ifaceChunkKey struct {
+		iface string
+		std   standards.Abbrev
+	}
+	ifaceOrder := []string{}
+	seenIface := map[string]bool{}
+	chunkOrder := []ifaceChunkKey{}
+	chunks := map[ifaceChunkKey][]genFeature{}
+	primaryStd := map[string]standards.Abbrev{}
+	for _, std := range cat {
+		for _, f := range perStd[std.Abbrev] {
+			if !seenIface[f.iface] {
+				seenIface[f.iface] = true
+				ifaceOrder = append(ifaceOrder, f.iface)
+				primaryStd[f.iface] = std.Abbrev
+			}
+			key := ifaceChunkKey{f.iface, std.Abbrev}
+			if _, ok := chunks[key]; !ok {
+				chunkOrder = append(chunkOrder, key)
+			}
+			chunks[key] = append(chunks[key], f)
+		}
+	}
+
+	// 3. Assign files: the primary chunk's first file is the interface's
+	// canonical definition; everything else is a partial interface.
+	files := make(map[string]string)
+	var fileNames []string
+	emit := func(name, content string) error {
+		if _, dup := files[name]; dup {
+			return fmt.Errorf("webidl: duplicate generated file %q", name)
+		}
+		files[name] = content
+		fileNames = append(fileNames, name)
+		return nil
+	}
+
+	for _, key := range chunkOrder {
+		members := chunks[key]
+		isPrimary := primaryStd[key.iface] == key.std
+		for ci := 0; len(members) > 0; ci++ {
+			n := len(members)
+			if n > maxMembersPerChunk {
+				n = maxMembersPerChunk
+			}
+			part := members[:n]
+			members = members[n:]
+			partial := !(isPrimary && ci == 0)
+			fname := chunkFileName(key.iface, key.std, isPrimary, ci)
+			src := renderChunk(key.iface, key.std, partial, part)
+			if err := emit(fname, src); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if len(files) > FileCount {
+		return nil, fmt.Errorf("webidl: generated %d interface files, exceeding the %d-file corpus", len(files), FileCount)
+	}
+
+	// 4. Filler files: constants-only interfaces, mirroring the many
+	// Firefox WebIDL files (dictionaries, enums, callbacks, constants)
+	// that contribute no instrumentable methods or properties.
+	for i := 0; len(files) < FileCount; i++ {
+		name := fmt.Sprintf("support/Gen%03dConstants.webidl", i)
+		src := renderConstants(rng, fmt.Sprintf("Gen%03dConstants", i))
+		if err := emit(name, src); err != nil {
+			return nil, err
+		}
+	}
+	return files, nil
+}
+
+// chunkFileName names the file carrying one chunk of an interface's members.
+func chunkFileName(iface string, std standards.Abbrev, primary bool, chunkIndex int) string {
+	base := "dom/" + iface
+	if !primary {
+		base += "-" + sanitizeAbbrev(std)
+	}
+	if chunkIndex > 0 {
+		base += fmt.Sprintf("-%d", chunkIndex+1)
+	}
+	return base + ".webidl"
+}
+
+func sanitizeAbbrev(a standards.Abbrev) string {
+	s := strings.ToLower(string(a))
+	s = strings.ReplaceAll(s, "-", "")
+	return s
+}
+
+func identFromAbbrev(a standards.Abbrev) string {
+	var b strings.Builder
+	up := true
+	for _, r := range string(a) {
+		if r == '-' {
+			up = true
+			continue
+		}
+		if up {
+			b.WriteString(strings.ToUpper(string(r)))
+			up = false
+		} else {
+			b.WriteString(strings.ToLower(string(r)))
+		}
+	}
+	return b.String()
+}
+
+// synthesizeMember invents a plausible, globally unique member for iface.
+func synthesizeMember(rng *rand.Rand, iface string, used map[string]bool) genMember {
+	for attempt := 0; ; attempt++ {
+		var name string
+		kind := Method
+		readOnly := false
+		if rng.Float64() < 0.35 {
+			kind = Attribute
+			readOnly = rng.Float64() < 0.5
+			adj := synthAdjectives[rng.Intn(len(synthAdjectives))]
+			noun := synthNouns[rng.Intn(len(synthNouns))]
+			name = adj + noun
+		} else {
+			verb := synthVerbs[rng.Intn(len(synthVerbs))]
+			noun := synthNouns[rng.Intn(len(synthNouns))]
+			name = verb + noun
+		}
+		if attempt > 8 {
+			name = fmt.Sprintf("%s%d", name, rng.Intn(100))
+		}
+		key := iface + "." + name
+		if !used[key] {
+			used[key] = true
+			return genMember{iface: iface, name: name, kind: kind, readOnly: readOnly}
+		}
+	}
+}
+
+// fillSignature attaches synthesized types and arguments to a member.
+func fillSignature(rng *rand.Rand, f genFeature) genFeature {
+	if f.kind == Attribute {
+		f.typ = synthAttrTypes[rng.Intn(len(synthAttrTypes))]
+		return f
+	}
+	f.ret = synthReturnTypes[rng.Intn(len(synthReturnTypes))]
+	nargs := rng.Intn(4)
+	for i := 0; i < nargs; i++ {
+		t := synthArgTypes[rng.Intn(len(synthArgTypes))]
+		argName := strings.ToLower(synthNouns[rng.Intn(len(synthNouns))])
+		if i > 0 {
+			argName = fmt.Sprintf("%s%d", argName, i)
+		}
+		opt := ""
+		if i == nargs-1 && rng.Float64() < 0.3 {
+			opt = "optional "
+		}
+		f.args = append(f.args, opt+t+" "+argName)
+	}
+	return f
+}
+
+// renderChunk serializes one interface chunk as WebIDL source.
+func renderChunk(iface string, std standards.Abbrev, partial bool, members []genFeature) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Generated corpus chunk: interface %s, standard %s.\n", iface, std)
+	b.WriteString("[Standard=" + string(std))
+	if IsSingletonInterface(iface) {
+		b.WriteString(", Singleton")
+	}
+	b.WriteString("]\n")
+	if partial {
+		b.WriteString("partial ")
+	}
+	b.WriteString("interface " + iface)
+	if !partial {
+		if p := parentOf(iface); p != "" {
+			b.WriteString(" : " + p)
+		}
+	}
+	b.WriteString(" {\n")
+	for _, f := range members {
+		switch f.kind {
+		case Attribute:
+			b.WriteString("  ")
+			if f.readOnly {
+				b.WriteString("readonly ")
+			}
+			fmt.Fprintf(&b, "attribute %s %s;\n", f.typ, f.name)
+		default:
+			fmt.Fprintf(&b, "  %s %s(%s);\n", f.ret, f.name, strings.Join(f.args, ", "))
+		}
+	}
+	b.WriteString("};\n")
+	return b.String()
+}
+
+// renderConstants serializes a constants-only filler interface.
+func renderConstants(rng *rand.Rand, iface string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Generated support file (no instrumentable members).\n")
+	fmt.Fprintf(&b, "interface %s {\n", iface)
+	n := 2 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		noun := synthNouns[rng.Intn(len(synthNouns))]
+		fmt.Fprintf(&b, "  const unsigned short %s_%d = %d;\n", strings.ToUpper(noun), i, rng.Intn(64))
+	}
+	b.WriteString("};\n")
+	return b.String()
+}
+
+// Registry is the parsed feature corpus: the reproduction's equivalent of
+// the 1,392-entry feature list the paper extracts from Firefox.
+type Registry struct {
+	// Features lists every instrumentable feature in a stable global
+	// order (standards catalog order, then per-standard rank).
+	Features []*Feature
+	// Interfaces maps interface name to its merged definition.
+	Interfaces map[string]*Interface
+	// Files holds the corpus sources the registry was parsed from.
+	Files map[string]string
+
+	byName     map[string]*Feature
+	byStandard map[standards.Abbrev][]*Feature
+}
+
+// Generate produces the corpus files for seed and parses them into a
+// Registry. It verifies the paper's headline corpus invariants.
+func Generate(seed int64) (*Registry, error) {
+	files, err := GenerateFiles(seed)
+	if err != nil {
+		return nil, err
+	}
+	return Load(files)
+}
+
+// Load parses a corpus (file name → WebIDL source) into a Registry.
+func Load(files map[string]string) (*Registry, error) {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	r := &Registry{
+		Interfaces: make(map[string]*Interface),
+		Files:      files,
+		byName:     make(map[string]*Feature),
+		byStandard: make(map[standards.Abbrev][]*Feature),
+	}
+
+	type rawFeature struct {
+		f        *Feature
+		fileName string
+		declIdx  int
+	}
+	var raw []rawFeature
+
+	for _, fname := range names {
+		defs, err := ParseFile(fname, files[fname])
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range defs {
+			iface := r.Interfaces[d.Interface]
+			if iface == nil {
+				iface = &Interface{Name: d.Interface, Singleton: IsSingletonInterface(d.Interface)}
+				r.Interfaces[d.Interface] = iface
+			}
+			if !d.Partial {
+				iface.Parent = d.Parent
+				iface.Standard = d.Standard
+			}
+			iface.Files = append(iface.Files, fname)
+			for i, md := range d.Members {
+				if md.Const {
+					continue
+				}
+				if d.Standard == "" {
+					return nil, fmt.Errorf("%s: interface %s declares members without a Standard attribution", fname, d.Interface)
+				}
+				f := &Feature{
+					Interface: d.Interface,
+					Member:    md.Name,
+					Kind:      md.Kind,
+					ReadOnly:  md.ReadOnly,
+					Standard:  d.Standard,
+					File:      fname,
+				}
+				if _, dup := r.byName[f.Name()]; dup {
+					return nil, fmt.Errorf("%s: duplicate feature %s", fname, f.Name())
+				}
+				r.byName[f.Name()] = f
+				raw = append(raw, rawFeature{f: f, fileName: fname, declIdx: i})
+				iface.Members = append(iface.Members, f)
+			}
+		}
+	}
+
+	// Rank features within each standard: curated members keep their
+	// curated position (the first curated member is the standard's most
+	// popular feature); synthesized members follow in (file, declaration)
+	// order.
+	curPos := make(map[string]int)
+	for abbrev, list := range curated {
+		for i, gm := range list {
+			curPos[string(abbrev)+"|"+gm.iface+"."+gm.name] = i
+		}
+	}
+	perStd := make(map[standards.Abbrev][]rawFeature)
+	for _, rf := range raw {
+		perStd[rf.f.Standard] = append(perStd[rf.f.Standard], rf)
+	}
+	const uncurated = 1 << 30
+	for _, std := range standards.Catalog() {
+		list := perStd[std.Abbrev]
+		sort.SliceStable(list, func(i, j int) bool {
+			pi, iok := curPos[string(std.Abbrev)+"|"+list[i].f.Interface+"."+list[i].f.Member]
+			pj, jok := curPos[string(std.Abbrev)+"|"+list[j].f.Interface+"."+list[j].f.Member]
+			if !iok {
+				pi = uncurated
+			}
+			if !jok {
+				pj = uncurated
+			}
+			if pi != pj {
+				return pi < pj
+			}
+			if list[i].fileName != list[j].fileName {
+				return list[i].fileName < list[j].fileName
+			}
+			return list[i].declIdx < list[j].declIdx
+		})
+		for rank, rf := range list {
+			rf.f.Rank = rank
+			rf.f.ID = len(r.Features)
+			r.Features = append(r.Features, rf.f)
+			r.byStandard[std.Abbrev] = append(r.byStandard[std.Abbrev], rf.f)
+		}
+	}
+
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// validate checks the registry against the paper's corpus invariants.
+func (r *Registry) validate() error {
+	if got := len(r.Features); got != TotalFeatures {
+		return fmt.Errorf("webidl: corpus has %d features, want %d", got, TotalFeatures)
+	}
+	if got := len(r.Files); got != FileCount {
+		return fmt.Errorf("webidl: corpus has %d files, want %d", got, FileCount)
+	}
+	for _, std := range standards.Catalog() {
+		if got := len(r.byStandard[std.Abbrev]); got != std.Features {
+			return fmt.Errorf("webidl: standard %s has %d features, want %d", std.Abbrev, got, std.Features)
+		}
+	}
+	for i, f := range r.Features {
+		if f.ID != i {
+			return fmt.Errorf("webidl: feature %s has ID %d at index %d", f.Name(), f.ID, i)
+		}
+	}
+	return nil
+}
+
+// ByName looks a feature up by its canonical "Interface.prototype.member"
+// name.
+func (r *Registry) ByName(name string) (*Feature, bool) {
+	f, ok := r.byName[name]
+	return f, ok
+}
+
+// OfStandard returns the features of one standard in rank order. The
+// returned slice is shared; callers must not mutate it.
+func (r *Registry) OfStandard(a standards.Abbrev) []*Feature {
+	return r.byStandard[a]
+}
+
+// TopFeature returns the rank-0 (most popular) feature of a standard, or nil
+// if the standard has no features.
+func (r *Registry) TopFeature(a standards.Abbrev) *Feature {
+	fs := r.byStandard[a]
+	if len(fs) == 0 {
+		return nil
+	}
+	return fs[0]
+}
+
+// InterfaceOf returns the merged interface definition by name.
+func (r *Registry) InterfaceOf(name string) (*Interface, bool) {
+	i, ok := r.Interfaces[name]
+	return i, ok
+}

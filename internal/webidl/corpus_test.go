@@ -1,0 +1,254 @@
+package webidl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/standards"
+)
+
+const testSeed = 1
+
+func mustGenerate(t testing.TB) *Registry {
+	t.Helper()
+	r, err := Generate(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestGenerateInvariants(t *testing.T) {
+	r := mustGenerate(t)
+	if len(r.Features) != TotalFeatures {
+		t.Errorf("features = %d, want %d", len(r.Features), TotalFeatures)
+	}
+	if len(r.Files) != FileCount {
+		t.Errorf("files = %d, want %d", len(r.Files), FileCount)
+	}
+	for _, std := range standards.Catalog() {
+		if got := len(r.OfStandard(std.Abbrev)); got != std.Features {
+			t.Errorf("standard %s: %d features, want %d", std.Abbrev, got, std.Features)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := GenerateFiles(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateFiles(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("file counts differ: %d vs %d", len(a), len(b))
+	}
+	for name, src := range a {
+		if b[name] != src {
+			t.Fatalf("file %s differs between runs with same seed", name)
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a, err := GenerateFiles(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateFiles(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for name, src := range a {
+		if b[name] != src {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("corpora for different seeds are identical")
+	}
+}
+
+func TestPaperNamedFeatures(t *testing.T) {
+	r := mustGenerate(t)
+	want := []struct {
+		name string
+		std  standards.Abbrev
+		kind Kind
+	}{
+		{"Document.prototype.createElement", "DOM1", Method},
+		{"Node.prototype.insertBefore", "DOM1", Method},
+		{"Node.prototype.cloneNode", "DOM1", Method},
+		{"XMLHttpRequest.prototype.open", "AJAX", Method},
+		{"Document.prototype.querySelectorAll", "SLC", Method},
+		{"Navigator.prototype.vibrate", "V", Method},
+		{"PluginArray.prototype.refresh", "H-P", Method},
+		{"SVGTextContentElement.prototype.getComputedTextLength", "SVG", Method},
+		{"Crypto.prototype.getRandomValues", "WCR", Method},
+		{"Navigator.prototype.sendBeacon", "BE", Method},
+		{"Performance.prototype.now", "HRT", Method},
+		{"Window.prototype.requestAnimationFrame", "TC", Method},
+		{"Element.prototype.innerHTML", "DOM-PS", Attribute},
+	}
+	for _, w := range want {
+		f, ok := r.ByName(w.name)
+		if !ok {
+			t.Errorf("feature %s missing from corpus", w.name)
+			continue
+		}
+		if f.Standard != w.std {
+			t.Errorf("%s: standard %s, want %s", w.name, f.Standard, w.std)
+		}
+		if f.Kind != w.kind {
+			t.Errorf("%s: kind %v, want %v", w.name, f.Kind, w.kind)
+		}
+	}
+}
+
+func TestTopFeatures(t *testing.T) {
+	r := mustGenerate(t)
+	want := map[standards.Abbrev]string{
+		"DOM1": "Document.prototype.createElement",
+		"AJAX": "XMLHttpRequest.prototype.open",
+		"SLC":  "Document.prototype.querySelectorAll",
+		"V":    "Navigator.prototype.vibrate",
+		"H-P":  "PluginArray.prototype.refresh",
+		"HRT":  "Performance.prototype.now",
+	}
+	for std, name := range want {
+		top := r.TopFeature(std)
+		if top == nil {
+			t.Errorf("standard %s has no top feature", std)
+			continue
+		}
+		if top.Name() != name {
+			t.Errorf("standard %s top feature = %s, want %s", std, top.Name(), name)
+		}
+		if top.Rank != 0 {
+			t.Errorf("standard %s top feature rank = %d, want 0", std, top.Rank)
+		}
+	}
+}
+
+func TestRanksAreDense(t *testing.T) {
+	r := mustGenerate(t)
+	for _, std := range standards.Catalog() {
+		fs := r.OfStandard(std.Abbrev)
+		for i, f := range fs {
+			if f.Rank != i {
+				t.Fatalf("standard %s: feature %s has rank %d at index %d", std.Abbrev, f.Name(), f.Rank, i)
+			}
+		}
+	}
+}
+
+func TestFeatureNamesUnique(t *testing.T) {
+	r := mustGenerate(t)
+	seen := make(map[string]bool, len(r.Features))
+	for _, f := range r.Features {
+		name := f.Name()
+		if seen[name] {
+			t.Fatalf("duplicate feature name %s", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestSingletonFlags(t *testing.T) {
+	r := mustGenerate(t)
+	for _, name := range []string{"Window", "Document", "Navigator"} {
+		iface, ok := r.InterfaceOf(name)
+		if !ok {
+			t.Fatalf("interface %s missing", name)
+		}
+		if !iface.Singleton {
+			t.Errorf("interface %s should be a singleton", name)
+		}
+	}
+	if iface, ok := r.InterfaceOf("Element"); ok && iface.Singleton {
+		t.Error("Element should not be a singleton")
+	}
+}
+
+func TestInterfaceParents(t *testing.T) {
+	r := mustGenerate(t)
+	cases := map[string]string{
+		"Document":         "Node",
+		"Element":          "Node",
+		"HTMLInputElement": "HTMLElement",
+		"HTMLElement":      "Element",
+	}
+	for child, parent := range cases {
+		iface, ok := r.InterfaceOf(child)
+		if !ok {
+			t.Fatalf("interface %s missing", child)
+		}
+		if iface.Parent != parent {
+			t.Errorf("interface %s parent = %q, want %q", child, iface.Parent, parent)
+		}
+	}
+}
+
+func TestEveryFeatureRoundTripsThroughParser(t *testing.T) {
+	// The registry is built by parsing the generated sources, so every
+	// feature's defining file must re-parse to a definition containing it.
+	r := mustGenerate(t)
+	for _, f := range r.Features[:50] {
+		defs, err := ParseFile(f.File, r.Files[f.File])
+		if err != nil {
+			t.Fatalf("re-parsing %s: %v", f.File, err)
+		}
+		found := false
+		for _, d := range defs {
+			if d.Interface != f.Interface {
+				continue
+			}
+			for _, m := range d.Members {
+				if m.Name == f.Member && m.Kind == f.Kind {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("feature %s not found in its defining file %s", f.Name(), f.File)
+		}
+	}
+}
+
+func TestGenerateSeedProperty(t *testing.T) {
+	// Property: any seed yields a structurally valid corpus.
+	check := func(seed int64) bool {
+		r, err := Generate(seed % 1000)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return len(r.Features) == TotalFeatures && len(r.Files) == FileCount
+	}
+	cfg := &quick.Config{MaxCount: 5}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorpusSourcesMentionStandards(t *testing.T) {
+	files, err := GenerateFiles(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, ok := files["dom/Document.webidl"]
+	if !ok {
+		t.Fatal("dom/Document.webidl missing")
+	}
+	if !strings.Contains(src, "createElement") {
+		t.Errorf("Document.webidl does not declare createElement:\n%s", src)
+	}
+	if !strings.Contains(src, "Singleton") {
+		t.Errorf("Document.webidl lacks Singleton attribute:\n%s", src)
+	}
+}

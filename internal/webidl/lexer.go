@@ -1,0 +1,215 @@
+package webidl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical classes of the WebIDL subset.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokPunct  // { } ( ) [ ] ; , : = < > ?
+	tokString // "..."
+	tokNumber
+)
+
+// keywords of the supported WebIDL subset.
+var idlKeywords = map[string]bool{
+	"interface": true,
+	"partial":   true,
+	"attribute": true,
+	"readonly":  true,
+	"static":    true,
+	"const":     true,
+	"optional":  true,
+	"sequence":  true,
+	"Promise":   true,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "EOF"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexError reports a lexical error with position information.
+type lexError struct {
+	file string
+	line int
+	col  int
+	msg  string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.file, e.line, e.col, e.msg)
+}
+
+// lexer tokenizes a WebIDL-subset document.
+type lexer struct {
+	file  string
+	src   string
+	pos   int
+	line  int
+	col   int
+	toks  []token
+	fatal error
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{file: file, src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...any) {
+	if l.fatal == nil {
+		l.fatal = &lexError{file: l.file, line: line, col: col, msg: fmt.Sprintf(format, args...)}
+	}
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// run tokenizes the whole input, returning the token stream.
+func (l *lexer) run() ([]token, error) {
+	for l.pos < len(l.src) && l.fatal == nil {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			l.skipLineComment()
+		case c == '/' && l.peek2() == '*':
+			l.skipBlockComment()
+		case isIdentStart(c):
+			l.lexIdent()
+		case c >= '0' && c <= '9', c == '-' && l.peek2() >= '0' && l.peek2() <= '9':
+			l.lexNumber()
+		case c == '"':
+			l.lexString()
+		case strings.IndexByte("{}()[];,:=<>?", c) >= 0:
+			line, col := l.line, l.col
+			l.advance()
+			l.toks = append(l.toks, token{kind: tokPunct, text: string(c), line: line, col: col})
+		default:
+			l.errorf(l.line, l.col, "unexpected character %q", c)
+		}
+	}
+	if l.fatal != nil {
+		return nil, l.fatal
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, line: l.line, col: l.col})
+	return l.toks, nil
+}
+
+func (l *lexer) skipLineComment() {
+	for l.pos < len(l.src) && l.peek() != '\n' {
+		l.advance()
+	}
+}
+
+func (l *lexer) skipBlockComment() {
+	startLine, startCol := l.line, l.col
+	l.advance() // '/'
+	l.advance() // '*'
+	for l.pos < len(l.src) {
+		if l.peek() == '*' && l.peek2() == '/' {
+			l.advance()
+			l.advance()
+			return
+		}
+		l.advance()
+	}
+	l.errorf(startLine, startCol, "unterminated block comment")
+}
+
+func (l *lexer) lexIdent() {
+	line, col := l.line, l.col
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.peek()) {
+		l.advance()
+	}
+	text := l.src[start:l.pos]
+	kind := tokIdent
+	if idlKeywords[text] {
+		kind = tokKeyword
+	}
+	l.toks = append(l.toks, token{kind: kind, text: text, line: line, col: col})
+}
+
+func (l *lexer) lexNumber() {
+	line, col := l.line, l.col
+	start := l.pos
+	if l.peek() == '-' {
+		l.advance()
+	}
+	for l.pos < len(l.src) && (isDigit(l.peek()) || l.peek() == '.' || l.peek() == 'x' ||
+		(l.peek() >= 'a' && l.peek() <= 'f') || (l.peek() >= 'A' && l.peek() <= 'F')) {
+		l.advance()
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], line: line, col: col})
+}
+
+func (l *lexer) lexString() {
+	line, col := l.line, l.col
+	l.advance() // opening quote
+	start := l.pos
+	for l.pos < len(l.src) && l.peek() != '"' {
+		if l.peek() == '\n' {
+			l.errorf(line, col, "newline in string literal")
+			return
+		}
+		l.advance()
+	}
+	if l.pos >= len(l.src) {
+		l.errorf(line, col, "unterminated string literal")
+		return
+	}
+	text := l.src[start:l.pos]
+	l.advance() // closing quote
+	l.toks = append(l.toks, token{kind: tokString, text: text, line: line, col: col})
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '-' || unicode.IsLetter(rune(c)) || isDigit(c)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,317 @@
+package webidl
+
+import (
+	"fmt"
+
+	"repro/internal/standards"
+)
+
+// Definition is one parsed interface declaration (possibly partial).
+type Definition struct {
+	Interface string
+	Parent    string
+	Partial   bool
+	Standard  standards.Abbrev
+	Singleton bool
+	Members   []MemberDecl
+	File      string
+}
+
+// MemberDecl is one parsed member declaration. Constants are parsed for
+// fidelity with real WebIDL files but are not features.
+type MemberDecl struct {
+	Kind     Kind
+	Name     string
+	Type     string
+	ReadOnly bool
+	Static   bool
+	Const    bool
+	Args     []ArgDecl
+}
+
+// ArgDecl is one parsed method argument.
+type ArgDecl struct {
+	Name     string
+	Type     string
+	Optional bool
+}
+
+// parser consumes a token stream into Definitions.
+type parser struct {
+	file string
+	toks []token
+	pos  int
+}
+
+// ParseFile parses one WebIDL-subset document.
+func ParseFile(file, src string) ([]Definition, error) {
+	toks, err := newLexer(file, src).run()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: file, toks: toks}
+	var defs []Definition
+	for !p.at(tokEOF, "") {
+		d, err := p.parseDefinition()
+		if err != nil {
+			return nil, err
+		}
+		defs = append(defs, d)
+	}
+	return defs, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	t := p.cur()
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return token{}, fmt.Errorf("%s:%d:%d: expected %s, got %s", p.file, t.line, t.col, want, t)
+}
+
+// parseDefinition parses one (possibly partial) interface with optional
+// extended attributes.
+func (p *parser) parseDefinition() (Definition, error) {
+	d := Definition{File: p.file}
+	if p.at(tokPunct, "[") {
+		if err := p.parseExtAttrs(&d); err != nil {
+			return d, err
+		}
+	}
+	if p.accept(tokKeyword, "partial") {
+		d.Partial = true
+	}
+	if _, err := p.expect(tokKeyword, "interface"); err != nil {
+		return d, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return d, err
+	}
+	d.Interface = name.text
+	if p.accept(tokPunct, ":") {
+		parent, err := p.expect(tokIdent, "")
+		if err != nil {
+			return d, err
+		}
+		d.Parent = parent.text
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return d, err
+	}
+	for !p.at(tokPunct, "}") {
+		m, err := p.parseMember()
+		if err != nil {
+			return d, err
+		}
+		d.Members = append(d.Members, m)
+	}
+	p.next() // '}'
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
+// parseExtAttrs parses "[Standard=DOM1, Singleton]"-style lists.
+func (p *parser) parseExtAttrs(d *Definition) error {
+	if _, err := p.expect(tokPunct, "["); err != nil {
+		return err
+	}
+	for {
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return err
+		}
+		var value string
+		if p.accept(tokPunct, "=") {
+			v := p.next()
+			if v.kind != tokIdent && v.kind != tokString && v.kind != tokNumber {
+				return fmt.Errorf("%s:%d:%d: bad extended attribute value %s", p.file, v.line, v.col, v)
+			}
+			value = v.text
+		}
+		switch name.text {
+		case "Standard":
+			d.Standard = standards.Abbrev(value)
+		case "Singleton":
+			d.Singleton = true
+		default:
+			// Unknown extended attributes are tolerated, as real
+			// Firefox WebIDL carries many binding annotations.
+		}
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	_, err := p.expect(tokPunct, "]")
+	return err
+}
+
+// parseMember parses one const, attribute, or method declaration.
+func (p *parser) parseMember() (MemberDecl, error) {
+	var m MemberDecl
+	if p.accept(tokKeyword, "const") {
+		m.Const = true
+		typ, err := p.parseType()
+		if err != nil {
+			return m, err
+		}
+		m.Type = typ
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return m, err
+		}
+		m.Name = name.text
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return m, err
+		}
+		v := p.next()
+		if v.kind != tokNumber && v.kind != tokIdent && v.kind != tokString {
+			return m, fmt.Errorf("%s:%d:%d: bad const value %s", p.file, v.line, v.col, v)
+		}
+		_, err = p.expect(tokPunct, ";")
+		return m, err
+	}
+
+	if p.accept(tokKeyword, "static") {
+		m.Static = true
+	}
+	if p.accept(tokKeyword, "readonly") {
+		m.ReadOnly = true
+	}
+	if p.accept(tokKeyword, "attribute") {
+		m.Kind = Attribute
+		typ, err := p.parseType()
+		if err != nil {
+			return m, err
+		}
+		m.Type = typ
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return m, err
+		}
+		m.Name = name.text
+		_, err = p.expect(tokPunct, ";")
+		return m, err
+	}
+	if m.ReadOnly {
+		t := p.cur()
+		return m, fmt.Errorf("%s:%d:%d: readonly must precede attribute", p.file, t.line, t.col)
+	}
+
+	// Method: type name(args);
+	m.Kind = Method
+	typ, err := p.parseType()
+	if err != nil {
+		return m, err
+	}
+	m.Type = typ
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return m, err
+	}
+	m.Name = name.text
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return m, err
+	}
+	for !p.at(tokPunct, ")") {
+		arg, err := p.parseArg()
+		if err != nil {
+			return m, err
+		}
+		m.Args = append(m.Args, arg)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return m, err
+	}
+	_, err = p.expect(tokPunct, ";")
+	return m, err
+}
+
+// parseType parses a type expression, returning its flattened spelling.
+func (p *parser) parseType() (string, error) {
+	if p.at(tokKeyword, "sequence") || p.at(tokKeyword, "Promise") {
+		outer := p.next().text
+		if _, err := p.expect(tokPunct, "<"); err != nil {
+			return "", err
+		}
+		inner, err := p.parseType()
+		if err != nil {
+			return "", err
+		}
+		if _, err := p.expect(tokPunct, ">"); err != nil {
+			return "", err
+		}
+		s := outer + "<" + inner + ">"
+		if p.accept(tokPunct, "?") {
+			s += "?"
+		}
+		return s, nil
+	}
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", err
+	}
+	s := t.text
+	// Multi-word integer types: "unsigned long long", "long long".
+	for (s == "unsigned" || s == "long" || s == "unsigned long") && p.at(tokIdent, "long") {
+		s += " " + p.next().text
+	}
+	if s == "unsigned" && p.at(tokIdent, "short") {
+		s += " " + p.next().text
+	}
+	if p.accept(tokPunct, "?") {
+		s += "?"
+	}
+	return s, nil
+}
+
+// parseArg parses one method argument.
+func (p *parser) parseArg() (ArgDecl, error) {
+	var a ArgDecl
+	if p.accept(tokKeyword, "optional") {
+		a.Optional = true
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return a, err
+	}
+	a.Type = typ
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return a, err
+	}
+	a.Name = name.text
+	if p.accept(tokPunct, "=") {
+		v := p.next()
+		if v.kind != tokNumber && v.kind != tokIdent && v.kind != tokString {
+			return a, fmt.Errorf("%s:%d:%d: bad default value %s", p.file, v.line, v.col, v)
+		}
+	}
+	return a, nil
+}

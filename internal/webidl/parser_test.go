@@ -1,0 +1,172 @@
+package webidl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSimpleInterface(t *testing.T) {
+	src := `
+// A comment.
+[Standard=DOM1, Singleton]
+interface Document : Node {
+  Element createElement(DOMString localName);
+  readonly attribute DOMString title;
+  attribute long cursorPos;
+  const unsigned short SHOW_ALL = 1;
+};
+`
+	defs, err := ParseFile("test.webidl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defs) != 1 {
+		t.Fatalf("got %d definitions, want 1", len(defs))
+	}
+	d := defs[0]
+	if d.Interface != "Document" || d.Parent != "Node" {
+		t.Errorf("interface = %s : %s, want Document : Node", d.Interface, d.Parent)
+	}
+	if d.Standard != "DOM1" {
+		t.Errorf("standard = %s, want DOM1", d.Standard)
+	}
+	if !d.Singleton {
+		t.Error("singleton flag not parsed")
+	}
+	if d.Partial {
+		t.Error("unexpected partial flag")
+	}
+	if len(d.Members) != 4 {
+		t.Fatalf("got %d members, want 4", len(d.Members))
+	}
+	if d.Members[0].Kind != Method || d.Members[0].Name != "createElement" {
+		t.Errorf("member 0 = %+v, want createElement method", d.Members[0])
+	}
+	if len(d.Members[0].Args) != 1 || d.Members[0].Args[0].Type != "DOMString" {
+		t.Errorf("createElement args = %+v", d.Members[0].Args)
+	}
+	if d.Members[1].Kind != Attribute || !d.Members[1].ReadOnly {
+		t.Errorf("member 1 = %+v, want readonly attribute", d.Members[1])
+	}
+	if d.Members[2].ReadOnly {
+		t.Errorf("member 2 should not be readonly")
+	}
+	if !d.Members[3].Const {
+		t.Errorf("member 3 should be a const")
+	}
+}
+
+func TestParsePartialInterface(t *testing.T) {
+	src := `
+[Standard=SLC]
+partial interface Document {
+  sequence<Element> querySelectorAll(DOMString selectors);
+  Promise<any> resolveLayout(optional boolean deep = true);
+};
+`
+	defs, err := ParseFile("p.webidl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !defs[0].Partial {
+		t.Error("partial flag not parsed")
+	}
+	if got := defs[0].Members[0].Type; got != "sequence<Element>" {
+		t.Errorf("return type = %q, want sequence<Element>", got)
+	}
+	if got := defs[0].Members[1].Type; got != "Promise<any>" {
+		t.Errorf("return type = %q, want Promise<any>", got)
+	}
+	if !defs[0].Members[1].Args[0].Optional {
+		t.Error("optional arg not parsed")
+	}
+}
+
+func TestParseMultiWordTypes(t *testing.T) {
+	src := `
+[Standard=HTML]
+interface Thing {
+  unsigned long long computeSize(long long offset);
+};
+`
+	defs, err := ParseFile("t.webidl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := defs[0].Members[0]
+	if m.Type != "unsigned long long" {
+		t.Errorf("return type = %q, want unsigned long long", m.Type)
+	}
+	if m.Args[0].Type != "long long" {
+		t.Errorf("arg type = %q, want long long", m.Args[0].Type)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unterminated comment", "/* oops", "unterminated block comment"},
+		{"missing semicolon", "[Standard=X] interface A { void f() }", "expected ;"},
+		{"bad char", "interface A @ {};", "unexpected character"},
+		{"readonly method", "[Standard=X] interface A { readonly void f(); };", "readonly must precede attribute"},
+		{"unterminated string", `[Standard=X] interface A { const long B = "x`, "unterminated string"},
+		{"missing brace", "[Standard=X] interface A ;", "expected {"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseFile("e.webidl", c.src)
+			if err == nil {
+				t.Fatalf("no error for %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := ParseFile("pos.webidl", "interface A {\n  void f()\n};\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "pos.webidl:3") {
+		t.Errorf("error %q lacks file:line position", err)
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	src := `
+// line comment
+/* block
+   comment */
+[Standard=X]
+interface A {};
+`
+	defs, err := ParseFile("c.webidl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defs) != 1 || defs[0].Interface != "A" {
+		t.Fatalf("defs = %+v", defs)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Method.String() != "method" || Attribute.String() != "attribute" {
+		t.Errorf("Kind strings wrong: %s, %s", Method, Attribute)
+	}
+	if got := Kind(9).String(); got != "Kind(9)" {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestFeatureName(t *testing.T) {
+	f := &Feature{Interface: "Document", Member: "createElement"}
+	if got := f.Name(); got != "Document.prototype.createElement" {
+		t.Errorf("Name = %q", got)
+	}
+}

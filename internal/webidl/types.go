@@ -1,0 +1,121 @@
+// Package webidl models the JavaScript-exposed browser feature corpus of
+// "Browser Feature Usage on the Modern Web" (IMC 2016).
+//
+// The paper extracts 1,392 methods and properties from the 757 WebIDL files
+// shipped in the Firefox 46.0.1 source tree and attributes each to one of 75
+// standards. This package provides:
+//
+//   - a parser for a WebIDL subset sufficient to describe that corpus,
+//   - a deterministic corpus generator that emits 757 .webidl files whose
+//     contents realize the per-standard feature counts of the standards
+//     catalog (including the specific features the paper names, such as
+//     Document.prototype.createElement and Navigator.prototype.vibrate), and
+//   - a Registry for looking features up by name, interface, or standard.
+//
+// The browser simulator's API dispatch layer (package webapi) is built from
+// this corpus, exactly as Firefox's DOM bindings are generated from its
+// WebIDL files.
+package webidl
+
+import (
+	"fmt"
+
+	"repro/internal/standards"
+)
+
+// Kind distinguishes the two member kinds the paper instruments.
+type Kind int
+
+const (
+	// Method is a JavaScript function exposed on an interface prototype.
+	Method Kind = iota
+	// Attribute is a property; the paper counts writes to attributes on
+	// singleton objects (window, document, navigator, ...).
+	Attribute
+)
+
+// String returns the WebIDL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Method:
+		return "method"
+	case Attribute:
+		return "attribute"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Feature is one instrumentable browser capability: a method or property
+// reachable from JavaScript.
+type Feature struct {
+	// ID is the feature's dense index within its Registry (stable for a
+	// given corpus seed).
+	ID int
+	// Interface is the defining WebIDL interface, e.g. "Document".
+	Interface string
+	// Member is the method or attribute name, e.g. "createElement".
+	Member string
+	// Kind says whether the feature is a method or an attribute.
+	Kind Kind
+	// ReadOnly marks read-only attributes (their writes cannot occur, but
+	// they remain part of the instrumented surface).
+	ReadOnly bool
+	// Standard is the abbreviation of the owning standard. Features that
+	// appear in multiple standards documents are attributed to the
+	// earliest published one, per the paper's §3.3 rule; the corpus
+	// records only that canonical attribution.
+	Standard standards.Abbrev
+	// File is the .webidl file the feature was parsed from.
+	File string
+	// Rank is the feature's popularity rank within its standard
+	// (0 = the standard's most popular feature). The synthetic-web
+	// calibration and the Firefox release-history model both key off it.
+	Rank int
+}
+
+// Name returns the paper's canonical feature name,
+// "Interface.prototype.member".
+func (f *Feature) Name() string {
+	return f.Interface + ".prototype." + f.Member
+}
+
+// Interface describes a parsed WebIDL interface.
+type Interface struct {
+	// Name is the interface identifier.
+	Name string
+	// Parent is the inherited interface, if any.
+	Parent string
+	// Singleton marks interfaces instantiated exactly once per page
+	// (window, document, navigator, ...); the measuring extension can
+	// watch property writes only on these, per the paper's §4.2.2.
+	Singleton bool
+	// Standard is the owning standard of the interface's primary
+	// definition.
+	Standard standards.Abbrev
+	// Members lists the interface's features in declaration order,
+	// aggregated across partial interface declarations.
+	Members []*Feature
+	// Files lists every .webidl file contributing members, in first-seen
+	// order.
+	Files []string
+}
+
+// singletonInterfaces names the per-page singleton objects. Property writes
+// are observable (via the Object.watch analog) only on instances of these.
+var singletonInterfaces = map[string]bool{
+	"Window":      true,
+	"Document":    true,
+	"Navigator":   true,
+	"Screen":      true,
+	"History":     true,
+	"Location":    true,
+	"Performance": true,
+	"Crypto":      true,
+	"Console":     true,
+	"Storage":     true,
+}
+
+// IsSingletonInterface reports whether the named interface is one of the
+// browser's per-page singletons.
+func IsSingletonInterface(name string) bool { return singletonInterfaces[name] }

@@ -1,0 +1,46 @@
+package webscript
+
+import "testing"
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(sampleScript)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(sampleScript); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// nullHost discards all effects, isolating interpreter overhead.
+type nullHost struct{}
+
+func (nullHost) Invoke(string, string, int) error { return nil }
+func (nullHost) SetProperty(string, string) error { return nil }
+func (nullHost) Navigate(string)                  {}
+
+func BenchmarkExecute(b *testing.B) {
+	s, err := Parse(sampleScript)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Execute(s.Immediate, nullHost{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFormat(b *testing.B) {
+	s, err := Parse(sampleScript)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Format(s)
+	}
+}

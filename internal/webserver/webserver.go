@@ -1,0 +1,172 @@
+// Package webserver exposes the synthetic web to the browser simulator.
+//
+// Two fetch paths are provided. DirectFetcher resolves resources in-process
+// — the fast path the large-scale survey uses. Server + HTTPFetcher serve
+// the same web over a real net/http listener with host-based virtual
+// hosting, reproducing the paper's proxy architecture (every browser
+// request traverses an HTTP hop); the integration tests and one benchmark
+// exercise this path to keep the network stack honest.
+package webserver
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/synthweb"
+)
+
+// Fetcher retrieves a resource by absolute URL.
+type Fetcher interface {
+	Fetch(rawURL string) (synthweb.Resource, error)
+}
+
+// DirectFetcher resolves resources straight from the generated web.
+type DirectFetcher struct {
+	Web *synthweb.Web
+}
+
+// Fetch implements Fetcher.
+func (d DirectFetcher) Fetch(rawURL string) (synthweb.Resource, error) {
+	return d.Web.Resource(rawURL)
+}
+
+// Server serves a synthetic web over HTTP with host-based routing: the
+// request's Host header selects the virtual site (or third-party service),
+// and the path selects the resource.
+type Server struct {
+	web      *synthweb.Web
+	listener net.Listener
+	httpSrv  *http.Server
+}
+
+// NewServer starts a server on a random loopback port.
+func NewServer(web *synthweb.Web) (*Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("webserver: listen: %w", err)
+	}
+	s := &Server{web: web, listener: ln}
+	s.httpSrv = &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		// Serve exits with ErrServerClosed on Close; other errors are
+		// surfaced through failed fetches.
+		_ = s.httpSrv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the server's listen address ("127.0.0.1:port").
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// ServeHTTP implements http.Handler with virtual hosting on the Host
+// header.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	host := r.Host
+	if h, _, err := net.SplitHostPort(host); err == nil {
+		host = h
+	}
+	virtual := "http://" + host + r.URL.Path
+	res, err := s.web.Resource(virtual)
+	if err != nil {
+		switch err.(type) {
+		case *synthweb.ErrUnresponsive:
+			// A real unresponsive host would hang; answering 504
+			// keeps the HTTP path testable while still failing
+			// the fetch.
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		case *synthweb.ErrNotFound:
+			http.Error(w, err.Error(), http.StatusNotFound)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", res.ContentType)
+	_, _ = io.WriteString(w, res.Body)
+}
+
+// HTTPFetcher fetches through a Server, directing every virtual host to the
+// server's loopback address while preserving the Host header — the same
+// trick the paper's measurement proxy plays.
+type HTTPFetcher struct {
+	// Addr is the server's loopback address.
+	Addr string
+	// Client is the HTTP client; a zero value uses a dedicated client
+	// with sane timeouts.
+	Client *http.Client
+}
+
+// NewHTTPFetcher builds a fetcher for a server.
+func NewHTTPFetcher(s *Server) *HTTPFetcher {
+	return &HTTPFetcher{
+		Addr: s.Addr(),
+		Client: &http.Client{
+			Timeout: 10 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 16,
+			},
+		},
+	}
+}
+
+// Fetch implements Fetcher over HTTP.
+func (f *HTTPFetcher) Fetch(rawURL string) (synthweb.Resource, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return synthweb.Resource{}, fmt.Errorf("webserver: bad url %q: %w", rawURL, err)
+	}
+	proxied := *u
+	proxied.Scheme = "http"
+	virtualHost := u.Host
+	proxied.Host = f.Addr
+
+	req, err := http.NewRequest(http.MethodGet, proxied.String(), nil)
+	if err != nil {
+		return synthweb.Resource{}, err
+	}
+	req.Host = virtualHost
+
+	client := f.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return synthweb.Resource{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return synthweb.Resource{}, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		ct := resp.Header.Get("Content-Type")
+		if i := strings.IndexByte(ct, ';'); i >= 0 {
+			ct = ct[:i]
+		}
+		return synthweb.Resource{ContentType: ct, Body: string(body)}, nil
+	case http.StatusGatewayTimeout:
+		return synthweb.Resource{}, &synthweb.ErrUnresponsive{Domain: virtualHost}
+	case http.StatusNotFound:
+		return synthweb.Resource{}, &synthweb.ErrNotFound{URL: rawURL}
+	default:
+		return synthweb.Resource{}, fmt.Errorf("webserver: %s returned %s", rawURL, resp.Status)
+	}
+}

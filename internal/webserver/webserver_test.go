@@ -1,0 +1,202 @@
+package webserver
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/synthweb"
+	"repro/internal/webidl"
+)
+
+func testWeb(t testing.TB) *synthweb.Web {
+	t.Helper()
+	reg, err := webidl.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	web, err := synthweb.Generate(reg, synthweb.Config{Sites: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return web
+}
+
+func healthySite(t testing.TB, web *synthweb.Web) *synthweb.Site {
+	t.Helper()
+	for _, s := range web.Sites {
+		if s.Failure == synthweb.FailNone {
+			return s
+		}
+	}
+	t.Fatal("no healthy site")
+	return nil
+}
+
+func TestDirectFetcher(t *testing.T) {
+	web := testWeb(t)
+	site := healthySite(t, web)
+	f := DirectFetcher{Web: web}
+	res, err := f.Fetch("http://" + site.Domain + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContentType != "text/html" || !strings.Contains(res.Body, "<html>") {
+		t.Fatalf("unexpected resource: %s", res.ContentType)
+	}
+}
+
+func TestHTTPServerRoundTrip(t *testing.T) {
+	web := testWeb(t)
+	site := healthySite(t, web)
+	srv, err := NewServer(web)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	f := NewHTTPFetcher(srv)
+
+	// Page and script must match the direct fetcher byte for byte:
+	// the HTTP hop is transparent.
+	direct := DirectFetcher{Web: web}
+	for _, u := range []string{
+		"http://" + site.Domain + "/",
+		"http://" + site.Domain + "/static/home.js",
+		"http://" + site.Domain + "/sec1",
+	} {
+		want, err := direct.Fetch(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.Fetch(u)
+		if err != nil {
+			t.Fatalf("HTTP fetch %s: %v", u, err)
+		}
+		if got.Body != want.Body {
+			t.Errorf("HTTP and direct bodies differ for %s", u)
+		}
+		if got.ContentType != want.ContentType {
+			t.Errorf("content types differ for %s: %s vs %s", u, got.ContentType, want.ContentType)
+		}
+	}
+}
+
+func TestHTTPServerVirtualHosting(t *testing.T) {
+	web := testWeb(t)
+	srv, err := NewServer(web)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	f := NewHTTPFetcher(srv)
+
+	// Two different sites must serve different content from the same
+	// listener, keyed by Host header.
+	var a, b *synthweb.Site
+	for _, s := range web.Sites {
+		if s.Failure != synthweb.FailNone {
+			continue
+		}
+		if a == nil {
+			a = s
+		} else {
+			b = s
+			break
+		}
+	}
+	ra, err := f.Fetch("http://" + a.Domain + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := f.Fetch("http://" + b.Domain + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Body == rb.Body {
+		t.Error("virtual hosting failed: two sites served identical pages")
+	}
+	if !strings.Contains(ra.Body, a.Domain) {
+		t.Error("page does not mention its own domain")
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	web := testWeb(t)
+	srv, err := NewServer(web)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	f := NewHTTPFetcher(srv)
+
+	site := healthySite(t, web)
+	if _, err := f.Fetch("http://" + site.Domain + "/no-such-page"); err == nil {
+		t.Error("404 path did not error")
+	} else if _, ok := err.(*synthweb.ErrNotFound); !ok {
+		t.Errorf("404 mapped to %T, want ErrNotFound", err)
+	}
+
+	for _, s := range web.Sites {
+		if s.Failure != synthweb.FailUnresponsive {
+			continue
+		}
+		_, err := f.Fetch("http://" + s.Domain + "/")
+		if _, ok := err.(*synthweb.ErrUnresponsive); !ok {
+			t.Errorf("unresponsive mapped to %v, want ErrUnresponsive", err)
+		}
+		break
+	}
+}
+
+func TestHTTPThirdPartyScripts(t *testing.T) {
+	web := testWeb(t)
+	srv, err := NewServer(web)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	f := NewHTTPFetcher(srv)
+
+	// Find an ad script URL via a page, then fetch it over HTTP.
+	for _, s := range web.Sites {
+		if s.Failure != synthweb.FailNone {
+			continue
+		}
+		res, err := f.Fetch("http://" + s.Domain + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ad pages carry both a script tag (/tags/... path) and a
+		// landing-page link; we want the script.
+		idx := strings.Index(res.Body, "http://adnet-")
+		for idx >= 0 && !strings.Contains(res.Body[idx:min(idx+80, len(res.Body))], "/tags/") {
+			next := strings.Index(res.Body[idx+1:], "http://adnet-")
+			if next < 0 {
+				idx = -1
+				break
+			}
+			idx += 1 + next
+		}
+		if idx < 0 {
+			continue
+		}
+		end := strings.Index(res.Body[idx:], `"`)
+		u := res.Body[idx : idx+end]
+		script, err := f.Fetch(u)
+		if err != nil {
+			t.Fatalf("ad script fetch: %v", err)
+		}
+		if script.ContentType != "application/javascript" {
+			t.Errorf("ad script content type %s", script.ContentType)
+		}
+		return
+	}
+	t.Skip("no ad script in sample")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
