@@ -6,7 +6,10 @@
 //	crawl -sites 10000 -seed 42 -rounds 5 -out survey.csv
 //
 // At -sites 10000 the run reproduces the paper's full scale (four browser
-// configurations, five rounds, 13 pages per visit).
+// configurations, five rounds, 13 pages per visit). The survey executes on
+// the sharded internal/pipeline engine (-shards partitions × workers);
+// -shards 0 falls back to the legacy sequential loop. Both produce the same
+// log for a seed.
 package main
 
 import (
@@ -26,7 +29,8 @@ func main() {
 		sites       = flag.Int("sites", 1000, "number of ranked sites to generate and crawl")
 		seed        = flag.Int64("seed", 42, "deterministic seed for generation and crawling")
 		rounds      = flag.Int("rounds", 5, "visits per (site, configuration)")
-		parallelism = flag.Int("parallelism", 8, "concurrent site workers")
+		parallelism = flag.Int("parallelism", 8, "total concurrent site workers")
+		shards      = flag.Int("shards", 4, "site partitions for the pipeline engine; 0 = legacy sequential loop")
 		cases       = flag.String("cases", "default,blocking,adblock,ghostery", "comma-separated browser configurations")
 		useHTTP     = flag.Bool("http", false, "fetch through a real net/http server instead of in-process")
 		out         = flag.String("out", "", "write the measurement log (CSV) to this file")
@@ -46,6 +50,7 @@ func main() {
 		Seed:        *seed,
 		Rounds:      *rounds,
 		Parallelism: *parallelism,
+		Shards:      *shards,
 		Cases:       cs,
 		UseHTTP:     *useHTTP,
 	})

@@ -1,0 +1,125 @@
+// Command pipeline runs the sharded crawl→measure→aggregate engine and
+// prints the paper's headline tables from a single parallel pass: survey
+// scale (Table 1), feature popularity (§5.1), and — when a blocking profile
+// is selected — the blocked-vs-unblocked feature deltas behind Figure 4.
+//
+// Usage:
+//
+//	pipeline -sites 10000 -seed 42 -shards 8 -workers 4 -profile blocking
+//
+// The blocking profile picks the browser configurations to crawl:
+//
+//	none      default browser only
+//	adblock   default + AdBlock Plus
+//	ghostery  default + Ghostery
+//	blocking  default + AdBlock Plus + Ghostery combined (the paper's pair)
+//	all       every configuration (adds the Figure 7 singles)
+//
+// Sharding never changes results: the log is byte-identical to a sequential
+// crawl of the same seed, only faster.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/blocking"
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		sites   = flag.Int("sites", 1000, "number of ranked sites to generate and crawl")
+		seed    = flag.Int64("seed", 42, "deterministic seed for generation and crawling")
+		rounds  = flag.Int("rounds", 5, "visits per (site, configuration)")
+		shards  = flag.Int("shards", 4, "site partitions crawled independently")
+		workers = flag.Int("workers", 4, "browser workers per shard")
+		batch   = flag.Int("batch", 0, "visits merged per batch (0 = engine default)")
+		profile = flag.String("profile", "blocking", "blocking profile: none, adblock, ghostery, blocking, or all")
+		topN    = flag.Int("top", 15, "rows in the popularity and delta tables")
+		timeout = flag.Duration("timeout", 0, "abort the crawl after this duration (0 = none)")
+		out     = flag.String("out", "", "write the measurement log (CSV) to this file")
+	)
+	flag.Parse()
+
+	prof, err := blocking.ParseProfile(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	study, err := core.NewStudy(core.Config{
+		Sites:        *sites,
+		Seed:         *seed,
+		Rounds:       *rounds,
+		Cases:        prof.Cases(),
+		Shards:       *shards,
+		ShardWorkers: *workers,
+		BatchSize:    *batch,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer study.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	results, err := study.RunSurveyContext(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "%d sites × %d cases × %d rounds in %s (%d shards × %d workers)\n",
+		*sites, len(prof.Cases()), *rounds, elapsed.Round(time.Millisecond), *shards, *workers)
+
+	report.Table1(os.Stdout, results.Stats)
+	fmt.Println()
+
+	a := results.Analysis
+	fmt.Printf("Feature popularity (top %d of %d features, %s case)\n", *topN, results.Log.NumFeatures, measure.CaseDefault)
+	fmt.Printf("%-8s %-44s %8s %9s\n", "rank", "feature", "sites", "fraction")
+	for i, row := range a.TopFeatures(measure.CaseDefault, *topN) {
+		fmt.Printf("%-8d %-44s %8d %8.1f%%\n", i+1, row.Name, row.Sites, 100*row.Fraction)
+	}
+
+	if blockedCase, ok := prof.BlockingCase(); ok {
+		fmt.Println()
+		fmt.Printf("Blocked-vs-unblocked deltas (top %d drops, %s vs %s)\n", *topN, measure.CaseDefault, blockedCase)
+		fmt.Printf("%-44s %8s %8s %6s %8s\n", "feature", "default", "blocked", "drop", "rate")
+		for _, row := range a.FeatureDeltas(measure.CaseDefault, blockedCase, *topN) {
+			fmt.Printf("%-44s %8d %8d %6d %7.1f%%\n", row.Name, row.BaseSites, row.BlockedSites, row.Drop, 100*row.DropRate)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := results.Log.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "measurement log written to %s\n", *out)
+	}
+}

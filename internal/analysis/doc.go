@@ -1,0 +1,15 @@
+// Package analysis derives the paper's results (§5, §6 of "Browser Feature
+// Usage on the Modern Web", IMC 2016) from survey measurement logs:
+// popularity distributions (§5.1), block rates under the blocking profiles
+// (§5.4, Figure 4), site complexity (Figure 8), age/popularity relations
+// (§5.2, Figure 6), CVE association (Table 2), and the internal/external
+// validation statistics (§6).
+//
+// Analysis consumes only measured data — a measure.Log plus the
+// webidl.Registry it was measured against — never the synthetic web's
+// calibration profile, so the same code analyzes logs from the sequential
+// crawler, the sharded internal/pipeline engine, or a CSV written by an
+// earlier run. TopFeatures and FeatureDeltas render the headline tables the
+// cmd/pipeline binary prints: per-feature popularity and the per-feature
+// usage drops caused by content blocking.
+package analysis

@@ -1,8 +1,3 @@
-// Package analysis derives the paper's results (§5, §6) from survey
-// measurement logs: popularity distributions, block rates, complexity,
-// age/popularity relations, CVE association, and the internal/external
-// validation statistics. It consumes only measured data — never the
-// synthetic web's calibration profile.
 package analysis
 
 import (

@@ -1,0 +1,16 @@
+// Package blocking implements the content-blocking extensions of the
+// paper's §3.6 ("Browser Feature Usage on the Modern Web", IMC 2016): an
+// AdBlock Plus-style filter-list engine (crowd-sourced URL rules plus
+// element-hiding rules) and a Ghostery-style tracker database (curated
+// cross-domain tracking domains). The crawler installs these as browser
+// extensions for the paper's blocking measurement configurations, and §5.4
+// measures how site behavior differs under them.
+//
+// Profile names the user-facing blocking setups (none, adblock, ghostery,
+// blocking, all) and expands each to the measure.Case set a survey run must
+// crawl so blocked-vs-unblocked deltas are computable from one pass; the
+// cmd/pipeline binary selects cases this way. Engine and TrackerDB are
+// immutable once parsed and safe to share across concurrent browser
+// workers, which is how the sharded pipeline amortizes one parse over every
+// worker in every shard.
+package blocking

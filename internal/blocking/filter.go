@@ -1,8 +1,3 @@
-// Package blocking implements the content-blocking extensions of the
-// paper's §3.6: an AdBlock Plus-style filter-list engine (crowd-sourced URL
-// rules plus element-hiding rules) and a Ghostery-style tracker database
-// (curated cross-domain tracking domains). The crawler installs these as
-// browser extensions for the paper's "blocking" measurement configuration.
 package blocking
 
 import (

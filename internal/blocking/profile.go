@@ -1,0 +1,71 @@
+package blocking
+
+import (
+	"fmt"
+
+	"repro/internal/measure"
+)
+
+// Profile names a blocking setup of the survey, the unit a user selects on
+// the command line. Each profile expands to the browser configurations the
+// crawl must run: the unmodified baseline plus, when blockers are involved,
+// the matching blocking case, so blocked-vs-unblocked deltas are always
+// computable from one run.
+type Profile string
+
+const (
+	// ProfileNone runs only the default, unmodified browser.
+	ProfileNone Profile = "none"
+	// ProfileAdBlock pairs the baseline with AdBlock Plus alone
+	// (Figure 7's x-axis).
+	ProfileAdBlock Profile = "adblock"
+	// ProfileGhostery pairs the baseline with Ghostery alone
+	// (Figure 7's y-axis).
+	ProfileGhostery Profile = "ghostery"
+	// ProfileBlocking pairs the baseline with the paper's combined
+	// AdBlock Plus + Ghostery configuration (§4.1).
+	ProfileBlocking Profile = "blocking"
+	// ProfileAll runs every configuration of the survey.
+	ProfileAll Profile = "all"
+)
+
+// ParseProfile validates a user-supplied profile name.
+func ParseProfile(s string) (Profile, error) {
+	switch p := Profile(s); p {
+	case ProfileNone, ProfileAdBlock, ProfileGhostery, ProfileBlocking, ProfileAll:
+		return p, nil
+	}
+	return "", fmt.Errorf("blocking: unknown profile %q (want none, adblock, ghostery, blocking, or all)", s)
+}
+
+// Cases expands the profile into the browser configurations to crawl, in
+// canonical order.
+func (p Profile) Cases() []measure.Case {
+	switch p {
+	case ProfileNone:
+		return []measure.Case{measure.CaseDefault}
+	case ProfileAdBlock:
+		return []measure.Case{measure.CaseDefault, measure.CaseAdBlock}
+	case ProfileGhostery:
+		return []measure.Case{measure.CaseDefault, measure.CaseGhostery}
+	case ProfileBlocking:
+		return []measure.Case{measure.CaseDefault, measure.CaseBlocking}
+	default:
+		return measure.AllCases()
+	}
+}
+
+// BlockingCase returns the profile's blocking-side configuration and
+// whether the profile has one (ProfileNone does not). ProfileAll compares
+// against the paper's combined configuration.
+func (p Profile) BlockingCase() (measure.Case, bool) {
+	switch p {
+	case ProfileAdBlock:
+		return measure.CaseAdBlock, true
+	case ProfileGhostery:
+		return measure.CaseGhostery, true
+	case ProfileBlocking, ProfileAll:
+		return measure.CaseBlocking, true
+	}
+	return "", false
+}

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/cve"
 	"repro/internal/firefoxhist"
 	"repro/internal/measure"
+	"repro/internal/pipeline"
 	"repro/internal/report"
 	"repro/internal/standards"
 	"repro/internal/synthweb"
@@ -40,8 +42,20 @@ type Config struct {
 	// Cases lists the browser configurations; nil means all four
 	// (default, blocking, ad-only, tracker-only).
 	Cases []measure.Case
-	// Parallelism is the crawl worker count; 0 means 4.
+	// Parallelism is the crawl worker count; 0 means 4. It applies to
+	// the sequential crawler (Shards == 0) and, divided across shards,
+	// to the pipeline when ShardWorkers is unset.
 	Parallelism int
+	// Shards routes the survey through the sharded internal/pipeline
+	// engine with this many site partitions; 0 keeps the sequential
+	// crawler loop. Both paths produce identical logs for a seed.
+	Shards int
+	// ShardWorkers is the number of browser workers per shard; 0 derives
+	// it from Parallelism as a total budget the engine never exceeds.
+	ShardWorkers int
+	// BatchSize is the pipeline's visit-merge batch size; 0 picks the
+	// engine default.
+	BatchSize int
 	// UseHTTP routes all fetches through a real net/http server instead
 	// of in-process resolution.
 	UseHTTP bool
@@ -122,13 +136,9 @@ func (s *Study) Close() error {
 	return nil
 }
 
-// crawler builds the configured crawler.
+// crawler builds the configured sequential crawler.
 func (s *Study) crawler() *crawler.Crawler {
-	ccfg := crawler.DefaultConfig(s.Cfg.Seed)
-	ccfg.Rounds = s.Cfg.Rounds
-	ccfg.Cases = s.Cfg.Cases
-	ccfg.Parallelism = s.Cfg.Parallelism
-	c := crawler.New(s.Web, s.Bindings, ccfg)
+	c := crawler.New(s.Web, s.Bindings, s.crawlConfig())
 	if s.server != nil {
 		srv := s.server
 		c.NewFetcher = func() webserver.Fetcher { return webserver.NewHTTPFetcher(srv) }
@@ -136,13 +146,66 @@ func (s *Study) crawler() *crawler.Crawler {
 	return c
 }
 
-// RunSurvey executes the full automated survey.
+// crawlConfig is the survey methodology shared by both execution engines.
+func (s *Study) crawlConfig() crawler.Config {
+	ccfg := crawler.DefaultConfig(s.Cfg.Seed)
+	ccfg.Rounds = s.Cfg.Rounds
+	ccfg.Cases = s.Cfg.Cases
+	ccfg.Parallelism = s.Cfg.Parallelism
+	return ccfg
+}
+
+// RunSurvey executes the full automated survey, through the sharded
+// pipeline engine when Cfg.Shards > 0 and the sequential crawler otherwise.
 func (s *Study) RunSurvey() (*Results, error) {
+	return s.RunSurveyContext(context.Background())
+}
+
+// RunSurveyContext is RunSurvey with cancellation; the context only applies
+// to the pipeline path (the sequential crawler has no cancellation points).
+func (s *Study) RunSurveyContext(ctx context.Context) (*Results, error) {
+	if s.Cfg.Shards > 0 {
+		res, err := s.pipeline().Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &Results{Log: res.Log, Stats: res.Stats, Analysis: analysis.New(res.Log, s.Registry)}, nil
+	}
 	log, stats, err := s.crawler().Run()
 	if err != nil {
 		return nil, err
 	}
 	return &Results{Log: log, Stats: stats, Analysis: analysis.New(log, s.Registry)}, nil
+}
+
+// pipeline builds the configured sharded engine. When ShardWorkers is
+// unset, Parallelism (0 meaning 4) is treated as the total worker budget:
+// shards collapse to at most Parallelism and each gets its floor share, so
+// the engine never runs more concurrent workers than asked for.
+func (s *Study) pipeline() *pipeline.Engine {
+	shards := s.Cfg.Shards
+	workers := s.Cfg.ShardWorkers
+	if workers <= 0 {
+		par := s.Cfg.Parallelism
+		if par <= 0 {
+			par = 4
+		}
+		if shards > par {
+			shards = par
+		}
+		workers = par / shards
+	}
+	eng := pipeline.New(s.Web, s.Bindings, pipeline.Config{
+		Shards:          shards,
+		WorkersPerShard: workers,
+		BatchSize:       s.Cfg.BatchSize,
+		Crawl:           s.crawlConfig(),
+	})
+	if s.server != nil {
+		srv := s.server
+		eng.NewFetcher = func() webserver.Fetcher { return webserver.NewHTTPFetcher(srv) }
+	}
+	return eng
 }
 
 // RunExternalValidation performs the §6.2 protocol: visit a visit-weighted

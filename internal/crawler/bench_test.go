@@ -43,7 +43,7 @@ func BenchmarkCrawlSiteVisit(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	w := &siteWorker{
+	w := &Visitor{
 		crawler:  c,
 		cfg:      c.Cfg,
 		browser:  brws.New(c.Bindings, webserver.DirectFetcher{Web: c.Web}, exts...),
@@ -53,7 +53,7 @@ func BenchmarkCrawlSiteVisit(b *testing.B) {
 	b.ResetTimer()
 	var pages int
 	for i := 0; i < b.N; i++ {
-		_, p, err := w.crawlOnce(site, int64(i))
+		_, p, err := w.CrawlOnce(site, int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,7 +71,7 @@ func BenchmarkCrawlSiteVisitBlocking(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	w := &siteWorker{
+	w := &Visitor{
 		crawler:  c,
 		cfg:      c.Cfg,
 		browser:  brws.New(c.Bindings, webserver.DirectFetcher{Web: c.Web}, exts...),
@@ -80,7 +80,7 @@ func BenchmarkCrawlSiteVisitBlocking(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := w.crawlOnce(site, int64(i)); err != nil {
+		if _, _, err := w.CrawlOnce(site, int64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,7 +1,3 @@
-// Package crawler implements the paper's automated survey (§4.3): for every
-// site, repeated monkey-tested visits of a 13-page breadth-first sample of
-// the site's hierarchy, in a default browser profile and in profiles with
-// content-blocking extensions installed, five rounds each.
 package crawler
 
 import (
@@ -74,6 +70,14 @@ type Crawler struct {
 	// in-process fetching.
 	NewFetcher func() webserver.Fetcher
 	Cfg        Config
+
+	// Parsed blocker state is shared across all visitors: the filter
+	// list and tracker database are immutable once built, so one parse
+	// serves every worker of every shard.
+	blockersOnce sync.Once
+	abpEngine    *blocking.Engine
+	trackerDB    *blocking.TrackerDB
+	blockersErr  error
 }
 
 // New builds a crawler with the direct fetcher.
@@ -99,25 +103,51 @@ type Stats struct {
 	InteractionSeconds float64
 }
 
+// blockers parses the synthetic web's filter list and tracker database
+// exactly once per Crawler; both structures are read-only after construction
+// and safe to share across concurrent browsers.
+func (c *Crawler) blockers() (*blocking.Engine, *blocking.TrackerDB, error) {
+	c.blockersOnce.Do(func() {
+		list, err := blocking.ParseList("easylist-synthetic", c.Web.FilterListText)
+		if err != nil {
+			c.blockersErr = fmt.Errorf("crawler: parsing filter list: %w", err)
+			return
+		}
+		c.abpEngine = blocking.NewEngine(list)
+		db, err := blocking.ParseTrackerDB(c.Web.TrackerLibText)
+		if err != nil {
+			c.blockersErr = fmt.Errorf("crawler: parsing tracker library: %w", err)
+			return
+		}
+		c.trackerDB = db
+	})
+	return c.abpEngine, c.trackerDB, c.blockersErr
+}
+
+// caseNeedsBlockers reports whether the configuration installs any blocking
+// extension.
+func caseNeedsBlockers(cs measure.Case) bool {
+	return cs == measure.CaseBlocking || cs == measure.CaseAdBlock || cs == measure.CaseGhostery
+}
+
 // extensionsFor builds the extension stack for a case. The measurer always
 // rides along; blockers depend on the case.
 func (c *Crawler) extensionsFor(cs measure.Case, m *extension.Measurer) ([]browser.Extension, error) {
 	exts := []browser.Extension{m}
 	needABP := cs == measure.CaseBlocking || cs == measure.CaseAdBlock
 	needGhostery := cs == measure.CaseBlocking || cs == measure.CaseGhostery
+	if !needABP && !needGhostery {
+		return exts, nil
+	}
+	abp, ghostery, err := c.blockers()
+	if err != nil {
+		return nil, err
+	}
 	if needABP {
-		list, err := blocking.ParseList("easylist-synthetic", c.Web.FilterListText)
-		if err != nil {
-			return nil, fmt.Errorf("crawler: parsing filter list: %w", err)
-		}
-		exts = append(exts, &browser.BlockingExtension{Label: "adblock-plus", Blocker: blocking.NewEngine(list)})
+		exts = append(exts, &browser.BlockingExtension{Label: "adblock-plus", Blocker: abp})
 	}
 	if needGhostery {
-		db, err := blocking.ParseTrackerDB(c.Web.TrackerLibText)
-		if err != nil {
-			return nil, fmt.Errorf("crawler: parsing tracker library: %w", err)
-		}
-		exts = append(exts, &browser.BlockingExtension{Label: "ghostery", Blocker: db})
+		exts = append(exts, &browser.BlockingExtension{Label: "ghostery", Blocker: ghostery})
 	}
 	return exts, nil
 }
@@ -142,6 +172,19 @@ func (c *Crawler) Run() (*measure.Log, *Stats, error) {
 	}
 	log := measure.NewLog(len(c.Web.Registry.Features), domains)
 
+	// Surface blocker parse errors up front instead of inside workers:
+	// they are deterministic, identical across workers, and fatal. A
+	// default-only survey never touches the blocker texts, so it must
+	// not fail on them either.
+	for _, cs := range cfg.Cases {
+		if caseNeedsBlockers(cs) {
+			if _, _, err := c.blockers(); err != nil {
+				return nil, nil, err
+			}
+			break
+		}
+	}
+
 	var mu sync.Mutex
 	stats := &Stats{}
 	failedSites := make(map[int]bool)
@@ -154,33 +197,20 @@ func (c *Crawler) Run() (*measure.Log, *Stats, error) {
 			defer wg.Done()
 			// Each worker owns one browser per case, sharing the
 			// script cache across the sites it processes.
-			workers := make(map[measure.Case]*siteWorker)
+			workers := make(map[measure.Case]*Visitor)
 			for _, cs := range cfg.Cases {
-				m := extension.NewMeasurer()
-				exts, err := c.extensionsFor(cs, m)
+				v, err := c.newVisitor(cs, cfg)
 				if err != nil {
-					// Configuration errors are fatal and
-					// identical across workers; report via
-					// a failed-site marker on everything.
 					return
 				}
-				fetcher := webserver.Fetcher(webserver.DirectFetcher{Web: c.Web})
-				if c.NewFetcher != nil {
-					fetcher = c.NewFetcher()
-				}
-				workers[cs] = &siteWorker{
-					crawler:  c,
-					cfg:      cfg,
-					browser:  browser.New(c.Bindings, fetcher, exts...),
-					measurer: m,
-				}
+				workers[cs] = v
 			}
 			for site := range sites {
 				for _, cs := range cfg.Cases {
 					w := workers[cs]
 					for round := 0; round < cfg.Rounds; round++ {
-						seed := visitSeed(cfg.Seed, site.Index, cs, round)
-						counts, pages, err := w.crawlOnce(site, seed)
+						seed := VisitSeed(cfg.Seed, site.Index, cs, round)
+						counts, pages, err := w.CrawlOnce(site, seed)
 						mu.Lock()
 						if err != nil {
 							failedSites[site.Index] = true
@@ -215,8 +245,11 @@ func (c *Crawler) Run() (*measure.Log, *Stats, error) {
 	return log, stats, nil
 }
 
-// visitSeed derives the deterministic seed of one visit.
-func visitSeed(base int64, site int, cs measure.Case, round int) int64 {
+// VisitSeed derives the deterministic seed of one visit. Every scheduler —
+// the sequential Run loop here and the sharded engine in internal/pipeline —
+// must use this derivation so a visit's randomness depends only on
+// (base seed, site, case, round), never on which worker performs it.
+func VisitSeed(base int64, site int, cs measure.Case, round int) int64 {
 	var caseSalt int64
 	for _, b := range []byte(cs) {
 		caseSalt = caseSalt*131 + int64(b)
@@ -224,21 +257,47 @@ func visitSeed(base int64, site int, cs measure.Case, round int) int64 {
 	return base ^ (int64(site)+1)*1_000_003 ^ caseSalt*7_919 ^ int64(round+1)*104_729
 }
 
-// siteWorker crawls sites under one browser configuration.
-type siteWorker struct {
+// Visitor crawls sites under one browser configuration. A Visitor owns one
+// browser (and its script cache) and must be used from a single goroutine;
+// create one per worker via NewVisitor.
+type Visitor struct {
 	crawler  *Crawler
 	cfg      Config
 	browser  *browser.Browser
 	measurer *extension.Measurer
 }
 
-// crawlOnce performs one round of the paper's per-site procedure: monkey
+// NewVisitor builds a single-goroutine visitor for one browser
+// configuration, wiring the measurer and the case's blocking extensions.
+func (c *Crawler) NewVisitor(cs measure.Case) (*Visitor, error) {
+	return c.newVisitor(cs, c.Cfg)
+}
+
+func (c *Crawler) newVisitor(cs measure.Case, cfg Config) (*Visitor, error) {
+	m := extension.NewMeasurer()
+	exts, err := c.extensionsFor(cs, m)
+	if err != nil {
+		return nil, err
+	}
+	fetcher := webserver.Fetcher(webserver.DirectFetcher{Web: c.Web})
+	if c.NewFetcher != nil {
+		fetcher = c.NewFetcher()
+	}
+	return &Visitor{
+		crawler:  c,
+		cfg:      cfg,
+		browser:  browser.New(c.Bindings, fetcher, exts...),
+		measurer: m,
+	}, nil
+}
+
+// CrawlOnce performs one round of the paper's per-site procedure: monkey
 // testing on the home page, then a breadth-first expansion through Branch
 // levels of intercepted navigation targets (1 + 3 + 9 = 13 pages for
 // Branch=3), 30 virtual seconds each. It returns the feature counts
 // observed. A dead home page or a script syntax error makes the site
 // unmeasurable, matching the paper's 267 lost domains.
-func (w *siteWorker) crawlOnce(site *synthweb.Site, seed int64) (map[int]int64, int, error) {
+func (w *Visitor) CrawlOnce(site *synthweb.Site, seed int64) (map[int]int64, int, error) {
 	rng := rand.New(rand.NewSource(seed))
 	horde := &gremlins.Horde{
 		Species: []gremlins.Weighted{
@@ -341,7 +400,7 @@ func (w *siteWorker) crawlOnce(site *synthweb.Site, seed int64) (map[int]int64, 
 
 // selectURLs picks up to Branch URLs from the candidates, preferring URLs
 // whose directory structure has not been seen before (paper §4.3.1).
-func (w *siteWorker) selectURLs(candidates []string, visited, seenDirs map[string]bool, rng *rand.Rand) []string {
+func (w *Visitor) selectURLs(candidates []string, visited, seenDirs map[string]bool, rng *rand.Rand) []string {
 	var fresh []string
 	for _, c := range candidates {
 		if !visited[c] {

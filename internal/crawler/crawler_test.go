@@ -353,11 +353,11 @@ func TestCredentialedCrawlSeesClosedWeb(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		w := &siteWorker{crawler: c, cfg: cfg, browser: newBrowser(c, exts), measurer: m}
+		w := &Visitor{crawler: c, cfg: cfg, browser: newBrowser(c, exts), measurer: m}
 		total := 0
 		for _, member := range members {
 			for round := 0; round < cfg.Rounds; round++ {
-				counts, _, err := w.crawlOnce(member, visitSeed(cfg.Seed, member.Index, measure.CaseDefault, round))
+				counts, _, err := w.CrawlOnce(member, VisitSeed(cfg.Seed, member.Index, measure.CaseDefault, round))
 				if err != nil {
 					t.Fatal(err)
 				}

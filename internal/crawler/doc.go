@@ -1,0 +1,21 @@
+// Package crawler implements the paper's automated survey methodology
+// (§4.3 of "Browser Feature Usage on the Modern Web", IMC 2016): for every
+// site, repeated monkey-tested visits of a 13-page breadth-first sample of
+// the site's hierarchy (1 home + 3 sections + 9 leaves), in a default
+// browser profile and in profiles with content-blocking extensions
+// installed, five rounds each, 30 virtual seconds of gremlins-style
+// interaction per page. URL selection prefers unseen directory structure
+// (§4.3.1), and the §7.3 closed-web mode authenticates members-area
+// navigations.
+//
+// The package exposes two levels of API. Crawler.Run is the self-contained
+// sequential survey loop. Visitor (via Crawler.NewVisitor) is the
+// single-visit mechanics — browser stack construction, monkey testing, BFS
+// page sampling — that external schedulers drive; internal/pipeline uses it
+// to run the same survey sharded across worker pools. Both derive per-visit
+// randomness from VisitSeed, which is what makes the two execution engines
+// produce identical logs.
+//
+// Crawler.HumanVisit implements the paper's external-validation protocol
+// (§6.2): 90 seconds of scripted casual browsing across three pages.
+package crawler

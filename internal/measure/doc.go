@@ -1,0 +1,15 @@
+// Package measure holds the survey's measurement records: which features
+// executed on which sites, per browser configuration and crawl round. It is
+// the analog of the CSV log the paper's measuring extension emits
+// ("blocking,example.com,Crypto.getRandomValues(),1" — Figure 2 of "Browser
+// Feature Usage on the Modern Web", IMC 2016) plus the aggregation
+// structures the analysis needs.
+//
+// Case names the four browser configurations of the survey (§4.1): the
+// unmodified default, the combined AdBlock Plus + Ghostery "blocking"
+// profile, and the two single-blocker profiles behind Figure 7. Log stores
+// one feature Bitset per (case, round, site) cell; both execution engines —
+// the sequential loop in internal/crawler and the sharded engine in
+// internal/pipeline — produce this same structure, and WriteCSV/ReadCSV
+// round-trip it so crawling and analysis can run as separate processes.
+package measure

@@ -1,8 +1,3 @@
-// Package measure holds the survey's measurement records: which features
-// executed on which sites, per browser configuration and crawl round. It is
-// the analog of the CSV log the paper's measuring extension emits
-// ("blocking,example.com,Crypto.getRandomValues(),1" — Figure 2) plus the
-// aggregation structures the analysis needs.
 package measure
 
 import (

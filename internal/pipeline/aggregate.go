@@ -1,0 +1,200 @@
+package pipeline
+
+import (
+	"sync"
+
+	"repro/internal/crawler"
+	"repro/internal/measure"
+)
+
+// observation is one completed visit: the feature invocation counts and page
+// count of a single (site, case, round) crawl. Workers batch observations
+// before handing them to the merge stage.
+type observation struct {
+	caseIdx int
+	round   int
+	site    int
+	counts  map[int]int64
+	pages   int
+}
+
+// failure marks a site unmeasurable; it rides the same merge channel as
+// observations so the aggregate never needs a second synchronization path.
+type failure struct {
+	site int
+}
+
+// batch is the unit of work flowing from crawl workers to the merge stage.
+type batch struct {
+	obs   []observation
+	fails []failure
+}
+
+// stripe is one lock-striped partition of the aggregate. Sites are assigned
+// to stripes by index, so concurrent merges for different site ranges never
+// contend. The padding keeps neighboring stripe locks off one cache line.
+type stripe struct {
+	mu sync.Mutex
+	// invocations and pages are per-case partial sums for the stripe's
+	// sites; maxRound is the per-case highest round the stripe saw (-1
+	// when none). All are combined only once, when the log is built.
+	invocations []int64
+	pages       []int64
+	maxRound    []int
+	_           [64]byte
+}
+
+// Aggregate is the lock-striped, concurrently mergeable form of
+// measure.Log. Crawl workers merge observation batches into it from many
+// goroutines; Log() then freezes it into the exact structure the sequential
+// crawler would have produced, because every cell (case, round, site) is
+// written by at most one visit and all cross-visit state is commutative
+// (bit-set unions and integer sums).
+type Aggregate struct {
+	numFeatures int
+	domains     []string
+	cases       []measure.Case
+	rounds      int
+
+	stripes []stripe
+
+	// features[caseIdx][round][site] is the visit's feature set; nil for
+	// unvisited or failed cells. Guarded by the site's stripe lock.
+	features [][][]measure.Bitset
+	// recorded[site] and failed[site] reproduce the sequential crawler's
+	// Measured bookkeeping: measured = recorded && !failed.
+	recorded []bool
+	failed   []bool
+}
+
+// newAggregate sizes an aggregate for the study: the feature corpus, the
+// site list, the configured cases and the maximum round count.
+func newAggregate(numFeatures int, domains []string, cases []measure.Case, rounds, stripes int) *Aggregate {
+	if stripes < 1 {
+		stripes = 1
+	}
+	a := &Aggregate{
+		numFeatures: numFeatures,
+		domains:     domains,
+		cases:       cases,
+		rounds:      rounds,
+		stripes:     make([]stripe, stripes),
+		features:    make([][][]measure.Bitset, len(cases)),
+		recorded:    make([]bool, len(domains)),
+		failed:      make([]bool, len(domains)),
+	}
+	for ci := range a.features {
+		a.features[ci] = make([][]measure.Bitset, rounds)
+		for r := range a.features[ci] {
+			a.features[ci][r] = make([]measure.Bitset, len(domains))
+		}
+	}
+	for si := range a.stripes {
+		a.stripes[si].invocations = make([]int64, len(cases))
+		a.stripes[si].pages = make([]int64, len(cases))
+		a.stripes[si].maxRound = make([]int, len(cases))
+		for ci := range cases {
+			a.stripes[si].maxRound[ci] = -1
+		}
+	}
+	return a
+}
+
+// stripeOf maps a site index to its stripe.
+func (a *Aggregate) stripeOf(site int) int { return site % len(a.stripes) }
+
+// merge applies one batch. Observations are grouped by stripe first so each
+// stripe lock is taken at most once per batch regardless of batch size.
+func (a *Aggregate) merge(b batch) {
+	groups := make(map[int][]int, len(a.stripes))
+	for i, obs := range b.obs {
+		s := a.stripeOf(obs.site)
+		groups[s] = append(groups[s], i)
+	}
+	for s, idxs := range groups {
+		st := &a.stripes[s]
+		st.mu.Lock()
+		for _, i := range idxs {
+			a.applyLocked(st, b.obs[i])
+		}
+		st.mu.Unlock()
+	}
+	for _, f := range b.fails {
+		st := &a.stripes[a.stripeOf(f.site)]
+		st.mu.Lock()
+		a.failed[f.site] = true
+		st.mu.Unlock()
+	}
+}
+
+// applyLocked records one observation under its stripe lock.
+func (a *Aggregate) applyLocked(st *stripe, obs observation) {
+	sf := measure.NewBitset(a.numFeatures)
+	for id := range obs.counts {
+		sf.Set(id)
+		st.invocations[obs.caseIdx] += obs.counts[id]
+	}
+	a.features[obs.caseIdx][obs.round][obs.site] = sf
+	if obs.round > st.maxRound[obs.caseIdx] {
+		st.maxRound[obs.caseIdx] = obs.round
+	}
+	st.pages[obs.caseIdx] += int64(obs.pages)
+	a.recorded[obs.site] = true
+}
+
+// Log freezes the aggregate into a measure.Log identical to the one the
+// sequential crawler produces for the same seed: per-case round counts grow
+// only as far as data was recorded, and a site is Measured exactly when it
+// produced at least one observation and never failed a visit.
+//
+// Log must only be called after all merges have completed.
+func (a *Aggregate) Log() *measure.Log {
+	l := measure.NewLog(a.numFeatures, a.domains)
+	for ci, cs := range a.cases {
+		maxRound := -1
+		for si := range a.stripes {
+			if mr := a.stripes[si].maxRound[ci]; mr > maxRound {
+				maxRound = mr
+			}
+		}
+		if maxRound < 0 {
+			continue
+		}
+		l.EnsureRound(cs, maxRound)
+		cl := l.Cases[cs]
+		for r := 0; r <= maxRound; r++ {
+			copy(cl.Rounds[r].SiteFeatures, a.features[ci][r])
+		}
+		for si := range a.stripes {
+			cl.Invocations += a.stripes[si].invocations[ci]
+			cl.PagesVisited += a.stripes[si].pages[ci]
+		}
+	}
+	for site := range a.domains {
+		l.Measured[site] = a.recorded[site] && !a.failed[site]
+	}
+	return l
+}
+
+// Stats summarizes the aggregate in the sequential crawler's Stats shape
+// (Table 1 of the paper). pageSeconds is the per-page interaction budget.
+func (a *Aggregate) Stats(pageSeconds float64) *crawler.Stats {
+	st := &crawler.Stats{}
+	var pages, inv int64
+	for si := range a.stripes {
+		for ci := range a.cases {
+			pages += a.stripes[si].pages[ci]
+			inv += a.stripes[si].invocations[ci]
+		}
+	}
+	st.PagesVisited = pages
+	st.Invocations = inv
+	st.InteractionSeconds = float64(pages) * pageSeconds
+	for site := range a.domains {
+		if a.recorded[site] && !a.failed[site] {
+			st.DomainsMeasured++
+		}
+	}
+	st.DomainsFailed = len(a.domains) - st.DomainsMeasured
+	return st
+}

@@ -1,0 +1,26 @@
+// Package pipeline is the sharded, concurrent execution engine for the
+// paper's automated survey (§4.3 of "Browser Feature Usage on the Modern
+// Web", Snyder, Ansari, Taylor, Kanich — IMC 2016).
+//
+// The survey is embarrassingly parallel: every (site, browser
+// configuration, round) visit is independent, seeded only by
+// crawler.VisitSeed. The engine exploits that in three bounded stages:
+//
+//	sharder ──► shard queues ──► crawl workers ──► batch channel ──► mergers ──► Aggregate
+//
+// Stage 1, the sharder, partitions sites round-robin into Shards bounded
+// queues. Stage 2 runs WorkersPerShard browser workers per shard; each
+// worker owns one instrumented browser per configuration (reusing its
+// script cache across sites) and emits completed visits in batches of
+// BatchSize. Stage 3 merges batches into a lock-striped Aggregate whose
+// stripes partition sites, so mergers for different site ranges never
+// contend. All queues are bounded, giving natural back-pressure, and a
+// context.Context cancels the whole pipeline gracefully.
+//
+// Determinism is the engine's contract: because visit randomness depends
+// only on (seed, site, case, round) and every aggregate cell is written by
+// at most one visit — all cross-visit state being commutative bit-set
+// unions and integer sums — the final measure.Log is byte-identical to the
+// sequential crawler.Run loop for the same seed, at every shard/worker
+// geometry. TestPipelineMatchesSequential enforces this.
+package pipeline

@@ -1,0 +1,254 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/crawler"
+	"repro/internal/measure"
+	"repro/internal/synthweb"
+	"repro/internal/webapi"
+	"repro/internal/webserver"
+)
+
+// Config parameterizes the sharded engine. The zero value of every field
+// picks a sensible default, so Config{Crawl: crawler.DefaultConfig(seed)}
+// is a complete configuration.
+type Config struct {
+	// Shards is the number of independent site partitions; sites are
+	// assigned round-robin by index. Default 1.
+	Shards int
+	// WorkersPerShard is the number of browser workers draining each
+	// shard's queue. Default 4.
+	WorkersPerShard int
+	// BatchSize is the number of completed visits a worker accumulates
+	// before handing them to the merge stage. Default 16.
+	BatchSize int
+	// QueueDepth bounds each shard's site queue; the shared merge
+	// channel is sized QueueDepth×Shards. Bounded queues make a stalled
+	// stage exert back-pressure instead of buffering the whole web.
+	// Default 2×WorkersPerShard.
+	QueueDepth int
+	// Mergers is the number of goroutines applying batches to the
+	// lock-striped aggregate. Default 2.
+	Mergers int
+	// Stripes is the lock-stripe count of the aggregate. Default 16.
+	Stripes int
+	// Crawl carries the survey methodology (rounds, branch factor, page
+	// budget, cases, seed). Its Parallelism field is ignored; the
+	// pipeline's Shards × WorkersPerShard replaces it.
+	Crawl crawler.Config
+}
+
+// DefaultConfig mirrors the paper's methodology with a modest level of
+// parallelism: 2 shards × 4 workers.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Shards:          2,
+		WorkersPerShard: 4,
+		Crawl:           crawler.DefaultConfig(seed),
+	}
+}
+
+// normalized fills defaults in place of zero fields.
+func (cfg Config) normalized() Config {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.WorkersPerShard <= 0 {
+		cfg.WorkersPerShard = 4
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.WorkersPerShard
+	}
+	if cfg.Mergers <= 0 {
+		cfg.Mergers = 2
+	}
+	if cfg.Stripes <= 0 {
+		cfg.Stripes = 16
+	}
+	if len(cfg.Crawl.Cases) == 0 {
+		cfg.Crawl.Cases = measure.AllCases()
+	}
+	return cfg
+}
+
+// Engine is the sharded crawl→measure→aggregate pipeline. It reproduces the
+// sequential crawler.Run survey bit-for-bit (same seed, same log) while
+// spreading the visits over Shards×WorkersPerShard browser workers.
+type Engine struct {
+	Web      *synthweb.Web
+	Bindings *webapi.Bindings
+	// NewFetcher builds a fetcher per worker; nil means direct
+	// in-process fetching.
+	NewFetcher func() webserver.Fetcher
+	Cfg        Config
+}
+
+// New builds an engine with the direct fetcher.
+func New(web *synthweb.Web, bindings *webapi.Bindings, cfg Config) *Engine {
+	return &Engine{Web: web, Bindings: bindings, Cfg: cfg}
+}
+
+// Result bundles a completed pipeline survey.
+type Result struct {
+	Log   *measure.Log
+	Stats *crawler.Stats
+}
+
+// Run executes the survey. The context cancels gracefully: in-flight visits
+// finish, queued sites are dropped, and Run returns ctx.Err() without
+// leaking goroutines. On success the returned log is identical to the
+// sequential crawler's for the same crawl config and seed.
+func (e *Engine) Run(ctx context.Context) (*Result, error) {
+	cfg := e.Cfg.normalized()
+	if cfg.Crawl.Rounds <= 0 || cfg.Crawl.Branch <= 0 {
+		return nil, fmt.Errorf("pipeline: invalid crawl config %+v", cfg.Crawl)
+	}
+
+	// The crawler supplies the per-visit mechanics (browser stacks,
+	// monkey testing, BFS sampling); the engine owns all scheduling.
+	cr := crawler.New(e.Web, e.Bindings, cfg.Crawl)
+	cr.NewFetcher = e.NewFetcher
+
+	domains := make([]string, len(e.Web.Sites))
+	for i, s := range e.Web.Sites {
+		domains[i] = s.Domain
+	}
+	agg := newAggregate(len(e.Web.Registry.Features), domains, cfg.Crawl.Cases, cfg.Crawl.Rounds, cfg.Stripes)
+
+	// Stage 3: mergers drain completed batches into the striped
+	// aggregate.
+	batches := make(chan batch, cfg.QueueDepth*cfg.Shards)
+	var mergeWG sync.WaitGroup
+	for i := 0; i < cfg.Mergers; i++ {
+		mergeWG.Add(1)
+		go func() {
+			defer mergeWG.Done()
+			for b := range batches {
+				agg.merge(b)
+			}
+		}()
+	}
+
+	// Stage 2: each shard runs an independent worker pool. Workers
+	// surface visitor-construction errors (deterministic config
+	// problems) through errOnce.
+	var errOnce sync.Once
+	var runErr error
+	shardQueues := make([]chan *synthweb.Site, cfg.Shards)
+	var crawlWG sync.WaitGroup
+	for s := 0; s < cfg.Shards; s++ {
+		shardQueues[s] = make(chan *synthweb.Site, cfg.QueueDepth)
+		for w := 0; w < cfg.WorkersPerShard; w++ {
+			crawlWG.Add(1)
+			go func(queue <-chan *synthweb.Site) {
+				defer crawlWG.Done()
+				if err := e.crawlWorker(ctx, cr, cfg, queue, batches); err != nil {
+					errOnce.Do(func() { runErr = err })
+				}
+			}(shardQueues[s])
+		}
+	}
+
+	// Stage 1: the sharder partitions sites round-robin by index. Bounded
+	// queues provide back-pressure; cancellation stops feeding.
+	var feedWG sync.WaitGroup
+	feedWG.Add(1)
+	go func() {
+		defer feedWG.Done()
+		defer func() {
+			for _, q := range shardQueues {
+				close(q)
+			}
+		}()
+		for _, site := range e.Web.Sites {
+			select {
+			case shardQueues[site.Index%cfg.Shards] <- site:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	feedWG.Wait()
+	crawlWG.Wait()
+	close(batches)
+	mergeWG.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return &Result{Log: agg.Log(), Stats: agg.Stats(cfg.Crawl.PageSeconds)}, nil
+}
+
+// crawlWorker drains one shard queue. For each site it runs every
+// configured case for every round, exactly as the sequential loop does: a
+// failed visit marks the site unmeasurable and skips the case's remaining
+// rounds, but other cases still run. Completed visits accumulate into a
+// batch that is flushed to the merge stage every BatchSize observations.
+func (e *Engine) crawlWorker(ctx context.Context, cr *crawler.Crawler, cfg Config, queue <-chan *synthweb.Site, batches chan<- batch) error {
+	visitors := make(map[measure.Case]*crawler.Visitor, len(cfg.Crawl.Cases))
+	for _, cs := range cfg.Crawl.Cases {
+		v, err := cr.NewVisitor(cs)
+		if err != nil {
+			// Drain the queue so the sharder never blocks on a
+			// dead worker pool, then report the config error.
+			for range queue {
+			}
+			return err
+		}
+		visitors[cs] = v
+	}
+
+	var pending batch
+	flush := func() {
+		if len(pending.obs) == 0 && len(pending.fails) == 0 {
+			return
+		}
+		batches <- pending
+		pending = batch{}
+	}
+	defer flush()
+
+	for site := range queue {
+		for ci, cs := range cfg.Crawl.Cases {
+			v := visitors[cs]
+			for round := 0; round < cfg.Crawl.Rounds; round++ {
+				if ctx.Err() != nil {
+					// Graceful cancellation: stop issuing
+					// visits, drain the queue so upstream
+					// can close it.
+					flush()
+					for range queue {
+					}
+					return nil
+				}
+				seed := crawler.VisitSeed(cfg.Crawl.Seed, site.Index, cs, round)
+				counts, pages, err := v.CrawlOnce(site, seed)
+				if err != nil {
+					pending.fails = append(pending.fails, failure{site: site.Index})
+					break
+				}
+				pending.obs = append(pending.obs, observation{
+					caseIdx: ci,
+					round:   round,
+					site:    site.Index,
+					counts:  counts,
+					pages:   pages,
+				})
+				if len(pending.obs) >= cfg.BatchSize {
+					flush()
+				}
+			}
+		}
+	}
+	return nil
+}

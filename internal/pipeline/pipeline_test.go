@@ -1,0 +1,179 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/crawler"
+	"repro/internal/measure"
+	"repro/internal/synthweb"
+	"repro/internal/webapi"
+	"repro/internal/webidl"
+)
+
+// Shared small study: 90 sites, full methodology, fixed seed. The sequential
+// baseline is computed once and every pipeline variant is compared to it.
+var (
+	setupOnce sync.Once
+	setupErr  error
+
+	testWeb   *synthweb.Web
+	testBind  *webapi.Bindings
+	baseLog   *measure.Log
+	baseStats *crawler.Stats
+)
+
+const (
+	testSites = 90
+	testSeed  = 11
+)
+
+func setup(t testing.TB) {
+	t.Helper()
+	setupOnce.Do(func() {
+		reg, err := webidl.Generate(1)
+		if err != nil {
+			setupErr = err
+			return
+		}
+		testWeb, err = synthweb.Generate(reg, synthweb.Config{Sites: testSites, Seed: 7})
+		if err != nil {
+			setupErr = err
+			return
+		}
+		testBind = webapi.NewBindings(reg)
+		seq := crawler.New(testWeb, testBind, sequentialConfig())
+		baseLog, baseStats, err = seq.Run()
+		if err != nil {
+			setupErr = err
+			return
+		}
+	})
+	if setupErr != nil {
+		t.Fatal(setupErr)
+	}
+}
+
+// sequentialConfig is the paper methodology with one worker: the reference
+// execution order.
+func sequentialConfig() crawler.Config {
+	cfg := crawler.DefaultConfig(testSeed)
+	cfg.Parallelism = 1
+	return cfg
+}
+
+func csvBytes(t testing.TB, l *measure.Log) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPipelineMatchesSequential is the determinism guarantee: the sharded
+// engine's aggregate, serialized, is byte-identical to the sequential
+// crawler's log for the same seed, across several shard/worker geometries.
+func TestPipelineMatchesSequential(t *testing.T) {
+	setup(t)
+	want := csvBytes(t, baseLog)
+
+	geometries := []struct {
+		name    string
+		shards  int
+		workers int
+		batch   int
+		stripes int
+	}{
+		{"1shard-1worker", 1, 1, 1, 1},
+		{"1shard-4workers", 1, 4, 4, 8},
+		{"4shards-2workers", 4, 2, 16, 16},
+		{"8shards-1worker", 8, 1, 3, 4},
+	}
+	for _, g := range geometries {
+		t.Run(g.name, func(t *testing.T) {
+			eng := New(testWeb, testBind, Config{
+				Shards:          g.shards,
+				WorkersPerShard: g.workers,
+				BatchSize:       g.batch,
+				Stripes:         g.stripes,
+				Crawl:           sequentialConfig(),
+			})
+			res, err := eng.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := csvBytes(t, res.Log); !bytes.Equal(got, want) {
+				t.Errorf("pipeline log differs from sequential baseline (%d vs %d bytes)", len(got), len(want))
+			}
+			if *res.Stats != *baseStats {
+				t.Errorf("pipeline stats = %+v, want %+v", *res.Stats, *baseStats)
+			}
+		})
+	}
+}
+
+// TestPipelineConcurrent exercises the multi-shard engine under the race
+// detector: many shards, many workers, tiny batches, few stripes — the
+// maximum-contention geometry.
+func TestPipelineConcurrent(t *testing.T) {
+	setup(t)
+	cfg := Config{
+		Shards:          4,
+		WorkersPerShard: 3,
+		BatchSize:       1,
+		Mergers:         4,
+		Stripes:         2,
+		Crawl:           sequentialConfig(),
+	}
+	eng := New(testWeb, testBind, cfg)
+	res, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DomainsMeasured != baseStats.DomainsMeasured {
+		t.Errorf("measured = %d, want %d", res.Stats.DomainsMeasured, baseStats.DomainsMeasured)
+	}
+	if !bytes.Equal(csvBytes(t, res.Log), csvBytes(t, baseLog)) {
+		t.Error("concurrent pipeline log differs from sequential baseline")
+	}
+}
+
+// TestPipelineCancellation cancels mid-run and requires a prompt, clean
+// ctx.Err() return with no goroutine leak (the -race build would flag
+// post-return sends).
+func TestPipelineCancellation(t *testing.T) {
+	setup(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := New(testWeb, testBind, Config{
+		Shards:          2,
+		WorkersPerShard: 2,
+		Crawl:           sequentialConfig(),
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Run(ctx)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("Run did not return after cancellation")
+	}
+}
+
+// TestPipelineRejectsInvalidConfig mirrors the crawler's validation.
+func TestPipelineRejectsInvalidConfig(t *testing.T) {
+	setup(t)
+	eng := New(testWeb, testBind, Config{})
+	if _, err := eng.Run(context.Background()); err == nil {
+		t.Fatal("Run accepted a zero crawl config")
+	}
+}

@@ -1,20 +1,3 @@
-// Package webidl models the JavaScript-exposed browser feature corpus of
-// "Browser Feature Usage on the Modern Web" (IMC 2016).
-//
-// The paper extracts 1,392 methods and properties from the 757 WebIDL files
-// shipped in the Firefox 46.0.1 source tree and attributes each to one of 75
-// standards. This package provides:
-//
-//   - a parser for a WebIDL subset sufficient to describe that corpus,
-//   - a deterministic corpus generator that emits 757 .webidl files whose
-//     contents realize the per-standard feature counts of the standards
-//     catalog (including the specific features the paper names, such as
-//     Document.prototype.createElement and Navigator.prototype.vibrate), and
-//   - a Registry for looking features up by name, interface, or standard.
-//
-// The browser simulator's API dispatch layer (package webapi) is built from
-// this corpus, exactly as Firefox's DOM bindings are generated from its
-// WebIDL files.
 package webidl
 
 import (
