@@ -3,13 +3,18 @@
 //
 // Usage:
 //
-//	crawl -sites 10000 -seed 42 -rounds 5 -out survey.csv
+//	crawl -sites 10000 -seed 42 -rounds 5 -out survey.log -format binary
 //
 // At -sites 10000 the run reproduces the paper's full scale (four browser
 // configurations, five rounds, 13 pages per visit). The survey executes on
 // the sharded internal/pipeline engine (-shards partitions × workers);
 // -shards 0 falls back to the legacy sequential loop. Both produce the same
 // log for a seed.
+//
+// -format picks the log encoding (csv or binary); readers auto-detect, so
+// either loads anywhere a log is accepted. -cache memoizes visit outcomes
+// on disk so a re-run with an overlapping configuration skips completed
+// visits (pipeline engine only, -shards ≥ 1).
 package main
 
 import (
@@ -33,7 +38,9 @@ func main() {
 		shards      = flag.Int("shards", 4, "site partitions for the pipeline engine; 0 = legacy sequential loop")
 		cases       = flag.String("cases", "default,blocking,adblock,ghostery", "comma-separated browser configurations")
 		useHTTP     = flag.Bool("http", false, "fetch through a real net/http server instead of in-process")
-		out         = flag.String("out", "", "write the measurement log (CSV) to this file")
+		out         = flag.String("out", "", "write the measurement log to this file")
+		format      = flag.String("format", "csv", "log encoding for -out: csv or binary")
+		cacheDir    = flag.String("cache", "", "visit cache directory; re-runs skip cached visits (needs -shards >= 1)")
 	)
 	flag.Parse()
 
@@ -45,6 +52,11 @@ func main() {
 		}
 	}
 
+	if *cacheDir != "" && *shards <= 0 {
+		fmt.Fprintln(os.Stderr, "crawl: -cache requires the pipeline engine (-shards >= 1)")
+		os.Exit(2)
+	}
+
 	study, err := core.NewStudy(core.Config{
 		Sites:       *sites,
 		Seed:        *seed,
@@ -53,6 +65,8 @@ func main() {
 		Shards:      *shards,
 		Cases:       cs,
 		UseHTTP:     *useHTTP,
+		LogFormat:   *format,
+		CacheDir:    *cacheDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -67,23 +81,18 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "survey of %d sites completed in %s\n", *sites, time.Since(start).Round(time.Millisecond))
+	if study.Cache != nil {
+		st := study.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "visit cache: %d hits, %d misses, %d stored\n", st.Hits, st.Misses, st.Puts)
+	}
 
 	report.Table1(os.Stdout, results.Stats)
 
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		if err := study.SaveLog(*out, results.Log); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := results.Log.WriteCSV(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "measurement log written to %s\n", *out)
+		fmt.Fprintf(os.Stderr, "measurement log written to %s (%s)\n", *out, *format)
 	}
 }

@@ -17,6 +17,12 @@
 //
 // Sharding never changes results: the log is byte-identical to a sequential
 // crawl of the same seed, only faster.
+//
+// -cache memoizes visit outcomes on disk: a second run with an overlapping
+// configuration skips every completed visit (the hit counters printed at
+// the end prove it) and produces a byte-identical log. -spill streams each
+// shard's completed visits to shard-NNN.spill files as they happen, and
+// -format picks the -out encoding (csv or binary; readers auto-detect).
 package main
 
 import (
@@ -35,16 +41,19 @@ import (
 
 func main() {
 	var (
-		sites   = flag.Int("sites", 1000, "number of ranked sites to generate and crawl")
-		seed    = flag.Int64("seed", 42, "deterministic seed for generation and crawling")
-		rounds  = flag.Int("rounds", 5, "visits per (site, configuration)")
-		shards  = flag.Int("shards", 4, "site partitions crawled independently")
-		workers = flag.Int("workers", 4, "browser workers per shard")
-		batch   = flag.Int("batch", 0, "visits merged per batch (0 = engine default)")
-		profile = flag.String("profile", "blocking", "blocking profile: none, adblock, ghostery, blocking, or all")
-		topN    = flag.Int("top", 15, "rows in the popularity and delta tables")
-		timeout = flag.Duration("timeout", 0, "abort the crawl after this duration (0 = none)")
-		out     = flag.String("out", "", "write the measurement log (CSV) to this file")
+		sites    = flag.Int("sites", 1000, "number of ranked sites to generate and crawl")
+		seed     = flag.Int64("seed", 42, "deterministic seed for generation and crawling")
+		rounds   = flag.Int("rounds", 5, "visits per (site, configuration)")
+		shards   = flag.Int("shards", 4, "site partitions crawled independently")
+		workers  = flag.Int("workers", 4, "browser workers per shard")
+		batch    = flag.Int("batch", 0, "visits merged per batch (0 = engine default)")
+		profile  = flag.String("profile", "blocking", "blocking profile: none, adblock, ghostery, blocking, or all")
+		topN     = flag.Int("top", 15, "rows in the popularity and delta tables")
+		timeout  = flag.Duration("timeout", 0, "abort the crawl after this duration (0 = none)")
+		out      = flag.String("out", "", "write the measurement log to this file")
+		format   = flag.String("format", "csv", "log encoding for -out: csv or binary")
+		cacheDir = flag.String("cache", "", "visit cache directory; re-runs skip cached visits")
+		spillDir = flag.String("spill", "", "stream per-shard spill files to this directory")
 	)
 	flag.Parse()
 
@@ -62,6 +71,9 @@ func main() {
 		Shards:       *shards,
 		ShardWorkers: *workers,
 		BatchSize:    *batch,
+		LogFormat:    *format,
+		CacheDir:     *cacheDir,
+		SpillDir:     *spillDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -86,6 +98,13 @@ func main() {
 	elapsed := time.Since(start)
 	fmt.Fprintf(os.Stderr, "%d sites × %d cases × %d rounds in %s (%d shards × %d workers)\n",
 		*sites, len(prof.Cases()), *rounds, elapsed.Round(time.Millisecond), *shards, *workers)
+	if study.Cache != nil {
+		st := study.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "visit cache: %d hits, %d misses, %d stored\n", st.Hits, st.Misses, st.Puts)
+	}
+	if *spillDir != "" {
+		fmt.Fprintf(os.Stderr, "per-shard spill files in %s\n", *spillDir)
+	}
 
 	report.Table1(os.Stdout, results.Stats)
 	fmt.Println()
@@ -107,19 +126,10 @@ func main() {
 	}
 
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		if err := study.SaveLog(*out, results.Log); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := results.Log.WriteCSV(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "measurement log written to %s\n", *out)
+		fmt.Fprintf(os.Stderr, "measurement log written to %s (%s)\n", *out, *format)
 	}
 }

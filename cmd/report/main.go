@@ -1,12 +1,16 @@
 // Command report regenerates the paper's tables and figures. It either
 // re-runs the survey (default) or reads a measurement log produced by
-// cmd/crawl, then renders the requested artifact (or everything).
+// cmd/crawl or cmd/pipeline, then renders the requested artifact (or
+// everything). The log's format — CSV, binary, even a spill file — is
+// auto-detected from its magic bytes; pointing -log at anything else
+// reports "unknown log format" with the bytes found.
 //
 // Usage:
 //
 //	report -sites 1000 -seed 42                  # run survey, render all
 //	report -sites 1000 -seed 42 -only table2     # one artifact
-//	report -sites 1000 -seed 42 -log survey.csv  # reuse a saved log
+//	report -sites 1000 -seed 42 -log survey.log  # reuse a saved log
+//	report -sites 1000 -seed 42 -cache dir       # re-run, skipping cached visits
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/crawler"
+	"repro/internal/logstore"
 	"repro/internal/measure"
 	"repro/internal/report"
 )
@@ -26,12 +31,24 @@ func main() {
 		sites       = flag.Int("sites", 1000, "ranking size (must match the log if -log is given)")
 		seed        = flag.Int64("seed", 42, "deterministic seed (must match the log if -log is given)")
 		parallelism = flag.Int("parallelism", 8, "concurrent site workers when re-running the survey")
-		logPath     = flag.String("log", "", "read measurements from this CSV instead of crawling")
+		shards      = flag.Int("shards", 4, "site partitions when re-running the survey; 0 = sequential loop")
+		logPath     = flag.String("log", "", "read measurements from this log file (format auto-detected) instead of crawling")
+		cacheDir    = flag.String("cache", "", "visit cache directory for survey re-runs (needs -shards >= 1)")
 		only        = flag.String("only", "", "render one artifact: figure1|figure3|figure4|figure5|figure6|figure7|figure8|figure9|table1|table2|table3|headlines")
 	)
 	flag.Parse()
 
-	study, err := core.NewStudy(core.Config{Sites: *sites, Seed: *seed, Parallelism: *parallelism})
+	if *cacheDir != "" && *shards <= 0 {
+		fatal(fmt.Errorf("report: -cache requires the pipeline engine (-shards >= 1)"))
+	}
+
+	study, err := core.NewStudy(core.Config{
+		Sites:       *sites,
+		Seed:        *seed,
+		Parallelism: *parallelism,
+		Shards:      *shards,
+		CacheDir:    *cacheDir,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -39,12 +56,7 @@ func main() {
 
 	var results *core.Results
 	if *logPath != "" {
-		f, err := os.Open(*logPath)
-		if err != nil {
-			fatal(err)
-		}
-		log, err := measure.ReadCSV(f)
-		f.Close()
+		log, err := logstore.ReadFile(*logPath)
 		if err != nil {
 			fatal(err)
 		}
@@ -57,6 +69,10 @@ func main() {
 		results, err = study.RunSurvey()
 		if err != nil {
 			fatal(err)
+		}
+		if study.Cache != nil {
+			st := study.Cache.Stats()
+			fmt.Fprintf(os.Stderr, "visit cache: %d hits, %d misses, %d stored\n", st.Hits, st.Misses, st.Puts)
 		}
 	}
 

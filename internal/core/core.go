@@ -20,6 +20,7 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/cve"
 	"repro/internal/firefoxhist"
+	"repro/internal/logstore"
 	"repro/internal/measure"
 	"repro/internal/pipeline"
 	"repro/internal/report"
@@ -62,6 +63,18 @@ type Config struct {
 	// HumanSample is the external-validation sample size; 0 means the
 	// paper's 92 completed domains.
 	HumanSample int
+	// LogFormat names the logstore codec WriteLog uses ("csv" or
+	// "binary"); "" means csv, the original format. Reading always
+	// auto-detects, so the format only matters when writing.
+	LogFormat string
+	// CacheDir, when non-empty, memoizes visit outcomes on disk so
+	// re-runs with overlapping configs skip completed visits. The cache
+	// is consulted by the sharded pipeline engine (Shards > 0).
+	CacheDir string
+	// SpillDir, when non-empty, streams each pipeline shard's completed
+	// visits to a spill file in this directory (Shards > 0 only);
+	// logstore.ReadSpillFiles reassembles them into the full log.
+	SpillDir string
 }
 
 // Study is a fully constructed experiment environment.
@@ -72,7 +85,11 @@ type Study struct {
 	Bindings *webapi.Bindings
 	History  *firefoxhist.History
 	CVEs     *cve.Database
+	// Cache is the visit-outcome cache opened from Cfg.CacheDir, nil
+	// when caching is off. Cache.Stats() reports hit/miss traffic.
+	Cache *logstore.Cache
 
+	codec  logstore.Codec
 	server *webserver.Server
 }
 
@@ -102,6 +119,14 @@ func NewStudy(cfg Config) (*Study, error) {
 		cfg.HumanSample = 92
 	}
 
+	if cfg.LogFormat == "" {
+		cfg.LogFormat = "csv"
+	}
+	codec, err := logstore.ByName(cfg.LogFormat)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
 	reg, err := webidl.Generate(cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("core: generating corpus: %w", err)
@@ -117,6 +142,14 @@ func NewStudy(cfg Config) (*Study, error) {
 		Bindings: webapi.NewBindings(reg),
 		History:  firefoxhist.New(reg),
 		CVEs:     cve.Generate(cfg.Seed),
+		codec:    codec,
+	}
+	if cfg.CacheDir != "" {
+		cache, err := logstore.OpenCache(cfg.CacheDir, len(reg.Features), s.cacheScope())
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		s.Cache = cache
 	}
 	if cfg.UseHTTP {
 		srv, err := webserver.NewServer(web)
@@ -153,6 +186,19 @@ func (s *Study) crawlConfig() crawler.Config {
 	ccfg.Cases = s.Cfg.Cases
 	ccfg.Parallelism = s.Cfg.Parallelism
 	return ccfg
+}
+
+// cacheScope fingerprints everything beyond (VisitSeed, case) that shapes a
+// visit's outcome: the synthetic web (site count + generation seed) and the
+// per-visit methodology. Rounds, cases, and parallelism are deliberately
+// absent — rounds and cases are part of the visit key, and parallelism
+// never changes results — so overlapping configs share cache entries while
+// a different web or methodology can never replay stale outcomes.
+func (s *Study) cacheScope() string {
+	ccfg := s.crawlConfig()
+	return fmt.Sprintf("sites=%d seed=%d branch=%d page=%g aps=%g novelty=%t creds=%t",
+		s.Cfg.Sites, s.Cfg.Seed, ccfg.Branch, ccfg.PageSeconds, ccfg.ActionsPerSecond,
+		ccfg.PathNoveltyPreference, ccfg.WithCredentials)
 }
 
 // RunSurvey executes the full automated survey, through the sharded
@@ -199,6 +245,8 @@ func (s *Study) pipeline() *pipeline.Engine {
 		Shards:          shards,
 		WorkersPerShard: workers,
 		BatchSize:       s.Cfg.BatchSize,
+		Cache:           s.Cache,
+		SpillDir:        s.Cfg.SpillDir,
 		Crawl:           s.crawlConfig(),
 	})
 	if s.server != nil {
@@ -265,6 +313,18 @@ func (s *Study) WriteReport(w io.Writer, results *Results) error {
 	fmt.Fprintln(w)
 	report.Figure9(w, deltas)
 	return nil
+}
+
+// WriteLog serializes the measurement log in the study's configured format
+// (Config.LogFormat). Logs written in any format load back through
+// logstore.Read/ReadFile, which auto-detect.
+func (s *Study) WriteLog(w io.Writer, l *measure.Log) error {
+	return s.codec.Encode(w, l)
+}
+
+// SaveLog writes the measurement log to a file in the configured format.
+func (s *Study) SaveLog(path string, l *measure.Log) error {
+	return logstore.WriteFile(path, s.codec, l)
 }
 
 // Ranking exposes the study's Alexa model.

@@ -2,28 +2,45 @@ package core
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/logstore"
 	"repro/internal/measure"
 )
 
-// TestSurveyLogCSVRoundTrip exercises the cmd/crawl → cmd/report handoff:
-// a survey log serialized to CSV and read back must yield identical
-// analysis results.
-func TestSurveyLogCSVRoundTrip(t *testing.T) {
+// TestSurveyLogRoundTrip exercises the cmd/crawl → cmd/report handoff for
+// every registered codec: a survey log serialized and read back (via
+// format auto-detection, as cmd/report does) must yield identical analysis
+// results.
+func TestSurveyLogRoundTrip(t *testing.T) {
 	study, results := smallStudy(t, Config{
 		Sites: 60, Seed: 31, Rounds: 2,
 		Cases: []measure.Case{measure.CaseDefault, measure.CaseBlocking},
 	})
+	for _, name := range logstore.Names() {
+		t.Run(name, func(t *testing.T) {
+			codec, err := logstore.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			testLogRoundTrip(t, study, results, codec)
+		})
+	}
+}
 
+func testLogRoundTrip(t *testing.T, study *Study, results *Results, codec logstore.Codec) {
 	var buf bytes.Buffer
-	if err := results.Log.WriteCSV(&buf); err != nil {
+	if err := codec.Encode(&buf, results.Log); err != nil {
 		t.Fatal(err)
 	}
-	restored, err := measure.ReadCSV(&buf)
+	restored, err := logstore.Read(&buf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored, results.Log) {
+		t.Error("restored survey log not deep-equal to the original")
 	}
 
 	a1 := results.Analysis

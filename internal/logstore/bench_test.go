@@ -1,0 +1,123 @@
+package logstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/measure"
+)
+
+// benchLog generates a survey-shaped log: sites × 1,392 features × 5
+// rounds, ~60 features per visit, two cases — the shape cmd/pipeline
+// writes at -sites 1000.
+func benchLog(sites int) *measure.Log {
+	domains := make([]string, sites)
+	for i := range domains {
+		domains[i] = fmt.Sprintf("site-%04d.example", i)
+	}
+	l := measure.NewLog(1392, domains)
+	for site := 0; site < sites; site++ {
+		counts := map[int]int64{}
+		for f := 0; f < 60; f++ {
+			counts[(site*7+f*13)%1392] = int64(f + 1)
+		}
+		blocked := map[int]int64{}
+		for f := 0; f < 40; f++ {
+			blocked[(site*11+f*17)%1392] = int64(f + 1)
+		}
+		for round := 0; round < 5; round++ {
+			l.Record(measure.CaseDefault, round, site, counts, 13)
+			l.Record(measure.CaseBlocking, round, site, blocked, 13)
+		}
+	}
+	return l
+}
+
+func encodedSize(tb testing.TB, c Codec, l *measure.Log) int {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := c.Encode(&buf, l); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Len()
+}
+
+// TestBinaryAtLeastThreeTimesSmaller pins the size claim: on the benchmark
+// log the binary encoding is at least 3× smaller than the CSV encoding.
+func TestBinaryAtLeastThreeTimesSmaller(t *testing.T) {
+	l := benchLog(1000)
+	csvSize := encodedSize(t, CSV{}, l)
+	binSize := encodedSize(t, Binary{}, l)
+	t.Logf("1k-site log: csv %d bytes, binary %d bytes (%.1fx smaller)",
+		csvSize, binSize, float64(csvSize)/float64(binSize))
+	if binSize*3 > csvSize {
+		t.Errorf("binary = %d bytes, csv = %d bytes; want ≥ 3x smaller", binSize, csvSize)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	l := benchLog(1000)
+	for _, c := range codecs {
+		b.Run(c.Name(), func(b *testing.B) {
+			size := encodedSize(b, c, l)
+			b.SetBytes(int64(size))
+			b.ReportMetric(float64(size), "encoded-bytes")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				if err := c.Encode(&buf, l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	l := benchLog(1000)
+	for _, c := range codecs {
+		b.Run(c.Name(), func(b *testing.B) {
+			var buf bytes.Buffer
+			if err := c.Encode(&buf, l); err != nil {
+				b.Fatal(err)
+			}
+			data := buf.Bytes()
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Decode(bytes.NewReader(data)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSpillAppend(b *testing.B) {
+	sf := measure.NewBitset(1392)
+	for f := 0; f < 60; f++ {
+		sf.Set((f * 13) % 1392)
+	}
+	domains := make([]string, 1000)
+	for i := range domains {
+		domains[i] = "site.example"
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 1392, domains)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(Observation{
+			Case: measure.CaseDefault, Round: i % 5, Site: i % 1000,
+			Features: sf, Invocations: 1800, Pages: 13,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package logstore
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/measure"
+)
+
+// cacheMagic identifies one cached visit outcome on disk.
+const cacheMagic = "\xF1VCH1"
+
+// VisitOutcome is everything one visit contributes to the survey log: the
+// feature set, invocation and page totals — or the fact that the visit
+// failed and made the site unmeasurable. Failures are cached too, because
+// they are as deterministic as successes.
+type VisitOutcome struct {
+	Failed      bool
+	Features    measure.Bitset
+	Invocations int64
+	Pages       int
+}
+
+// CacheStats counts cache traffic. Errors counts unreadable or mismatched
+// entries, which degrade to misses rather than failing a run.
+type CacheStats struct {
+	Hits, Misses, Puts, Errors int64
+}
+
+// Cache memoizes visit outcomes on disk, keyed by the visit's deterministic
+// seed and its browser configuration (the blocking profile of the visit).
+// Because crawler.VisitSeed derives a visit's randomness purely from
+// (base seed, site, case, round), a re-run with an overlapping config can
+// skip every visit the cache already holds and still produce the identical
+// log.
+//
+// VisitSeed does not encode the study itself — a different site count or
+// generation seed builds a different synthetic web whose visits must never
+// be replayed across runs — so every entry also records the corpus size and
+// the caller's scope string (the study parameters that shape visit
+// outcomes). Entries from another scope degrade to misses.
+//
+// A Cache is safe for concurrent use; entries are written to a temp file
+// and renamed into place so a crashed run never leaves a torn entry.
+type Cache struct {
+	dir         string
+	numFeatures int
+	scope       string
+
+	hits, misses, puts, errors atomic.Int64
+}
+
+// OpenCache opens (creating if needed) a visit cache rooted at dir for a
+// study with the given corpus size. scope fingerprints everything beyond
+// (VisitSeed, case) that determines a visit's outcome — the site count,
+// generation seed, and crawl methodology; cache entries only ever serve a
+// cache opened with the identical scope.
+func OpenCache(dir string, numFeatures int, scope string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("logstore: opening cache: %w", err)
+	}
+	if numFeatures <= 0 || numFeatures > maxFeatures {
+		return nil, fmt.Errorf("logstore: cache corpus size %d out of range", numFeatures)
+	}
+	return &Cache{dir: dir, numFeatures: numFeatures, scope: scope}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a (visit seed, case, scope) key to its entry file. Case and
+// scope are user-influenced strings, so they are hashed rather than
+// embedded in the filename; the entry body stores both verbatim for
+// collision safety.
+func (c *Cache) path(seed int64, cs measure.Case) string {
+	h := fnv.New64a()
+	h.Write([]byte(cs))
+	h.Write([]byte{0})
+	h.Write([]byte(c.scope))
+	return filepath.Join(c.dir, fmt.Sprintf("%016x-%016x.visit", uint64(seed), h.Sum64()))
+}
+
+// Get looks up the outcome of the visit keyed by (seed, cs). A missing,
+// corrupt, or mismatched entry is a miss.
+func (c *Cache) Get(seed int64, cs measure.Case) (VisitOutcome, bool) {
+	data, err := os.ReadFile(c.path(seed, cs))
+	if err != nil {
+		c.misses.Add(1)
+		return VisitOutcome{}, false
+	}
+	out, err := c.decode(data, cs)
+	if err != nil {
+		c.errors.Add(1)
+		c.misses.Add(1)
+		return VisitOutcome{}, false
+	}
+	c.hits.Add(1)
+	return out, true
+}
+
+// Put stores the outcome of the visit keyed by (seed, cs). Write failures
+// are counted and reported but a caller may treat them as non-fatal: the
+// cache is an accelerator, not a correctness dependency.
+func (c *Cache) Put(seed int64, cs measure.Case, out VisitOutcome) error {
+	var buf bytes.Buffer
+	w := newBinWriter(&buf)
+	w.bytes([]byte(cacheMagic))
+	w.uvarint(uint64(c.numFeatures))
+	w.str(c.scope)
+	w.str(string(cs))
+	if out.Failed {
+		w.bytes([]byte{1})
+	} else {
+		w.bytes([]byte{0})
+		w.uvarint(uint64(out.Invocations))
+		w.uvarint(uint64(out.Pages))
+		w.bitset(out.Features, c.numFeatures)
+	}
+	if err := w.flush(); err != nil {
+		c.errors.Add(1)
+		return err
+	}
+
+	path := c.path(seed, cs)
+	tmp, err := os.CreateTemp(c.dir, ".visit-*")
+	if err != nil {
+		c.errors.Add(1)
+		return fmt.Errorf("logstore: writing cache entry: %w", err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		c.errors.Add(1)
+		return fmt.Errorf("logstore: writing cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		c.errors.Add(1)
+		return fmt.Errorf("logstore: writing cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		c.errors.Add(1)
+		return fmt.Errorf("logstore: writing cache entry: %w", err)
+	}
+	c.puts.Add(1)
+	return nil
+}
+
+// decode parses one entry, validating it against the cache's corpus and
+// the case it was looked up under.
+func (c *Cache) decode(data []byte, cs measure.Case) (VisitOutcome, error) {
+	r := newBinReader(bytes.NewReader(data))
+	if err := r.expectMagic(cacheMagic, "cache entry"); err != nil {
+		return VisitOutcome{}, err
+	}
+	nf, err := r.count(maxFeatures, "feature count")
+	if err != nil {
+		return VisitOutcome{}, err
+	}
+	if nf != c.numFeatures {
+		return VisitOutcome{}, fmt.Errorf("logstore: cache entry for a %d-feature corpus, want %d", nf, c.numFeatures)
+	}
+	storedScope, err := r.str(4096, "scope")
+	if err != nil {
+		return VisitOutcome{}, err
+	}
+	if storedScope != c.scope {
+		return VisitOutcome{}, fmt.Errorf("logstore: cache entry for scope %q, want %q", storedScope, c.scope)
+	}
+	storedCase, err := r.str(256, "case name")
+	if err != nil {
+		return VisitOutcome{}, err
+	}
+	if storedCase != string(cs) {
+		return VisitOutcome{}, fmt.Errorf("logstore: cache entry for case %q, want %q", storedCase, cs)
+	}
+	flag, err := r.br.ReadByte()
+	if err != nil {
+		return VisitOutcome{}, err
+	}
+	if flag == 1 {
+		return VisitOutcome{Failed: true}, nil
+	}
+	var out VisitOutcome
+	if out.Invocations, err = r.int64Val("invocations"); err != nil {
+		return VisitOutcome{}, err
+	}
+	pages, err := r.count(1<<30, "pages")
+	if err != nil {
+		return VisitOutcome{}, err
+	}
+	out.Pages = pages
+	if out.Features, err = r.bitset(c.numFeatures); err != nil {
+		return VisitOutcome{}, err
+	}
+	return out, nil
+}
+
+// Stats returns a snapshot of the cache's traffic counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Puts:   c.puts.Load(),
+		Errors: c.errors.Load(),
+	}
+}

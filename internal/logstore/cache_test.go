@@ -1,0 +1,151 @@
+package logstore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/measure"
+)
+
+func testOutcome() VisitOutcome {
+	sf := measure.NewBitset(100)
+	sf.Set(3)
+	sf.Set(4)
+	sf.Set(99)
+	return VisitOutcome{Features: sf, Invocations: 42, Pages: 13}
+}
+
+func TestCachePutGet(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), 100, "study-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(7, measure.CaseDefault); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	want := testOutcome()
+	if err := c.Put(7, measure.CaseDefault, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(7, measure.CaseDefault)
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("cache round trip: got %+v, want %+v", got, want)
+	}
+	// Different case or seed: distinct keys.
+	if _, ok := c.Get(7, measure.CaseBlocking); ok {
+		t.Error("hit under the wrong case")
+	}
+	if _, ok := c.Get(8, measure.CaseDefault); ok {
+		t.Error("hit under the wrong seed")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Puts != 1 || st.Misses != 3 {
+		t.Errorf("stats = %+v, want 1 hit, 1 put, 3 misses", st)
+	}
+}
+
+func TestCacheFailedOutcome(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), 100, "study-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(-3, measure.CaseGhostery, VisitOutcome{Failed: true}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(-3, measure.CaseGhostery)
+	if !ok || !got.Failed {
+		t.Fatalf("failed outcome lost: %+v ok=%v", got, ok)
+	}
+}
+
+// TestCacheCorpusMismatch: a cache populated under one corpus size must
+// never serve entries to a study with another.
+func TestCacheCorpusMismatch(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := OpenCache(dir, 100, "study-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put(1, measure.CaseDefault, testOutcome()); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCache(dir, 200, "study-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(1, measure.CaseDefault); ok {
+		t.Fatal("entry served across corpus sizes")
+	}
+	if st := c2.Stats(); st.Errors != 1 {
+		t.Errorf("mismatch should count as an error, stats = %+v", st)
+	}
+}
+
+// TestCacheScopeMismatch: entries recorded under one study scope (site
+// count, generation seed, methodology) must never serve another, even with
+// the same visit seed, case, and corpus size.
+func TestCacheScopeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := OpenCache(dir, 100, "sites=1000 seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put(1, measure.CaseDefault, testOutcome()); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCache(dir, 100, "sites=10000 seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(1, measure.CaseDefault); ok {
+		t.Fatal("entry served across study scopes")
+	}
+	// Same scope again: still a hit.
+	c3, err := OpenCache(dir, 100, "sites=1000 seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c3.Get(1, measure.CaseDefault); !ok {
+		t.Fatal("entry lost for its own scope")
+	}
+}
+
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 100, "study-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(5, measure.CaseDefault, testOutcome()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.visit"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("expected one entry, got %v (%v)", entries, err)
+	}
+	if err := os.WriteFile(entries[0], []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(5, measure.CaseDefault); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if st := c.Stats(); st.Errors != 1 {
+		t.Errorf("corruption should count as an error, stats = %+v", st)
+	}
+}
+
+func TestOpenCacheValidation(t *testing.T) {
+	if _, err := OpenCache(t.TempDir(), 0, ""); err == nil {
+		t.Error("zero-feature cache accepted")
+	}
+	// dir is created if missing.
+	dir := filepath.Join(t.TempDir(), "nested", "cache")
+	if _, err := OpenCache(dir, 10, ""); err != nil {
+		t.Errorf("OpenCache did not create %s: %v", dir, err)
+	}
+}

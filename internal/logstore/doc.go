@@ -1,0 +1,38 @@
+// Package logstore is the persistence layer for the survey's measurement
+// log. internal/measure owns the in-memory model; everything that touches
+// disk — formats, streaming, caching — lives here, behind a pluggable
+// Codec API.
+//
+// # Codecs
+//
+// A Codec serializes a complete measure.Log: Encode(io.Writer, *Log) and
+// Decode(io.Reader) (*Log, error). Two codecs are registered:
+//
+//   - "csv" is the repository's original line format, kept byte-for-byte
+//     compatible so logs written before this package existed still load.
+//   - "binary" is the compact format: a magic header plus varint metadata
+//     and run-length-encoded feature bitsets, several times smaller and
+//     faster than CSV (internal/logstore benchmarks measure both claims).
+//
+// Every format is self-identifying. Detect picks the decoder from a file's
+// first bytes, and Read/ReadFile auto-detect, so readers (cmd/report, any
+// analysis tool) never need to be told which format they were handed.
+//
+// # Streaming spill
+//
+// The codecs need the whole log in memory; the streaming layer does not.
+// A Writer appends per-visit Observations to a spill file as they complete,
+// so a pipeline shard can spill partial results instead of holding the full
+// log — a spilled shard file is exactly the partial aggregate a future
+// network shard would ship home. ReadSpills/ReadSpillFiles reassemble any
+// number of spill streams into the single measure.Log the visits describe.
+//
+// # Visit cache
+//
+// Cache memoizes VisitOutcomes on disk keyed by (VisitSeed, case). Because
+// crawler.VisitSeed makes a visit's randomness a pure function of
+// (base seed, site, case, round), a re-run with an overlapping
+// configuration skips every cached visit — hits counted, log byte-identical
+// to the uncached run. Failed visits are cached too; they are just as
+// deterministic.
+package logstore

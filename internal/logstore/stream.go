@@ -1,0 +1,324 @@
+package logstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/measure"
+)
+
+// spillMagic identifies a spill file: an append-only stream of per-visit
+// observations, as opposed to the complete logs the codecs write.
+const spillMagic = "\xF1SPL1"
+
+// Spill record types.
+const (
+	recObservation = 1
+	recFailure     = 2
+)
+
+// Observation is one completed visit: the feature set, invocation total,
+// and page count of a single (case, round, site) crawl. It is the unit the
+// streaming Writer appends and the unit a pipeline shard would ship to a
+// remote merger.
+type Observation struct {
+	Case        measure.Case
+	Round       int
+	Site        int
+	Features    measure.Bitset
+	Invocations int64
+	Pages       int
+}
+
+// Writer streams per-visit observations to a spill file so a producer
+// (a pipeline shard, a remote worker) never has to hold a full log in
+// memory. Records become durable at Flush; ReadSpills reassembles one or
+// more spill files into the measure.Log the visits describe.
+//
+// A Writer is safe for concurrent use: the workers of a pipeline shard
+// append to one shared spill.
+type Writer struct {
+	mu          sync.Mutex
+	w           *binWriter
+	closer      io.Closer
+	numFeatures int
+	numDomains  int
+}
+
+// NewWriter starts a spill stream on w for the given corpus and site list,
+// writing the header immediately.
+func NewWriter(w io.Writer, numFeatures int, domains []string) (*Writer, error) {
+	bw := newBinWriter(w)
+	bw.bytes([]byte(spillMagic))
+	bw.uvarint(uint64(numFeatures))
+	bw.uvarint(uint64(len(domains)))
+	for _, d := range domains {
+		bw.str(d)
+	}
+	if err := bw.flush(); err != nil {
+		return nil, fmt.Errorf("logstore: writing spill header: %w", err)
+	}
+	return &Writer{w: bw, numFeatures: numFeatures, numDomains: len(domains)}, nil
+}
+
+// Create starts a spill stream in a new file at path.
+func Create(path string, numFeatures int, domains []string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewWriter(f, numFeatures, domains)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.closer = f
+	return w, nil
+}
+
+// Append records one observation.
+func (w *Writer) Append(obs Observation) error {
+	if obs.Site < 0 || obs.Site >= w.numDomains || obs.Round < 0 || obs.Invocations < 0 || obs.Pages < 0 {
+		return fmt.Errorf("logstore: invalid observation %+v", obs)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.w.bytes([]byte{recObservation})
+	w.w.str(string(obs.Case))
+	w.w.uvarint(uint64(obs.Round))
+	w.w.uvarint(uint64(obs.Site))
+	w.w.uvarint(uint64(obs.Invocations))
+	w.w.uvarint(uint64(obs.Pages))
+	w.w.bitset(obs.Features, w.numFeatures)
+	return w.w.err
+}
+
+// Fail records that a visit to the site failed, making the site
+// unmeasurable in the reassembled log (the paper's 267 lost domains).
+func (w *Writer) Fail(site int) error {
+	if site < 0 || site >= w.numDomains {
+		return fmt.Errorf("logstore: invalid failure site %d", site)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.w.bytes([]byte{recFailure})
+	w.w.uvarint(uint64(site))
+	return w.w.err
+}
+
+// Flush makes all appended records durable.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.w.flush()
+}
+
+// Close flushes and, when the Writer owns its file, closes it.
+func (w *Writer) Close() error {
+	err := w.Flush()
+	if w.closer != nil {
+		if cerr := w.closer.Close(); err == nil {
+			err = cerr
+		}
+		w.closer = nil
+	}
+	return err
+}
+
+// spillHeader is the decoded fixed prelude of one spill stream.
+type spillHeader struct {
+	numFeatures int
+	domains     []string
+}
+
+func readSpillHeader(r *binReader) (*spillHeader, error) {
+	if err := r.expectMagic(spillMagic, "spill"); err != nil {
+		return nil, err
+	}
+	numFeatures, err := r.count(maxFeatures, "feature count")
+	if err != nil {
+		return nil, err
+	}
+	if numFeatures == 0 {
+		return nil, fmt.Errorf("logstore: spill has zero features")
+	}
+	numDomains, err := r.count(maxDomains, "domain count")
+	if err != nil {
+		return nil, err
+	}
+	h := &spillHeader{numFeatures: numFeatures, domains: make([]string, numDomains)}
+	for i := range h.domains {
+		if h.domains[i], err = r.str(4096, "domain name"); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// sameStudy reports whether two spill headers describe the identical study:
+// same corpus size and the same site list, domain by domain. Counts alone
+// are not enough — two different seeds generate different webs of the same
+// shape whose visits must never merge.
+func (h *spillHeader) sameStudy(other *spillHeader) error {
+	if h.numFeatures != other.numFeatures || len(h.domains) != len(other.domains) {
+		return fmt.Errorf("describes a different study (%d features × %d domains, want %d × %d)",
+			h.numFeatures, len(h.domains), other.numFeatures, len(other.domains))
+	}
+	for i, d := range h.domains {
+		if d != other.domains[i] {
+			return fmt.Errorf("describes a different study (domain %d is %q, want %q)", i, d, other.domains[i])
+		}
+	}
+	return nil
+}
+
+// replaySpill applies one spill stream's records to the log, accumulating
+// failed sites into failed. The stream ends at a clean EOF on a record
+// boundary; anything else is corruption. cells tracks the (case, round,
+// site) slots materialized across the whole merge so a crafted stream
+// cannot grow the log unboundedly through EnsureRound.
+func replaySpill(r *binReader, h *spillHeader, l *measure.Log, failed []bool, cells *int) error {
+	for {
+		kind, err := r.br.ReadByte()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("logstore: reading spill record: %w", err)
+		}
+		if len(h.domains) == 0 {
+			return fmt.Errorf("logstore: spill records a visit but declares zero domains")
+		}
+		switch kind {
+		case recObservation:
+			cs, err := r.str(256, "case name")
+			if err != nil {
+				return err
+			}
+			round, err := r.count(maxRounds-1, "round")
+			if err != nil {
+				return err
+			}
+			site, err := r.count(len(h.domains)-1, "site")
+			if err != nil {
+				return err
+			}
+			inv, err := r.int64Val("invocations")
+			if err != nil {
+				return err
+			}
+			pages, err := r.int64Val("pages")
+			if err != nil {
+				return err
+			}
+			sf, err := r.bitset(h.numFeatures)
+			if err != nil {
+				return err
+			}
+			if cl := l.Cases[measure.Case(cs)]; cl == nil || round >= len(cl.Rounds) {
+				have := 0
+				if cl != nil {
+					have = len(cl.Rounds)
+				}
+				*cells += (round + 1 - have) * len(h.domains)
+				if *cells > maxCells {
+					return fmt.Errorf("logstore: spill merge exceeds %d cells", maxCells)
+				}
+				if cl == nil && len(l.Cases) >= maxCases {
+					return fmt.Errorf("logstore: spill merge exceeds %d cases", maxCases)
+				}
+			}
+			rl := l.EnsureRound(measure.Case(cs), round)
+			rl.SiteFeatures[site] = sf
+			cl := l.Cases[measure.Case(cs)]
+			cl.Invocations += inv
+			cl.PagesVisited += pages
+			l.Measured[site] = true
+		case recFailure:
+			site, err := r.count(len(h.domains)-1, "failure site")
+			if err != nil {
+				return err
+			}
+			failed[site] = true
+		default:
+			return fmt.Errorf("logstore: unknown spill record type %d", kind)
+		}
+	}
+}
+
+// ReadSpills reassembles one or more spill streams into a single
+// measure.Log, exactly as if every observation had been recorded into one
+// in-memory log: per-case rounds grow to the highest round observed, and a
+// site is measured when it produced at least one observation and no visit
+// of it failed. Every stream must describe the same corpus and site list.
+func ReadSpills(readers ...io.Reader) (*measure.Log, error) {
+	if len(readers) == 0 {
+		return nil, fmt.Errorf("logstore: no spill streams to read")
+	}
+	var l *measure.Log
+	var h0 *spillHeader
+	var failed []bool
+	cells := 0
+	for i, r := range readers {
+		br := newBinReader(r)
+		h, err := readSpillHeader(br)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			h0 = h
+			l = measure.NewLog(h.numFeatures, h.domains)
+			failed = make([]bool, len(h.domains))
+		} else if err := h.sameStudy(h0); err != nil {
+			return nil, fmt.Errorf("logstore: spill stream %d: %w", i, err)
+		}
+		if err := replaySpill(br, h, l, failed, &cells); err != nil {
+			return nil, err
+		}
+	}
+	for site, f := range failed {
+		if f {
+			l.Measured[site] = false
+		}
+	}
+	return l, nil
+}
+
+// ReadSpillFiles reassembles the named spill files into one log.
+func ReadSpillFiles(paths ...string) (*measure.Log, error) {
+	readers := make([]io.Reader, len(paths))
+	files := make([]*os.File, len(paths))
+	defer func() {
+		for _, f := range files {
+			if f != nil {
+				f.Close()
+			}
+		}
+	}()
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		files[i] = f
+		readers[i] = f
+	}
+	return ReadSpills(readers...)
+}
+
+// spillCodec adapts a single spill stream to the Codec Decode side so Read
+// and Detect handle spill files transparently. Spill files are produced by
+// the streaming Writer, never by Encode.
+type spillCodec struct{}
+
+func (spillCodec) Name() string { return "spill" }
+
+func (spillCodec) Encode(io.Writer, *measure.Log) error {
+	return fmt.Errorf("logstore: spill files are written by the streaming Writer, not a codec")
+}
+
+func (spillCodec) Decode(r io.Reader) (*measure.Log, error) {
+	return ReadSpills(r)
+}

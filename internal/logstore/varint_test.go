@@ -1,0 +1,79 @@
+package logstore
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/measure"
+)
+
+// TestBitsetRunEncoding round-trips randomized bitsets through the run
+// encoder at several densities and sizes, including word-boundary shapes.
+func TestBitsetRunEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := []struct {
+		n       int
+		density float64
+	}{
+		{1, 1}, {63, 0.5}, {64, 0.5}, {65, 0.5}, {128, 0},
+		{1392, 0.04}, {1392, 0.5}, {1392, 0.97}, {1392, 1},
+		{200, 0.01}, {10_000, 0.001},
+	}
+	for _, s := range shapes {
+		for trial := 0; trial < 20; trial++ {
+			b := measure.NewBitset(s.n)
+			for i := 0; i < s.n; i++ {
+				if rng.Float64() < s.density {
+					b.Set(i)
+				}
+			}
+			var buf bytes.Buffer
+			w := newBinWriter(&buf)
+			w.bitset(b, s.n)
+			if err := w.flush(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := newBinReader(bytes.NewReader(buf.Bytes())).bitset(s.n)
+			if err != nil {
+				t.Fatalf("n=%d density=%v: decode: %v", s.n, s.density, err)
+			}
+			if !reflect.DeepEqual(got, b) {
+				t.Fatalf("n=%d density=%v: bitset round trip mismatch", s.n, s.density)
+			}
+		}
+	}
+}
+
+// TestBitsetRunsMatchesNaive pins the word-skipping run iterator against a
+// bit-by-bit reference.
+func TestBitsetRunsMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		b := measure.NewBitset(n)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.3 {
+				b.Set(i)
+			}
+		}
+		var naive [][2]int
+		for i := 0; i < n; {
+			if !b.Get(i) {
+				i++
+				continue
+			}
+			start := i
+			for i < n && b.Get(i) {
+				i++
+			}
+			naive = append(naive, [2]int{start, i - start})
+		}
+		var fast [][2]int
+		bitsetRuns(b, n, func(start, run int) { fast = append(fast, [2]int{start, run}) })
+		if !reflect.DeepEqual(naive, fast) {
+			t.Fatalf("n=%d: runs mismatch:\nnaive %v\nfast  %v", n, naive, fast)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package measure
 
 import (
-	"bytes"
 	"testing"
 )
 
@@ -29,34 +28,5 @@ func BenchmarkFeatureSites(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l.FeatureSites(CaseDefault)
-	}
-}
-
-func BenchmarkWriteCSV(b *testing.B) {
-	l := benchLogLarge()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		var buf bytes.Buffer
-		if err := l.WriteCSV(&buf); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkReadCSV(b *testing.B) {
-	l := benchLogLarge()
-	var buf bytes.Buffer
-	if err := l.WriteCSV(&buf); err != nil {
-		b.Fatal(err)
-	}
-	data := buf.Bytes()
-	b.SetBytes(int64(len(data)))
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := ReadCSV(bytes.NewReader(data)); err != nil {
-			b.Fatal(err)
-		}
 	}
 }

@@ -1,6 +1,6 @@
-// Package measure holds the survey's measurement records: which features
-// executed on which sites, per browser configuration and crawl round. It is
-// the analog of the CSV log the paper's measuring extension emits
+// Package measure holds the survey's in-memory measurement model: which
+// features executed on which sites, per browser configuration and crawl
+// round. It is the analog of the log the paper's measuring extension emits
 // ("blocking,example.com,Crypto.getRandomValues(),1" — Figure 2 of "Browser
 // Feature Usage on the Modern Web", IMC 2016) plus the aggregation
 // structures the analysis needs.
@@ -10,6 +10,9 @@
 // profile, and the two single-blocker profiles behind Figure 7. Log stores
 // one feature Bitset per (case, round, site) cell; both execution engines —
 // the sequential loop in internal/crawler and the sharded engine in
-// internal/pipeline — produce this same structure, and WriteCSV/ReadCSV
-// round-trip it so crawling and analysis can run as separate processes.
+// internal/pipeline — produce this same structure.
+//
+// This package is purely the in-memory model. Persistence — the CSV and
+// binary on-disk formats, streaming spill files, and the visit-level result
+// cache — lives in internal/logstore, behind its pluggable Codec API.
 package measure

@@ -1,13 +1,7 @@
 package measure
 
 import (
-	"bufio"
-	"fmt"
-	"io"
 	"math/bits"
-	"sort"
-	"strconv"
-	"strings"
 )
 
 // Case identifies a browser configuration of the survey.
@@ -30,16 +24,34 @@ func AllCases() []Case {
 }
 
 // Bitset is a fixed-capacity bit vector keyed by feature ID.
+//
+// All operations tolerate out-of-range indices and mismatched lengths
+// uniformly: Set ignores bits outside the bitset's capacity, Get reports
+// false for them, and Or merges only the overlapping words of two bitsets.
+// Negative indices are out of range. This makes every Bitset operation safe
+// on data decoded from external inputs (logs written by an older corpus, a
+// shorter bitset spilled by a remote shard) without per-call-site bounds
+// checks.
 type Bitset []uint64
 
 // NewBitset allocates a bitset for n bits.
 func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
 
-// Set sets bit i.
-func (b Bitset) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+// Set sets bit i. Out-of-range indices (negative or beyond capacity) are
+// ignored, mirroring Get's tolerance.
+func (b Bitset) Set(i int) {
+	if i < 0 || i/64 >= len(b) {
+		return
+	}
+	b[i/64] |= 1 << (uint(i) % 64)
+}
 
-// Get reports bit i.
+// Get reports bit i. Out-of-range indices (negative or beyond capacity)
+// report false.
 func (b Bitset) Get(i int) bool {
+	if i < 0 {
+		return false
+	}
 	w := i / 64
 	if w >= len(b) {
 		return false
@@ -47,12 +59,16 @@ func (b Bitset) Get(i int) bool {
 	return b[w]&(1<<(uint(i)%64)) != 0
 }
 
-// Or merges other into b.
+// Or merges other into b. When the lengths differ only the overlapping
+// words are merged: bits of other beyond b's capacity are dropped, and bits
+// of b beyond other's capacity are untouched.
 func (b Bitset) Or(other Bitset) {
-	for i := range other {
-		if i < len(b) {
-			b[i] |= other[i]
-		}
+	n := len(other)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		b[i] |= other[i]
 	}
 }
 
@@ -200,142 +216,4 @@ func (l *Log) MeasuredCount() int {
 		}
 	}
 	return n
-}
-
-// --- CSV serialization ---
-//
-// The format aggregates per (case, round, site, feature):
-//
-//	case,round,domain,featureID,used
-//
-// preceded by a header carrying corpus and site metadata.
-
-// WriteCSV serializes the log.
-func (l *Log) WriteCSV(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "#features,%d\n", l.NumFeatures)
-	fmt.Fprintf(bw, "#domains,%d\n", len(l.Domains))
-	for i, d := range l.Domains {
-		fmt.Fprintf(bw, "#domain,%d,%s,%v\n", i, d, l.Measured[i])
-	}
-	cases := make([]string, 0, len(l.Cases))
-	for c := range l.Cases {
-		cases = append(cases, string(c))
-	}
-	sort.Strings(cases)
-	for _, cs := range cases {
-		cl := l.Cases[Case(cs)]
-		fmt.Fprintf(bw, "#case,%s,%d,%d,%d\n", cs, len(cl.Rounds), cl.Invocations, cl.PagesVisited)
-		for round, rl := range cl.Rounds {
-			for site, sf := range rl.SiteFeatures {
-				// Empty-but-present observations matter: a site that
-				// was visited and used no features (a static site)
-				// is different from an unvisited site.
-				if sf == nil {
-					continue
-				}
-				var ids []string
-				for id := 0; id < l.NumFeatures; id++ {
-					if sf.Get(id) {
-						ids = append(ids, strconv.Itoa(id))
-					}
-				}
-				fmt.Fprintf(bw, "%s,%d,%d,%s\n", cs, round, site, strings.Join(ids, " "))
-			}
-		}
-	}
-	return bw.Flush()
-}
-
-// ReadCSV deserializes a log written by WriteCSV.
-func ReadCSV(r io.Reader) (*Log, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	l := &Log{Cases: make(map[Case]*CaseLog)}
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		parts := strings.Split(text, ",")
-		switch {
-		case strings.HasPrefix(text, "#features,"):
-			n, err := strconv.Atoi(parts[1])
-			if err != nil {
-				return nil, fmt.Errorf("measure: line %d: bad feature count", line)
-			}
-			l.NumFeatures = n
-		case strings.HasPrefix(text, "#domains,"):
-			n, err := strconv.Atoi(parts[1])
-			if err != nil {
-				return nil, fmt.Errorf("measure: line %d: bad domain count", line)
-			}
-			l.Domains = make([]string, n)
-			l.Measured = make([]bool, n)
-		case strings.HasPrefix(text, "#domain,"):
-			if len(parts) != 4 {
-				return nil, fmt.Errorf("measure: line %d: bad domain record", line)
-			}
-			idx, err := strconv.Atoi(parts[1])
-			if err != nil || idx < 0 || idx >= len(l.Domains) {
-				return nil, fmt.Errorf("measure: line %d: bad domain index", line)
-			}
-			l.Domains[idx] = parts[2]
-			l.Measured[idx] = parts[3] == "true"
-		case strings.HasPrefix(text, "#case,"):
-			if len(parts) != 5 {
-				return nil, fmt.Errorf("measure: line %d: bad case record", line)
-			}
-			cl := &CaseLog{}
-			var err error
-			if cl.Invocations, err = strconv.ParseInt(parts[3], 10, 64); err != nil {
-				return nil, fmt.Errorf("measure: line %d: bad invocation count", line)
-			}
-			if cl.PagesVisited, err = strconv.ParseInt(parts[4], 10, 64); err != nil {
-				return nil, fmt.Errorf("measure: line %d: bad page count", line)
-			}
-			rounds, err := strconv.Atoi(parts[2])
-			if err != nil {
-				return nil, fmt.Errorf("measure: line %d: bad round count", line)
-			}
-			for i := 0; i < rounds; i++ {
-				cl.Rounds = append(cl.Rounds, &RoundLog{SiteFeatures: make([]Bitset, len(l.Domains))})
-			}
-			l.Cases[Case(parts[1])] = cl
-		default:
-			if len(parts) != 4 {
-				return nil, fmt.Errorf("measure: line %d: bad observation %q", line, text)
-			}
-			cl := l.Cases[Case(parts[0])]
-			if cl == nil {
-				return nil, fmt.Errorf("measure: line %d: unknown case %q", line, parts[0])
-			}
-			round, err := strconv.Atoi(parts[1])
-			if err != nil || round < 0 || round >= len(cl.Rounds) {
-				return nil, fmt.Errorf("measure: line %d: bad round", line)
-			}
-			site, err := strconv.Atoi(parts[2])
-			if err != nil || site < 0 || site >= len(l.Domains) {
-				return nil, fmt.Errorf("measure: line %d: bad site", line)
-			}
-			sf := NewBitset(l.NumFeatures)
-			for _, idStr := range strings.Fields(parts[3]) {
-				id, err := strconv.Atoi(idStr)
-				if err != nil || id < 0 || id >= l.NumFeatures {
-					return nil, fmt.Errorf("measure: line %d: bad feature id %q", line, idStr)
-				}
-				sf.Set(id)
-			}
-			cl.Rounds[round].SiteFeatures[site] = sf
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if l.NumFeatures == 0 || l.Domains == nil {
-		return nil, fmt.Errorf("measure: log missing header records")
-	}
-	return l, nil
 }

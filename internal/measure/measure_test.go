@@ -1,7 +1,6 @@
 package measure
 
 import (
-	"bytes"
 	"testing"
 	"testing/quick"
 )
@@ -22,6 +21,50 @@ func TestBitsetBasics(t *testing.T) {
 	}
 	if b.Get(10_000) {
 		t.Fatal("out-of-range get should be false")
+	}
+}
+
+func TestBitsetOutOfRange(t *testing.T) {
+	b := NewBitset(64)
+	for _, i := range []int{-1, -64, 64, 100, 1 << 30} {
+		b.Set(i) // must be a tolerated no-op, not a panic
+		if b.Get(i) {
+			t.Errorf("Get(%d) = true after out-of-range Set", i)
+		}
+	}
+	if b.Any() {
+		t.Fatal("out-of-range Set mutated the bitset")
+	}
+	b.Set(63)
+	if !b.Get(63) || b.Count() != 1 {
+		t.Fatal("in-range Set broken")
+	}
+	if b.Get(-1) {
+		t.Fatal("Get(-1) must be false, not an alias of bit 63")
+	}
+}
+
+func TestBitsetOrMismatchedLengths(t *testing.T) {
+	short := NewBitset(64)
+	long := NewBitset(256)
+	long.Set(1)
+	long.Set(200)
+
+	// Longer into shorter: overlapping words merge, the rest is dropped.
+	short.Or(long)
+	if !short.Get(1) {
+		t.Error("Or dropped an in-range bit")
+	}
+	if short.Count() != 1 {
+		t.Errorf("Or merged out-of-range bits: count = %d, want 1", short.Count())
+	}
+
+	// Shorter into longer: bits beyond the shorter operand are untouched.
+	long2 := NewBitset(256)
+	long2.Set(199)
+	long2.Or(short)
+	if !long2.Get(199) || !long2.Get(1) || long2.Count() != 2 {
+		t.Errorf("short-into-long Or wrong: count = %d, want 2", long2.Count())
 	}
 }
 
@@ -112,66 +155,6 @@ func TestLogTotals(t *testing.T) {
 	}
 	if l.MeasuredCount() != 2 {
 		t.Errorf("measured = %d, want 2", l.MeasuredCount())
-	}
-}
-
-func TestCSVRoundTrip(t *testing.T) {
-	l := buildLog()
-	var buf bytes.Buffer
-	if err := l.WriteCSV(&buf); err != nil {
-		t.Fatal(err)
-	}
-	got, err := ReadCSV(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.NumFeatures != l.NumFeatures || len(got.Domains) != len(l.Domains) {
-		t.Fatal("header lost in round trip")
-	}
-	for i := range l.Domains {
-		if got.Domains[i] != l.Domains[i] || got.Measured[i] != l.Measured[i] {
-			t.Fatalf("domain %d mismatch", i)
-		}
-	}
-	for _, cs := range AllCases() {
-		want := l.Cases[cs]
-		have := got.Cases[cs]
-		if (want == nil) != (have == nil) {
-			t.Fatalf("case %s presence mismatch", cs)
-		}
-		if want == nil {
-			continue
-		}
-		if want.Invocations != have.Invocations || want.PagesVisited != have.PagesVisited {
-			t.Fatalf("case %s totals mismatch", cs)
-		}
-		for site := range l.Domains {
-			a := l.SiteUnion(cs, site)
-			b := got.SiteUnion(cs, site)
-			if (a == nil) != (b == nil) {
-				t.Fatalf("case %s site %d presence mismatch", cs, site)
-			}
-			if a != nil && a.Count() != b.Count() {
-				t.Fatalf("case %s site %d bits mismatch", cs, site)
-			}
-		}
-	}
-}
-
-func TestReadCSVErrors(t *testing.T) {
-	cases := []string{
-		"",                      // no header
-		"#features,xyz\n",       // bad count
-		"#features,10\nbogus\n", // bad observation
-		"#features,10\n#domains,1\n#domain,5,x,true\n",                   // bad index
-		"#features,10\n#domains,1\n#domain,0,x,true\nno,0,0,1\n",         // unknown case
-		"#features,10\n#domains,1\n#case,default,1,0,0\nq\n",             // malformed line
-		"#features,10\n#domains,1\n#case,default,1,0,0\ndefault,9,0,1\n", // bad round
-	}
-	for _, c := range cases {
-		if _, err := ReadCSV(bytes.NewBufferString(c)); err == nil {
-			t.Errorf("ReadCSV(%q) should fail", c)
-		}
 	}
 }
 

@@ -7,15 +7,17 @@ import (
 	"repro/internal/measure"
 )
 
-// observation is one completed visit: the feature invocation counts and page
-// count of a single (site, case, round) crawl. Workers batch observations
-// before handing them to the merge stage.
+// observation is one completed visit: the feature set, invocation total,
+// and page count of a single (site, case, round) crawl. Workers batch
+// observations before handing them to the merge stage; the same shape
+// streams to spill files and round-trips through the visit cache.
 type observation struct {
-	caseIdx int
-	round   int
-	site    int
-	counts  map[int]int64
-	pages   int
+	caseIdx     int
+	round       int
+	site        int
+	features    measure.Bitset
+	invocations int64
+	pages       int
 }
 
 // failure marks a site unmeasurable; it rides the same merge channel as
@@ -127,14 +129,12 @@ func (a *Aggregate) merge(b batch) {
 	}
 }
 
-// applyLocked records one observation under its stripe lock.
+// applyLocked records one observation under its stripe lock. The feature
+// bitset was built outside the lock (by the worker or the visit cache), so
+// the critical section is just pointer and counter writes.
 func (a *Aggregate) applyLocked(st *stripe, obs observation) {
-	sf := measure.NewBitset(a.numFeatures)
-	for id := range obs.counts {
-		sf.Set(id)
-		st.invocations[obs.caseIdx] += obs.counts[id]
-	}
-	a.features[obs.caseIdx][obs.round][obs.site] = sf
+	st.invocations[obs.caseIdx] += obs.invocations
+	a.features[obs.caseIdx][obs.round][obs.site] = obs.features
 	if obs.round > st.maxRound[obs.caseIdx] {
 		st.maxRound[obs.caseIdx] = obs.round
 	}

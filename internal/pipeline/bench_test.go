@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/crawler"
+	"repro/internal/measure"
 )
 
 // benchCrawlConfig shrinks the methodology (2 rounds, default+blocking) so a
@@ -73,7 +74,10 @@ func BenchmarkPipeline(b *testing.B) {
 func BenchmarkAggregateMerge(b *testing.B) {
 	setup(b)
 	cases := benchCrawlConfig().Cases
-	counts := map[int]int64{1: 3, 40: 1, 200: 7, 512: 2}
+	features := measure.NewBitset(1024)
+	for _, id := range []int{1, 40, 200, 512} {
+		features.Set(id)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -82,7 +86,7 @@ func BenchmarkAggregateMerge(b *testing.B) {
 		for site := 0; site < testSites; site++ {
 			for ci := range cases {
 				for round := 0; round < 2; round++ {
-					bt.obs = append(bt.obs, observation{caseIdx: ci, round: round, site: site, counts: counts, pages: 13})
+					bt.obs = append(bt.obs, observation{caseIdx: ci, round: round, site: site, features: features.Clone(), invocations: 13, pages: 13})
 					if len(bt.obs) == 16 {
 						agg.merge(bt)
 						bt = batch{}

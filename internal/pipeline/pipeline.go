@@ -3,9 +3,12 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/crawler"
+	"repro/internal/logstore"
 	"repro/internal/measure"
 	"repro/internal/synthweb"
 	"repro/internal/webapi"
@@ -35,6 +38,16 @@ type Config struct {
 	Mergers int
 	// Stripes is the lock-stripe count of the aggregate. Default 16.
 	Stripes int
+	// Cache, when non-nil, memoizes visit outcomes on disk keyed by the
+	// deterministic VisitSeed. Visits already in the cache are skipped
+	// entirely (no browser work) and replayed from disk; the resulting
+	// log is identical either way. Cache.Stats() reports the traffic.
+	Cache *logstore.Cache
+	// SpillDir, when non-empty, streams every shard's completed visits
+	// to a spill file (shard-NNN.spill) in this directory as they merge,
+	// so partial results survive on disk instead of living only in the
+	// in-memory aggregate. logstore.ReadSpillFiles reassembles them.
+	SpillDir string
 	// Crawl carries the survey methodology (rounds, branch factor, page
 	// budget, cases, seed). Its Parallelism field is ignored; the
 	// pipeline's Shards × WorkersPerShard replaces it.
@@ -119,7 +132,28 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 	for i, s := range e.Web.Sites {
 		domains[i] = s.Domain
 	}
-	agg := newAggregate(len(e.Web.Registry.Features), domains, cfg.Crawl.Cases, cfg.Crawl.Rounds, cfg.Stripes)
+	numFeatures := len(e.Web.Registry.Features)
+	agg := newAggregate(numFeatures, domains, cfg.Crawl.Cases, cfg.Crawl.Rounds, cfg.Stripes)
+
+	// Optional spill: one streaming writer per shard, shared by the
+	// shard's workers, so partial results land on disk as visits
+	// complete instead of existing only in the aggregate.
+	spills := make([]*logstore.Writer, cfg.Shards)
+	if cfg.SpillDir != "" {
+		if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("pipeline: creating spill dir: %w", err)
+		}
+		for s := range spills {
+			w, err := logstore.Create(filepath.Join(cfg.SpillDir, fmt.Sprintf("shard-%03d.spill", s)), numFeatures, domains)
+			if err != nil {
+				for _, open := range spills[:s] {
+					open.Close()
+				}
+				return nil, fmt.Errorf("pipeline: creating spill: %w", err)
+			}
+			spills[s] = w
+		}
+	}
 
 	// Stage 3: mergers drain completed batches into the striped
 	// aggregate.
@@ -146,12 +180,12 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 		shardQueues[s] = make(chan *synthweb.Site, cfg.QueueDepth)
 		for w := 0; w < cfg.WorkersPerShard; w++ {
 			crawlWG.Add(1)
-			go func(queue <-chan *synthweb.Site) {
+			go func(queue <-chan *synthweb.Site, spill *logstore.Writer) {
 				defer crawlWG.Done()
-				if err := e.crawlWorker(ctx, cr, cfg, queue, batches); err != nil {
+				if err := e.crawlWorker(ctx, cr, cfg, numFeatures, queue, batches, spill); err != nil {
 					errOnce.Do(func() { runErr = err })
 				}
-			}(shardQueues[s])
+			}(shardQueues[s], spills[s])
 		}
 	}
 
@@ -180,6 +214,14 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 	close(batches)
 	mergeWG.Wait()
 
+	for _, w := range spills {
+		if w == nil {
+			continue
+		}
+		if err := w.Close(); err != nil {
+			errOnce.Do(func() { runErr = fmt.Errorf("pipeline: closing spill: %w", err) })
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -193,8 +235,9 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 // configured case for every round, exactly as the sequential loop does: a
 // failed visit marks the site unmeasurable and skips the case's remaining
 // rounds, but other cases still run. Completed visits accumulate into a
-// batch that is flushed to the merge stage every BatchSize observations.
-func (e *Engine) crawlWorker(ctx context.Context, cr *crawler.Crawler, cfg Config, queue <-chan *synthweb.Site, batches chan<- batch) error {
+// batch that is flushed to the merge stage — and, when the shard spills, to
+// its spill writer — every BatchSize observations.
+func (e *Engine) crawlWorker(ctx context.Context, cr *crawler.Crawler, cfg Config, numFeatures int, queue <-chan *synthweb.Site, batches chan<- batch, spill *logstore.Writer) error {
 	visitors := make(map[measure.Case]*crawler.Visitor, len(cfg.Crawl.Cases))
 	for _, cs := range cfg.Crawl.Cases {
 		v, err := cr.NewVisitor(cs)
@@ -209,9 +252,13 @@ func (e *Engine) crawlWorker(ctx context.Context, cr *crawler.Crawler, cfg Confi
 	}
 
 	var pending batch
+	var spillErr error
 	flush := func() {
 		if len(pending.obs) == 0 && len(pending.fails) == 0 {
 			return
+		}
+		if spill != nil && spillErr == nil {
+			spillErr = spillBatch(spill, cfg.Crawl.Cases, pending)
 		}
 		batches <- pending
 		pending = batch{}
@@ -229,20 +276,21 @@ func (e *Engine) crawlWorker(ctx context.Context, cr *crawler.Crawler, cfg Confi
 					flush()
 					for range queue {
 					}
-					return nil
+					return spillErr
 				}
 				seed := crawler.VisitSeed(cfg.Crawl.Seed, site.Index, cs, round)
-				counts, pages, err := v.CrawlOnce(site, seed)
-				if err != nil {
+				out := e.visit(v, cfg.Cache, numFeatures, site, cs, seed)
+				if out.Failed {
 					pending.fails = append(pending.fails, failure{site: site.Index})
 					break
 				}
 				pending.obs = append(pending.obs, observation{
-					caseIdx: ci,
-					round:   round,
-					site:    site.Index,
-					counts:  counts,
-					pages:   pages,
+					caseIdx:     ci,
+					round:       round,
+					site:        site.Index,
+					features:    out.Features,
+					invocations: out.Invocations,
+					pages:       out.Pages,
 				})
 				if len(pending.obs) >= cfg.BatchSize {
 					flush()
@@ -250,5 +298,57 @@ func (e *Engine) crawlWorker(ctx context.Context, cr *crawler.Crawler, cfg Confi
 			}
 		}
 	}
-	return nil
+	flush()
+	return spillErr
+}
+
+// visit performs (or replays) one crawl. With a cache configured, the
+// outcome keyed by the visit's deterministic seed is served from disk when
+// present; otherwise the crawl runs and its outcome — success or failure —
+// is stored for the next overlapping run. Cache write errors are swallowed:
+// the cache accelerates, it never fails a survey.
+func (e *Engine) visit(v *crawler.Visitor, cache *logstore.Cache, numFeatures int, site *synthweb.Site, cs measure.Case, seed int64) logstore.VisitOutcome {
+	if cache != nil {
+		if out, ok := cache.Get(seed, cs); ok {
+			return out
+		}
+	}
+	var out logstore.VisitOutcome
+	counts, pages, err := v.CrawlOnce(site, seed)
+	if err != nil {
+		out.Failed = true
+	} else {
+		out.Features = measure.NewBitset(numFeatures)
+		for id, n := range counts {
+			out.Features.Set(id)
+			out.Invocations += n
+		}
+		out.Pages = pages
+	}
+	if cache != nil {
+		_ = cache.Put(seed, cs, out)
+	}
+	return out
+}
+
+// spillBatch streams a flushed batch to the shard's spill writer.
+func spillBatch(w *logstore.Writer, cases []measure.Case, b batch) error {
+	for _, obs := range b.obs {
+		if err := w.Append(logstore.Observation{
+			Case:        cases[obs.caseIdx],
+			Round:       obs.round,
+			Site:        obs.site,
+			Features:    obs.features,
+			Invocations: obs.invocations,
+			Pages:       obs.pages,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, f := range b.fails {
+		if err := w.Fail(f.site); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
 }

@@ -3,11 +3,13 @@ package pipeline
 import (
 	"bytes"
 	"context"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/crawler"
+	"repro/internal/logstore"
 	"repro/internal/measure"
 	"repro/internal/synthweb"
 	"repro/internal/webapi"
@@ -68,7 +70,7 @@ func sequentialConfig() crawler.Config {
 func csvBytes(t testing.TB, l *measure.Log) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := l.WriteCSV(&buf); err != nil {
+	if err := (logstore.CSV{}).Encode(&buf, l); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
@@ -166,6 +168,102 @@ func TestPipelineCancellation(t *testing.T) {
 		}
 	case <-time.After(2 * time.Minute):
 		t.Fatal("Run did not return after cancellation")
+	}
+}
+
+// TestPipelineSpill runs the engine with a spill directory and requires the
+// reassembled spill files to be byte-identical to both the engine's own log
+// and the sequential baseline: the spilled partial aggregates carry the
+// entire survey.
+func TestPipelineSpill(t *testing.T) {
+	setup(t)
+	dir := t.TempDir()
+	eng := New(testWeb, testBind, Config{
+		Shards:          3,
+		WorkersPerShard: 2,
+		SpillDir:        dir,
+		Crawl:           sequentialConfig(),
+	})
+	res, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "shard-*.spill"))
+	if err != nil || len(paths) != 3 {
+		t.Fatalf("expected 3 spill files, got %v (%v)", paths, err)
+	}
+	merged, err := logstore.ReadSpillFiles(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csvBytes(t, merged), csvBytes(t, res.Log)) {
+		t.Error("merged spill differs from the engine's log")
+	}
+	if !bytes.Equal(csvBytes(t, merged), csvBytes(t, baseLog)) {
+		t.Error("merged spill differs from the sequential baseline")
+	}
+}
+
+// TestPipelineCache is the caching guarantee: a second run over the same
+// config is served from the cache (hit counters prove no visit re-ran) and
+// produces a byte-identical log; a run over a superset config reuses the
+// overlapping visits and crawls only the new ones.
+func TestPipelineCache(t *testing.T) {
+	setup(t)
+	numFeatures := len(testWeb.Registry.Features)
+	dir := t.TempDir()
+
+	runWith := func(cache *logstore.Cache, cfg crawler.Config) *Result {
+		t.Helper()
+		eng := New(testWeb, testBind, Config{
+			Shards:          2,
+			WorkersPerShard: 2,
+			Cache:           cache,
+			Crawl:           cfg,
+		})
+		res, err := eng.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	cache, err := logstore.OpenCache(dir, numFeatures, "pipeline-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := runWith(cache, sequentialConfig())
+	coldStats := cache.Stats()
+	if coldStats.Hits != 0 || coldStats.Puts == 0 {
+		t.Fatalf("cold run should only populate: %+v", coldStats)
+	}
+	if !bytes.Equal(csvBytes(t, cold.Log), csvBytes(t, baseLog)) {
+		t.Error("cold cached run differs from the sequential baseline")
+	}
+
+	warm := runWith(cache, sequentialConfig())
+	warmStats := cache.Stats()
+	if hits := warmStats.Hits - coldStats.Hits; hits != coldStats.Puts {
+		t.Errorf("warm run hit %d of %d cached visits", hits, coldStats.Puts)
+	}
+	if warmStats.Misses != coldStats.Misses {
+		t.Errorf("warm run missed %d times", warmStats.Misses-coldStats.Misses)
+	}
+	if !bytes.Equal(csvBytes(t, warm.Log), csvBytes(t, baseLog)) {
+		t.Error("warm cached run not byte-identical to the uncached log")
+	}
+
+	// Overlapping (superset) config: one extra round. Every visit of the
+	// original rounds must come from the cache.
+	wider := sequentialConfig()
+	wider.Rounds++
+	res := runWith(cache, wider)
+	widerStats := cache.Stats()
+	if hits := widerStats.Hits - warmStats.Hits; hits != coldStats.Puts {
+		t.Errorf("superset run re-crawled cached visits: %d hits, want %d", hits, coldStats.Puts)
+	}
+	if got := len(res.Log.Cases[measure.CaseDefault].Rounds); got != wider.Rounds {
+		t.Errorf("superset run produced %d rounds, want %d", got, wider.Rounds)
 	}
 }
 
