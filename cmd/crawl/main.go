@@ -41,6 +41,7 @@ func main() {
 		out         = flag.String("out", "", "write the measurement log to this file")
 		format      = flag.String("format", "csv", "log encoding for -out: csv or binary")
 		cacheDir    = flag.String("cache", "", "visit cache directory; re-runs skip cached visits (needs -shards >= 1)")
+		cacheLimit  = flag.Int64("cache-limit", 0, "visit cache size cap in bytes; least-recently-used entries are pruned (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -58,15 +59,16 @@ func main() {
 	}
 
 	study, err := core.NewStudy(core.Config{
-		Sites:       *sites,
-		Seed:        *seed,
-		Rounds:      *rounds,
-		Parallelism: *parallelism,
-		Shards:      *shards,
-		Cases:       cs,
-		UseHTTP:     *useHTTP,
-		LogFormat:   *format,
-		CacheDir:    *cacheDir,
+		Sites:         *sites,
+		Seed:          *seed,
+		Rounds:        *rounds,
+		Parallelism:   *parallelism,
+		Shards:        *shards,
+		Cases:         cs,
+		UseHTTP:       *useHTTP,
+		LogFormat:     *format,
+		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheLimit,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -20,9 +20,16 @@
 //
 // -cache memoizes visit outcomes on disk: a second run with an overlapping
 // configuration skips every completed visit (the hit counters printed at
-// the end prove it) and produces a byte-identical log. -spill streams each
-// shard's completed visits to shard-NNN.spill files as they happen, and
-// -format picks the -out encoding (csv or binary; readers auto-detect).
+// the end prove it) and produces a byte-identical log; -cache-limit caps
+// the cache's size, pruning least-recently-used entries. -spill streams
+// each shard's completed visits to shard-NNN.spill files as they happen,
+// and -format picks the -out encoding (csv or binary; readers auto-detect).
+//
+// -spill-only drops the in-memory log entirely: each shard folds its
+// visits into a mergeable statistics aggregate, so memory stays bounded
+// regardless of site count while every printed table is byte-identical to
+// the in-memory run's. Combine with -spill to keep the full log on disk
+// (report -spills replays it); -out is unavailable in this mode.
 package main
 
 import (
@@ -41,21 +48,28 @@ import (
 
 func main() {
 	var (
-		sites    = flag.Int("sites", 1000, "number of ranked sites to generate and crawl")
-		seed     = flag.Int64("seed", 42, "deterministic seed for generation and crawling")
-		rounds   = flag.Int("rounds", 5, "visits per (site, configuration)")
-		shards   = flag.Int("shards", 4, "site partitions crawled independently")
-		workers  = flag.Int("workers", 4, "browser workers per shard")
-		batch    = flag.Int("batch", 0, "visits merged per batch (0 = engine default)")
-		profile  = flag.String("profile", "blocking", "blocking profile: none, adblock, ghostery, blocking, or all")
-		topN     = flag.Int("top", 15, "rows in the popularity and delta tables")
-		timeout  = flag.Duration("timeout", 0, "abort the crawl after this duration (0 = none)")
-		out      = flag.String("out", "", "write the measurement log to this file")
-		format   = flag.String("format", "csv", "log encoding for -out: csv or binary")
-		cacheDir = flag.String("cache", "", "visit cache directory; re-runs skip cached visits")
-		spillDir = flag.String("spill", "", "stream per-shard spill files to this directory")
+		sites      = flag.Int("sites", 1000, "number of ranked sites to generate and crawl")
+		seed       = flag.Int64("seed", 42, "deterministic seed for generation and crawling")
+		rounds     = flag.Int("rounds", 5, "visits per (site, configuration)")
+		shards     = flag.Int("shards", 4, "site partitions crawled independently")
+		workers    = flag.Int("workers", 4, "browser workers per shard")
+		batch      = flag.Int("batch", 0, "visits merged per batch (0 = engine default)")
+		profile    = flag.String("profile", "blocking", "blocking profile: none, adblock, ghostery, blocking, or all")
+		topN       = flag.Int("top", 15, "rows in the popularity and delta tables")
+		timeout    = flag.Duration("timeout", 0, "abort the crawl after this duration (0 = none)")
+		out        = flag.String("out", "", "write the measurement log to this file")
+		format     = flag.String("format", "csv", "log encoding for -out: csv or binary")
+		cacheDir   = flag.String("cache", "", "visit cache directory; re-runs skip cached visits")
+		cacheLimit = flag.Int64("cache-limit", 0, "visit cache size cap in bytes; least-recently-used entries are pruned (0 = unbounded)")
+		spillDir   = flag.String("spill", "", "stream per-shard spill files to this directory")
+		spillOnly  = flag.Bool("spill-only", false, "drop the in-memory log; fold visits into mergeable per-shard aggregates (bounded memory)")
 	)
 	flag.Parse()
+
+	if *spillOnly && *out != "" {
+		fmt.Fprintln(os.Stderr, "pipeline: -spill-only keeps no in-memory log; use -spill and `report -spills` instead of -out")
+		os.Exit(2)
+	}
 
 	prof, err := blocking.ParseProfile(*profile)
 	if err != nil {
@@ -64,16 +78,18 @@ func main() {
 	}
 
 	study, err := core.NewStudy(core.Config{
-		Sites:        *sites,
-		Seed:         *seed,
-		Rounds:       *rounds,
-		Cases:        prof.Cases(),
-		Shards:       *shards,
-		ShardWorkers: *workers,
-		BatchSize:    *batch,
-		LogFormat:    *format,
-		CacheDir:     *cacheDir,
-		SpillDir:     *spillDir,
+		Sites:         *sites,
+		Seed:          *seed,
+		Rounds:        *rounds,
+		Cases:         prof.Cases(),
+		Shards:        *shards,
+		ShardWorkers:  *workers,
+		BatchSize:     *batch,
+		LogFormat:     *format,
+		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheLimit,
+		SpillDir:      *spillDir,
+		SpillOnly:     *spillOnly,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -105,12 +121,15 @@ func main() {
 	if *spillDir != "" {
 		fmt.Fprintf(os.Stderr, "per-shard spill files in %s\n", *spillDir)
 	}
+	if *spillOnly {
+		fmt.Fprintln(os.Stderr, "spill-only: tables computed from merged shard aggregates, no in-memory log")
+	}
 
 	report.Table1(os.Stdout, results.Stats)
 	fmt.Println()
 
 	a := results.Analysis
-	fmt.Printf("Feature popularity (top %d of %d features, %s case)\n", *topN, results.Log.NumFeatures, measure.CaseDefault)
+	fmt.Printf("Feature popularity (top %d of %d features, %s case)\n", *topN, len(study.Registry.Features), measure.CaseDefault)
 	fmt.Printf("%-8s %-44s %8s %9s\n", "rank", "feature", "sites", "fraction")
 	for i, row := range a.TopFeatures(measure.CaseDefault, *topN) {
 		fmt.Printf("%-8d %-44s %8d %8.1f%%\n", i+1, row.Name, row.Sites, 100*row.Fraction)

@@ -1,22 +1,33 @@
 // Command report regenerates the paper's tables and figures. It either
-// re-runs the survey (default) or reads a measurement log produced by
-// cmd/crawl or cmd/pipeline, then renders the requested artifact (or
-// everything). The log's format — CSV, binary, even a spill file — is
-// auto-detected from its magic bytes; pointing -log at anything else
-// reports "unknown log format" with the bytes found.
+// re-runs the survey (default) or reads measurements produced by cmd/crawl
+// or cmd/pipeline, then renders the requested artifact (or everything). The
+// log's format — CSV, binary, even a spill file — is auto-detected from its
+// magic bytes; pointing -log at anything else reports "unknown log format"
+// with the bytes found.
+//
+// -spills takes a glob of per-shard spill files from a spill-only run and
+// merges them through the streaming stats layer: the full log is never
+// materialized, so memory stays bounded regardless of survey size, and
+// every aggregate artifact matches the live run byte for byte. The two
+// per-site artifacts (figure5, figure9) need the full log; render them from
+// -log (a single spill file works there too, via the auto-detecting
+// reader).
 //
 // Usage:
 //
-//	report -sites 1000 -seed 42                  # run survey, render all
-//	report -sites 1000 -seed 42 -only table2     # one artifact
-//	report -sites 1000 -seed 42 -log survey.log  # reuse a saved log
-//	report -sites 1000 -seed 42 -cache dir       # re-run, skipping cached visits
+//	report -sites 1000 -seed 42                      # run survey, render all
+//	report -sites 1000 -seed 42 -only table2         # one artifact
+//	report -sites 1000 -seed 42 -log survey.log      # reuse a saved log
+//	report -sites 1000 -seed 42 -spills 'sp/*.spill' # warm-start from spills
+//	report -sites 1000 -seed 42 -cache dir           # re-run, skipping cached visits
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -33,7 +44,9 @@ func main() {
 		parallelism = flag.Int("parallelism", 8, "concurrent site workers when re-running the survey")
 		shards      = flag.Int("shards", 4, "site partitions when re-running the survey; 0 = sequential loop")
 		logPath     = flag.String("log", "", "read measurements from this log file (format auto-detected) instead of crawling")
+		spillsGlob  = flag.String("spills", "", "merge spill files matching this glob through the streaming stats layer instead of crawling (bounded memory; per-site artifacts unavailable)")
 		cacheDir    = flag.String("cache", "", "visit cache directory for survey re-runs (needs -shards >= 1)")
+		cacheLimit  = flag.Int64("cache-limit", 0, "visit cache size cap in bytes; least-recently-used entries are pruned (0 = unbounded)")
 		only        = flag.String("only", "", "render one artifact: figure1|figure3|figure4|figure5|figure6|figure7|figure8|figure9|table1|table2|table3|headlines")
 	)
 	flag.Parse()
@@ -41,13 +54,17 @@ func main() {
 	if *cacheDir != "" && *shards <= 0 {
 		fatal(fmt.Errorf("report: -cache requires the pipeline engine (-shards >= 1)"))
 	}
+	if *logPath != "" && *spillsGlob != "" {
+		fatal(fmt.Errorf("report: -log and -spills are mutually exclusive"))
+	}
 
 	study, err := core.NewStudy(core.Config{
-		Sites:       *sites,
-		Seed:        *seed,
-		Parallelism: *parallelism,
-		Shards:      *shards,
-		CacheDir:    *cacheDir,
+		Sites:         *sites,
+		Seed:          *seed,
+		Parallelism:   *parallelism,
+		Shards:        *shards,
+		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheLimit,
 	})
 	if err != nil {
 		fatal(err)
@@ -55,7 +72,8 @@ func main() {
 	defer study.Close()
 
 	var results *core.Results
-	if *logPath != "" {
+	switch {
+	case *logPath != "":
 		log, err := logstore.ReadFile(*logPath)
 		if err != nil {
 			fatal(err)
@@ -65,7 +83,21 @@ func main() {
 			Stats:    statsFromLog(log),
 			Analysis: analysis.New(log, study.Registry),
 		}
-	} else {
+	case *spillsGlob != "":
+		paths, err := filepath.Glob(*spillsGlob)
+		if err != nil {
+			fatal(err)
+		}
+		if len(paths) == 0 {
+			fatal(fmt.Errorf("report: no spill files match %q", *spillsGlob))
+		}
+		sort.Strings(paths)
+		results, err = study.ResultsFromSpills(paths...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "warm-started from %d spill files (no log materialized)\n", len(paths))
+	default:
 		results, err = study.RunSurvey()
 		if err != nil {
 			fatal(err)
@@ -77,10 +109,21 @@ func main() {
 	}
 
 	if *only == "" {
+		if results.Log == nil {
+			fmt.Fprintln(os.Stderr, "per-site artifacts (figure5, figure9) need the full log; rendering the aggregate report")
+			if err := study.WriteAggregateReport(os.Stdout, results); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		if err := study.WriteReport(os.Stdout, results); err != nil {
 			fatal(err)
 		}
 		return
+	}
+
+	if results.Log == nil && (*only == "figure5" || *only == "figure9") {
+		fatal(fmt.Errorf("report: %s is a per-site artifact; it needs -log (or a re-run), not -spills", *only))
 	}
 
 	a := results.Analysis

@@ -8,13 +8,31 @@ import (
 	"repro/internal/firefoxhist"
 	"repro/internal/measure"
 	"repro/internal/standards"
+	"repro/internal/stats"
 	"repro/internal/webidl"
 )
 
-// Analysis joins a measurement log with the corpus it measured.
+// Analysis joins a survey's measurements with the corpus it measured. It
+// has two data sources, and holds at least one of them:
+//
+//   - Log, the full per-visit measurement log. Aggregate statistics are
+//     derived by scanning it ("cold"), and per-site queries
+//     (SiteStandards, VisitWeightedPopularity, HumanDelta) require it.
+//
+//   - Agg, a mergeable stats.Aggregate maintained incrementally while the
+//     survey ran (or folded from spill files). When present, every
+//     aggregate statistic is read from it directly — no rescan ("warm").
+//     With no Log alongside (a spill-only run), per-site queries
+//     degrade gracefully: they return nil.
+//
+// Warm and cold construction produce identical results for every aggregate
+// method; the only documented difference is Complexity's element order
+// (its consumers are order-insensitive distributions).
 type Analysis struct {
 	Log *measure.Log
 	Reg *webidl.Registry
+	// Agg is the warm statistics source; nil for a purely cold analysis.
+	Agg *stats.Aggregate
 
 	// stdOf[featureID] is the feature's standard, memoized.
 	stdOf []standards.Abbrev
@@ -22,16 +40,39 @@ type Analysis struct {
 	stdSitesCache map[measure.Case]map[standards.Abbrev]int
 	// siteStdCache memoizes per-case, per-site standard sets.
 	siteStdCache map[measure.Case][]map[standards.Abbrev]bool
+	// featureSitesCache memoizes per-case feature site counts, so even
+	// the cold path scans the log at most once per case.
+	featureSitesCache map[measure.Case][]int
 }
 
-// New builds an analysis over a log and corpus.
+// New builds a cold analysis over a log and corpus.
 func New(log *measure.Log, reg *webidl.Registry) *Analysis {
+	return newAnalysis(log, nil, reg)
+}
+
+// FromStats builds a warm analysis directly from a mergeable aggregate —
+// no log, no rescan. Aggregate methods match a cold analysis of the same
+// survey exactly; per-site methods return nil (reassemble the log from
+// spill files when they are needed).
+func FromStats(agg *stats.Aggregate, reg *webidl.Registry) *Analysis {
+	return newAnalysis(nil, agg, reg)
+}
+
+// NewWarm builds an analysis with both sources: aggregate statistics come
+// from the warm aggregate, per-site queries from the log.
+func NewWarm(log *measure.Log, agg *stats.Aggregate, reg *webidl.Registry) *Analysis {
+	return newAnalysis(log, agg, reg)
+}
+
+func newAnalysis(log *measure.Log, agg *stats.Aggregate, reg *webidl.Registry) *Analysis {
 	a := &Analysis{
-		Log:           log,
-		Reg:           reg,
-		stdOf:         make([]standards.Abbrev, len(reg.Features)),
-		stdSitesCache: make(map[measure.Case]map[standards.Abbrev]int),
-		siteStdCache:  make(map[measure.Case][]map[standards.Abbrev]bool),
+		Log:               log,
+		Agg:               agg,
+		Reg:               reg,
+		stdOf:             make([]standards.Abbrev, len(reg.Features)),
+		stdSitesCache:     make(map[measure.Case]map[standards.Abbrev]int),
+		siteStdCache:      make(map[measure.Case][]map[standards.Abbrev]bool),
+		featureSitesCache: make(map[measure.Case][]int),
 	}
 	for i, f := range reg.Features {
 		a.stdOf[i] = f.Standard
@@ -39,9 +80,29 @@ func New(log *measure.Log, reg *webidl.Registry) *Analysis {
 	return a
 }
 
+// numSites returns the survey's site-list size.
+func (a *Analysis) numSites() int {
+	if a.Log != nil {
+		return len(a.Log.Domains)
+	}
+	return a.Agg.NumSites()
+}
+
+// measuredCount returns how many sites produced measurements.
+func (a *Analysis) measuredCount() int {
+	if a.Agg != nil {
+		return a.Agg.MeasuredCount()
+	}
+	return a.Log.MeasuredCount()
+}
+
 // SiteStandards returns, per site, the set of standards with at least one
-// feature observed under the case (nil for unobserved sites).
+// feature observed under the case (nil for unobserved sites). It is a
+// per-site query: without a log (FromStats) it returns nil.
 func (a *Analysis) SiteStandards(c measure.Case) []map[standards.Abbrev]bool {
+	if a.Log == nil {
+		return nil
+	}
 	if cached, ok := a.siteStdCache[c]; ok {
 		return cached
 	}
@@ -52,11 +113,9 @@ func (a *Analysis) SiteStandards(c measure.Case) []map[standards.Abbrev]bool {
 			continue
 		}
 		set := make(map[standards.Abbrev]bool)
-		for id := 0; id < a.Log.NumFeatures; id++ {
-			if u.Get(id) {
-				set[a.stdOf[id]] = true
-			}
-		}
+		u.ForEach(a.Log.NumFeatures, func(id int) {
+			set[a.stdOf[id]] = true
+		})
 		out[site] = set
 	}
 	a.siteStdCache[c] = out
@@ -69,10 +128,15 @@ func (a *Analysis) StandardSites(c measure.Case) map[standards.Abbrev]int {
 	if cached, ok := a.stdSitesCache[c]; ok {
 		return cached
 	}
-	out := make(map[standards.Abbrev]int)
-	for _, set := range a.SiteStandards(c) {
-		for std := range set {
-			out[std]++
+	var out map[standards.Abbrev]int
+	if a.Agg != nil {
+		out = a.Agg.StandardSites(c)
+	} else {
+		out = make(map[standards.Abbrev]int)
+		for _, set := range a.SiteStandards(c) {
+			for std := range set {
+				out[std]++
+			}
 		}
 	}
 	a.stdSitesCache[c] = out
@@ -80,9 +144,20 @@ func (a *Analysis) StandardSites(c measure.Case) map[standards.Abbrev]int {
 }
 
 // FeatureSites returns per-feature site counts under the case ("feature
-// popularity" numerators).
+// popularity" numerators). Warm analyses read the incrementally maintained
+// counts; cold ones scan the log once per case and memoize.
 func (a *Analysis) FeatureSites(c measure.Case) []int {
-	return a.Log.FeatureSites(c)
+	if cached, ok := a.featureSitesCache[c]; ok {
+		return cached
+	}
+	var out []int
+	if a.Agg != nil {
+		out = a.Agg.FeatureSites(c)
+	} else {
+		out = a.Log.FeatureSites(c)
+	}
+	a.featureSitesCache[c] = out
+	return out
 }
 
 // FeatureBands summarizes §5.3: how many corpus features were never seen,
@@ -105,7 +180,7 @@ func (a *Analysis) Bands(c measure.Case) FeatureBands {
 	// 1% of the ranking, with a floor of 2 so the band stays meaningful
 	// at sub-paper scales (a threshold of 1 would make "used on fewer
 	// than 1% of sites" unsatisfiable for used features).
-	threshold := len(a.Log.Domains) / 100
+	threshold := a.numSites() / 100
 	if threshold < 2 {
 		threshold = 2
 	}
@@ -139,6 +214,23 @@ type BlockRate struct {
 // standard by default, the fraction on which no feature of the standard
 // executed with blocking installed.
 func (a *Analysis) BlockRates(blockingCase measure.Case) map[standards.Abbrev]BlockRate {
+	if a.Agg != nil {
+		def := a.StandardSites(measure.CaseDefault)
+		blocked := a.Agg.BlockedSites(blockingCase)
+		out := make(map[standards.Abbrev]BlockRate)
+		for _, std := range standards.Catalog() {
+			br := BlockRate{
+				Standard:     std.Abbrev,
+				DefaultSites: def[std.Abbrev],
+				BlockedSites: blocked[std.Abbrev],
+			}
+			if br.DefaultSites > 0 {
+				br.Rate = float64(br.BlockedSites) / float64(br.DefaultSites)
+			}
+			out[std.Abbrev] = br
+		}
+		return out
+	}
 	def := a.SiteStandards(measure.CaseDefault)
 	blk := a.SiteStandards(blockingCase)
 	out := make(map[standards.Abbrev]BlockRate)
@@ -162,8 +254,13 @@ func (a *Analysis) BlockRates(blockingCase measure.Case) map[standards.Abbrev]Bl
 }
 
 // Complexity returns, per measured site, the number of standards used in
-// the default case (§5.9 / Figure 8).
+// the default case (§5.9 / Figure 8). With a log the series is in site
+// order; a purely warm analysis returns the same multiset ascending (its
+// consumers — histograms, CDFs — are order-insensitive).
 func (a *Analysis) Complexity() []int {
+	if a.Log == nil {
+		return a.Agg.Complexity()
+	}
 	var out []int
 	for site, set := range a.SiteStandards(measure.CaseDefault) {
 		if !a.Log.Measured[site] || set == nil {
@@ -197,8 +294,12 @@ type VisitWeighted struct {
 	VisitFraction float64
 }
 
-// VisitWeightedPopularity computes Figure 5 against an Alexa ranking.
+// VisitWeightedPopularity computes Figure 5 against an Alexa ranking. It
+// is a per-site query: without a log (FromStats) it returns nil.
 func (a *Analysis) VisitWeightedPopularity(rank *alexa.Ranking) []VisitWeighted {
+	if a.Log == nil {
+		return nil
+	}
 	siteStd := a.SiteStandards(measure.CaseDefault)
 	var totalVisits float64
 	measured := 0
@@ -315,7 +416,7 @@ func (a *Analysis) Table2(db *cve.Database) []Table2Row {
 	sites := a.StandardSites(measure.CaseDefault)
 	rates := a.BlockRates(measure.CaseBlocking)
 	perCVE := db.PerStandard()
-	onePct := len(a.Log.Domains) / 100
+	onePct := a.numSites() / 100
 	if onePct < 1 {
 		onePct = 1
 	}
@@ -343,7 +444,11 @@ func (a *Analysis) Table2(db *cve.Database) []Table2Row {
 
 // NewStandardsPerRound computes Table 3: the average number of standards
 // first observed in each round of the default case, across measured sites.
+// Warm analyses read the incrementally folded per-round sums.
 func (a *Analysis) NewStandardsPerRound() []float64 {
+	if a.Agg != nil {
+		return a.Agg.NewStandardsPerRound()
+	}
 	cl := a.Log.Cases[measure.CaseDefault]
 	if cl == nil {
 		return nil
@@ -386,9 +491,13 @@ func (a *Analysis) NewStandardsPerRound() []float64 {
 
 // HumanDelta compares one site's manually-observed standards against the
 // automated survey's union for the site (Figure 9's per-site statistic:
-// standards seen by the human but never by the monkey).
+// standards seen by the human but never by the monkey). It is a per-site
+// query: without a log every human-seen standard counts as new.
 func (a *Analysis) HumanDelta(site int, humanCounts map[int]int64) int {
-	auto := a.SiteStandards(measure.CaseDefault)[site]
+	var auto map[standards.Abbrev]bool
+	if ss := a.SiteStandards(measure.CaseDefault); site >= 0 && site < len(ss) {
+		auto = ss[site]
+	}
 	humanStd := make(map[standards.Abbrev]bool)
 	for id := range humanCounts {
 		humanStd[a.stdOf[id]] = true

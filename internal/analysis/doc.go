@@ -1,15 +1,26 @@
 // Package analysis derives the paper's results (§5, §6 of "Browser Feature
-// Usage on the Modern Web", IMC 2016) from survey measurement logs:
-// popularity distributions (§5.1), block rates under the blocking profiles
-// (§5.4, Figure 4), site complexity (Figure 8), age/popularity relations
-// (§5.2, Figure 6), CVE association (Table 2), and the internal/external
+// Usage on the Modern Web", IMC 2016) from survey measurements: popularity
+// distributions (§5.1), block rates under the blocking profiles (§5.4,
+// Figure 4), site complexity (Figure 8), age/popularity relations (§5.2,
+// Figure 6), CVE association (Table 2), and the internal/external
 // validation statistics (§6).
 //
-// Analysis consumes only measured data — a measure.Log plus the
-// webidl.Registry it was measured against — never the synthetic web's
-// calibration profile, so the same code analyzes logs from the sequential
-// crawler, the sharded internal/pipeline engine, or a CSV written by an
-// earlier run. TopFeatures and FeatureDeltas render the headline tables the
+// An Analysis is built three ways. New(log, reg) is the cold path: every
+// aggregate statistic is derived by scanning the measure.Log (once, then
+// memoized). FromStats(agg, reg) is the warm path: the statistics are read
+// straight from a mergeable stats.Aggregate that the pipeline maintained
+// while the survey ran — or that stats.FromSpills folded from spill files —
+// with no log and no rescan; the per-site methods (SiteStandards,
+// VisitWeightedPopularity, HumanDelta) then degrade to nil. NewWarm(log,
+// agg, reg) combines both: warm aggregate statistics plus log-backed
+// per-site queries. Warm and cold construction return identical results
+// for every aggregate method (enforced by TestWarmAnalysisMatchesCold).
+//
+// Analysis consumes only measured data — never the synthetic web's
+// calibration profile — so the same code analyzes logs from the sequential
+// crawler, the sharded internal/pipeline engine, a CSV written by an
+// earlier run, or the merged spill stream of a spill-only survey.
+// TopFeatures and FeatureDeltas render the headline tables the
 // cmd/pipeline binary prints: per-feature popularity and the per-feature
 // usage drops caused by content blocking.
 package analysis

@@ -22,8 +22,8 @@ type PopularFeature struct {
 // TopFeatures returns the n most popular features under the case, ordered
 // by site count (ties broken by feature ID for determinism).
 func (a *Analysis) TopFeatures(c measure.Case, n int) []PopularFeature {
-	siteCounts := a.Log.FeatureSites(c)
-	measured := a.Log.MeasuredCount()
+	siteCounts := a.FeatureSites(c)
+	measured := a.measuredCount()
 	rows := make([]PopularFeature, 0, len(siteCounts))
 	for id, sites := range siteCounts {
 		if sites == 0 {
@@ -68,8 +68,8 @@ type FeatureDelta struct {
 // features whose usage drops the most under blocking (ties broken by ID).
 // Features unused in both cases are omitted.
 func (a *Analysis) FeatureDeltas(base, blocked measure.Case, n int) []FeatureDelta {
-	baseCounts := a.Log.FeatureSites(base)
-	blockedCounts := a.Log.FeatureSites(blocked)
+	baseCounts := a.FeatureSites(base)
+	blockedCounts := a.FeatureSites(blocked)
 	rows := make([]FeatureDelta, 0, len(baseCounts))
 	for id := range baseCounts {
 		b, k := baseCounts[id], blockedCounts[id]

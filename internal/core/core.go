@@ -25,6 +25,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/report"
 	"repro/internal/standards"
+	"repro/internal/stats"
 	"repro/internal/synthweb"
 	"repro/internal/webapi"
 	"repro/internal/webidl"
@@ -73,8 +74,21 @@ type Config struct {
 	CacheDir string
 	// SpillDir, when non-empty, streams each pipeline shard's completed
 	// visits to a spill file in this directory (Shards > 0 only);
-	// logstore.ReadSpillFiles reassembles them into the full log.
+	// logstore.ReadSpillFiles reassembles them into the full log and
+	// stats.FromSpills folds them into a warm aggregate.
 	SpillDir string
+	// SpillOnly drops the in-memory log (Shards > 0 only): each shard
+	// folds its visits into a mergeable stats aggregate, Results.Log is
+	// nil, and memory stays bounded regardless of site count. Aggregate
+	// statistics — and so every headline table — are identical to an
+	// in-memory run's. Combine with SpillDir to keep the full log on
+	// disk.
+	SpillOnly bool
+	// CacheMaxBytes caps the visit cache's on-disk size; once entries
+	// exceed it the least-recently-used are pruned (a manifest in the
+	// cache directory tracks recency without directory scans). 0 means
+	// unbounded.
+	CacheMaxBytes int64
 }
 
 // Study is a fully constructed experiment environment.
@@ -95,8 +109,14 @@ type Study struct {
 
 // Results bundles a completed survey.
 type Results struct {
-	Log      *measure.Log
-	Stats    *crawler.Stats
+	// Log is the full measurement log; nil for spill-only surveys, whose
+	// measurements live in Agg (and in spill files when SpillDir is set).
+	Log   *measure.Log
+	Stats *crawler.Stats
+	// Agg is the mergeable statistics aggregate maintained while the
+	// survey ran; nil for the sequential engine, which records straight
+	// into the log.
+	Agg      *stats.Aggregate
 	Analysis *analysis.Analysis
 }
 
@@ -117,6 +137,9 @@ func NewStudy(cfg Config) (*Study, error) {
 	}
 	if cfg.HumanSample == 0 {
 		cfg.HumanSample = 92
+	}
+	if cfg.SpillOnly && cfg.Shards <= 0 {
+		return nil, fmt.Errorf("core: spill-only mode requires the pipeline engine (Shards > 0)")
 	}
 
 	if cfg.LogFormat == "" {
@@ -145,7 +168,7 @@ func NewStudy(cfg Config) (*Study, error) {
 		codec:    codec,
 	}
 	if cfg.CacheDir != "" {
-		cache, err := logstore.OpenCache(cfg.CacheDir, len(reg.Features), s.cacheScope())
+		cache, err := logstore.OpenCacheLimited(cfg.CacheDir, len(reg.Features), s.cacheScope(), cfg.CacheMaxBytes)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
@@ -215,7 +238,16 @@ func (s *Study) RunSurveyContext(ctx context.Context) (*Results, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Results{Log: res.Log, Stats: res.Stats, Analysis: analysis.New(res.Log, s.Registry)}, nil
+		// The engine maintained a mergeable aggregate alongside the
+		// crawl, so analysis starts warm — no log rescan. Spill-only
+		// runs have no log at all; per-site queries then return nil.
+		var a *analysis.Analysis
+		if res.Log != nil {
+			a = analysis.NewWarm(res.Log, res.Agg, s.Registry)
+		} else {
+			a = analysis.FromStats(res.Agg, s.Registry)
+		}
+		return &Results{Log: res.Log, Stats: res.Stats, Agg: res.Agg, Analysis: a}, nil
 	}
 	log, stats, err := s.crawler().Run()
 	if err != nil {
@@ -247,6 +279,7 @@ func (s *Study) pipeline() *pipeline.Engine {
 		BatchSize:       s.Cfg.BatchSize,
 		Cache:           s.Cache,
 		SpillDir:        s.Cfg.SpillDir,
+		SpillOnly:       s.Cfg.SpillOnly,
 		Crawl:           s.crawlConfig(),
 	})
 	if s.server != nil {
@@ -256,10 +289,32 @@ func (s *Study) pipeline() *pipeline.Engine {
 	return eng
 }
 
+// ResultsFromSpills reconstructs a warm Results from a spill-only run's
+// per-shard spill files, streaming them through the mergeable stats layer —
+// the full log is never materialized, so memory stays bounded regardless of
+// site count. The spill files must come from a run of this study (same
+// sites, same seed); every aggregate statistic and headline table matches
+// the live run's exactly. Per-site artifacts (Figure 5, Figure 9) need the
+// full log — use logstore.ReadSpillFiles for those.
+func (s *Study) ResultsFromSpills(paths ...string) (*Results, error) {
+	agg, err := stats.FromSpills(stats.StandardsOf(s.Registry), s.Cfg.Cases, paths...)
+	if err != nil {
+		return nil, fmt.Errorf("core: merging spills: %w", err)
+	}
+	return &Results{
+		Stats:    pipeline.SurveyStats(agg, s.crawlConfig().PageSeconds),
+		Agg:      agg,
+		Analysis: analysis.FromStats(agg, s.Registry),
+	}, nil
+}
+
 // RunExternalValidation performs the §6.2 protocol: visit a visit-weighted
 // sample of sites with the scripted human model and return, per site, how
 // many standards the human saw that the automated survey never did.
 func (s *Study) RunExternalValidation(results *Results) ([]int, error) {
+	if results.Log == nil {
+		return nil, fmt.Errorf("core: external validation compares per-site observations; it needs the full log, not a spill-only aggregate")
+	}
 	sample := s.Web.Ranking.WeightedSample(s.Cfg.HumanSample, s.Cfg.Seed+909)
 	c := s.crawler()
 	var deltas []int
@@ -281,7 +336,20 @@ func (s *Study) RunExternalValidation(results *Results) ([]int, error) {
 }
 
 // WriteReport renders every table and figure of the paper from the results.
+// It needs the full log (Figures 5 and 9 are per-site artifacts).
 func (s *Study) WriteReport(w io.Writer, results *Results) error {
+	return s.writeReport(w, results, true)
+}
+
+// WriteAggregateReport renders every artifact derivable from aggregate
+// statistics alone — the full report minus the two per-site artifacts
+// (Figure 5's visit weighting and Figure 9's external validation) — so a
+// spill-only survey reports without ever materializing its log.
+func (s *Study) WriteAggregateReport(w io.Writer, results *Results) error {
+	return s.writeReport(w, results, false)
+}
+
+func (s *Study) writeReport(w io.Writer, results *Results, perSite bool) error {
 	a := results.Analysis
 
 	report.Figure1(w)
@@ -293,8 +361,10 @@ func (s *Study) WriteReport(w io.Writer, results *Results) error {
 	report.Figure3(w, a)
 	fmt.Fprintln(w)
 	report.Figure4(w, a)
-	fmt.Fprintln(w)
-	report.Figure5(w, a.VisitWeightedPopularity(s.Web.Ranking))
+	if perSite {
+		fmt.Fprintln(w)
+		report.Figure5(w, a.VisitWeightedPopularity(s.Web.Ranking))
+	}
 	fmt.Fprintln(w)
 	report.Figure6(w, a.AgeSeries(s.History))
 	fmt.Fprintln(w)
@@ -305,6 +375,9 @@ func (s *Study) WriteReport(w io.Writer, results *Results) error {
 	report.Table3(w, a.NewStandardsPerRound())
 	fmt.Fprintln(w)
 	report.Figure8(w, a.Complexity())
+	if !perSite {
+		return nil
+	}
 
 	deltas, err := s.RunExternalValidation(results)
 	if err != nil {
@@ -319,11 +392,17 @@ func (s *Study) WriteReport(w io.Writer, results *Results) error {
 // (Config.LogFormat). Logs written in any format load back through
 // logstore.Read/ReadFile, which auto-detect.
 func (s *Study) WriteLog(w io.Writer, l *measure.Log) error {
+	if l == nil {
+		return fmt.Errorf("core: no in-memory log to write (spill-only survey)")
+	}
 	return s.codec.Encode(w, l)
 }
 
 // SaveLog writes the measurement log to a file in the configured format.
 func (s *Study) SaveLog(path string, l *measure.Log) error {
+	if l == nil {
+		return fmt.Errorf("core: no in-memory log to save (spill-only survey)")
+	}
 	return logstore.WriteFile(path, s.codec, l)
 }
 

@@ -265,6 +265,17 @@ type Visitor struct {
 	cfg      Config
 	browser  *browser.Browser
 	measurer *extension.Measurer
+
+	// Per-visit scratch state, interned across CrawlOnce calls: a 90-site
+	// survey performs thousands of visits per worker, and rebuilding
+	// these maps (and the gremlin horde) every visit dominated the
+	// scheduler-side allocation profile (see internal/pipeline
+	// benchmarks). Reuse is safe because a Visitor is single-goroutine.
+	horde    *gremlins.Horde
+	counts   map[int]int64
+	visited  map[string]bool
+	seenDirs map[string]bool
+	pool     []string
 }
 
 // NewVisitor builds a single-goroutine visitor for one browser
@@ -291,37 +302,57 @@ func (c *Crawler) newVisitor(cs measure.Case, cfg Config) (*Visitor, error) {
 	}, nil
 }
 
+// ensureScratch builds the interned per-visit state on first use (lazily,
+// so a Visitor assembled by hand in tests works too).
+func (w *Visitor) ensureScratch() {
+	if w.horde == nil {
+		w.horde = &gremlins.Horde{
+			Species: []gremlins.Weighted{
+				{Species: gremlins.Clicker{}, Weight: 0.55},
+				{Species: gremlins.Scroller{}, Weight: 0.25},
+				{Species: gremlins.Typer{}, Weight: 0.20},
+			},
+			Seconds:          w.cfg.PageSeconds,
+			ActionsPerSecond: w.cfg.ActionsPerSecond,
+		}
+		w.counts = make(map[int]int64)
+		w.visited = make(map[string]bool)
+		w.seenDirs = make(map[string]bool)
+	}
+}
+
 // CrawlOnce performs one round of the paper's per-site procedure: monkey
 // testing on the home page, then a breadth-first expansion through Branch
 // levels of intercepted navigation targets (1 + 3 + 9 = 13 pages for
 // Branch=3), 30 virtual seconds each. It returns the feature counts
 // observed. A dead home page or a script syntax error makes the site
 // unmeasurable, matching the paper's 267 lost domains.
+//
+// The returned map is the Visitor's interned scratch: it stays valid only
+// until the next CrawlOnce on the same Visitor, so callers that retain the
+// counts past that point must copy them. Both survey engines consume the
+// map (log record, bitset conversion) before the next visit.
 func (w *Visitor) CrawlOnce(site *synthweb.Site, seed int64) (map[int]int64, int, error) {
 	rng := rand.New(rand.NewSource(seed))
-	horde := &gremlins.Horde{
-		Species: []gremlins.Weighted{
-			{Species: gremlins.Clicker{}, Weight: 0.55},
-			{Species: gremlins.Scroller{}, Weight: 0.25},
-			{Species: gremlins.Typer{}, Weight: 0.20},
-		},
-		Seconds:          w.cfg.PageSeconds,
-		ActionsPerSecond: w.cfg.ActionsPerSecond,
-	}
+	w.ensureScratch()
+	horde := w.horde
 
 	sameSite := func(host string) bool {
 		return w.crawler.Web.Ranking.SameSite(host, site.Domain)
 	}
 
-	counts := make(map[int]int64)
+	clear(w.counts)
+	counts := w.counts
 	merge := func(m map[int]int64) {
 		for id, n := range m {
 			counts[id] += n
 		}
 	}
 
-	seenDirs := map[string]bool{}
-	visited := map[string]bool{}
+	clear(w.seenDirs)
+	clear(w.visited)
+	seenDirs := w.seenDirs
+	visited := w.visited
 	pages := 0
 
 	// visit loads a URL, monkey-tests it, and returns candidate local
@@ -359,7 +390,8 @@ func (w *Visitor) CrawlOnce(site *synthweb.Site, seed int64) (map[int]int64, int
 	// every link, or a leaf page links mostly to visited pages), the
 	// level is backfilled from the pool, so the 13-page budget is spent
 	// whenever the site has enough distinct pages.
-	var pool []string
+	pool := w.pool[:0]
+	defer func() { w.pool = pool[:0] }()
 	addPool := func(cands []string) {
 		for _, c := range cands {
 			if !visited[c] {

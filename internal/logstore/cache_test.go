@@ -149,3 +149,151 @@ func TestOpenCacheValidation(t *testing.T) {
 		t.Errorf("OpenCache did not create %s: %v", dir, err)
 	}
 }
+
+// entrySize measures one encoded entry so the eviction tests can set caps
+// in exact entry multiples.
+func entrySize(t *testing.T) int64 {
+	t.Helper()
+	c, err := OpenCache(t.TempDir(), 100, "study-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(1, measure.CaseDefault, testOutcome()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(c.Dir(), "*.visit"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("expected 1 entry, got %v (%v)", entries, err)
+	}
+	info, err := os.Stat(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	size := entrySize(t)
+	c, err := OpenCacheLimited(t.TempDir(), 100, "study-a", 3*size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		if err := c.Put(seed, measure.CaseDefault, testOutcome()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch entry 1 so entry 2 is the least recently used.
+	if _, ok := c.Get(1, measure.CaseDefault); !ok {
+		t.Fatal("entry 1 missing before eviction")
+	}
+	if err := c.Put(4, measure.CaseDefault, testOutcome()); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 1 eviction", st)
+	}
+	if _, ok := c.Get(2, measure.CaseDefault); ok {
+		t.Error("LRU entry 2 survived eviction")
+	}
+	for _, seed := range []int64{1, 3, 4} {
+		if _, ok := c.Get(seed, measure.CaseDefault); !ok {
+			t.Errorf("recently used entry %d was evicted", seed)
+		}
+	}
+}
+
+// TestCacheManifestSurvivesReopen proves recency persists: after reopening,
+// eviction still removes the least recently used entry — without the
+// manifest the reopened cache would have no recency at all.
+func TestCacheManifestSurvivesReopen(t *testing.T) {
+	size := entrySize(t)
+	dir := t.TempDir()
+	c1, err := OpenCacheLimited(dir, 100, "study-a", 3*size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		if err := c1.Put(seed, measure.CaseDefault, testOutcome()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c1.Get(1, measure.CaseDefault); !ok { // 2 becomes LRU
+		t.Fatal("entry 1 missing")
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatalf("capped cache wrote no manifest: %v", err)
+	}
+
+	c2, err := OpenCacheLimited(dir, 100, "study-a", 3*size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Put(4, measure.CaseDefault, testOutcome()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(2, measure.CaseDefault); ok {
+		t.Error("reopened cache evicted the wrong entry (manifest recency lost)")
+	}
+	for _, seed := range []int64{1, 3, 4} {
+		if _, ok := c2.Get(seed, measure.CaseDefault); !ok {
+			t.Errorf("reopened cache lost recently used entry %d", seed)
+		}
+	}
+}
+
+// TestCacheCapSeedsFromDirectory applies a cap to a directory populated by
+// an uncapped cache: the one-time seeding scan must pick the pre-existing
+// entries up so they count against the cap and can be evicted.
+func TestCacheCapSeedsFromDirectory(t *testing.T) {
+	size := entrySize(t)
+	dir := t.TempDir()
+	c1, err := OpenCache(dir, 100, "study-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		if err := c1.Put(seed, measure.CaseDefault, testOutcome()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c2, err := OpenCacheLimited(dir, 100, "study-a", 2*size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Put(5, measure.CaseDefault, testOutcome()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.visit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) > 2 {
+		t.Errorf("cap of 2 entries left %d entry files", len(entries))
+	}
+	if _, ok := c2.Get(5, measure.CaseDefault); !ok {
+		t.Error("most recent entry was evicted")
+	}
+}
+
+// TestCacheUnboundedWritesNoManifest pins that the uncapped cache stays
+// zero-overhead: no manifest file, no eviction.
+func TestCacheUnboundedWritesNoManifest(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 100, "study-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		if err := c.Put(seed, measure.CaseDefault, testOutcome()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); !os.IsNotExist(err) {
+		t.Errorf("unbounded cache wrote a manifest: %v", err)
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Errorf("unbounded cache evicted: %+v", st)
+	}
+}

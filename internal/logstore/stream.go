@@ -13,10 +13,22 @@ import (
 // observations, as opposed to the complete logs the codecs write.
 const spillMagic = "\xF1SPL1"
 
-// Spill record types.
+// SpillKind discriminates the records of a spill stream. The numeric
+// values are the on-disk record-type bytes.
+type SpillKind byte
+
 const (
-	recObservation = 1
-	recFailure     = 2
+	// SpillObservation is one completed visit.
+	SpillObservation SpillKind = 1
+	// SpillFailure marks a site unmeasurable (a visit of it failed).
+	SpillFailure SpillKind = 2
+	// SpillSiteEnd marks that every visit of a site is in the stream. It
+	// carries no measurement data — it exists so a streaming consumer
+	// (stats.FromSpills) can retire the site's accumulator and keep its
+	// memory bounded by in-flight sites instead of total sites. Streams
+	// without end markers (older files, a crashed shard) stay readable;
+	// consumers simply retire everything at EOF.
+	SpillSiteEnd SpillKind = 3
 )
 
 // Observation is one completed visit: the feature set, invocation total,
@@ -32,10 +44,21 @@ type Observation struct {
 	Pages       int
 }
 
+// SpillRecord is one decoded event of a spill stream.
+type SpillRecord struct {
+	Kind SpillKind
+	// Obs holds the visit for SpillObservation records.
+	Obs Observation
+	// Site is the subject site of SpillFailure and SpillSiteEnd records
+	// (for observations it duplicates Obs.Site).
+	Site int
+}
+
 // Writer streams per-visit observations to a spill file so a producer
 // (a pipeline shard, a remote worker) never has to hold a full log in
 // memory. Records become durable at Flush; ReadSpills reassembles one or
-// more spill files into the measure.Log the visits describe.
+// more spill files into the measure.Log the visits describe, and
+// stats.FromSpills folds them straight into a mergeable aggregate.
 //
 // A Writer is safe for concurrent use: the workers of a pipeline shard
 // append to one shared spill.
@@ -85,7 +108,7 @@ func (w *Writer) Append(obs Observation) error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.w.bytes([]byte{recObservation})
+	w.w.bytes([]byte{byte(SpillObservation)})
 	w.w.str(string(obs.Case))
 	w.w.uvarint(uint64(obs.Round))
 	w.w.uvarint(uint64(obs.Site))
@@ -103,7 +126,21 @@ func (w *Writer) Fail(site int) error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.w.bytes([]byte{recFailure})
+	w.w.bytes([]byte{byte(SpillFailure)})
+	w.w.uvarint(uint64(site))
+	return w.w.err
+}
+
+// EndSite records that every visit of the site has been appended, letting
+// streaming consumers retire the site immediately instead of at EOF. All
+// of the site's Append and Fail calls must precede it.
+func (w *Writer) EndSite(site int) error {
+	if site < 0 || site >= w.numDomains {
+		return fmt.Errorf("logstore: invalid site-end site %d", site)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.w.bytes([]byte{byte(SpillSiteEnd)})
 	w.w.uvarint(uint64(site))
 	return w.w.err
 }
@@ -174,108 +211,220 @@ func (h *spillHeader) sameStudy(other *spillHeader) error {
 	return nil
 }
 
-// replaySpill applies one spill stream's records to the log, accumulating
-// failed sites into failed. The stream ends at a clean EOF on a record
-// boundary; anything else is corruption. cells tracks the (case, round,
-// site) slots materialized across the whole merge so a crafted stream
-// cannot grow the log unboundedly through EnsureRound.
-func replaySpill(r *binReader, h *spillHeader, l *measure.Log, failed []bool, cells *int) error {
+// SpillStream is a streaming reader over one or more spill streams of the
+// same study: records decode one at a time, so a consumer folding them into
+// bounded state (a mergeable stats aggregate) never materializes the full
+// log. Streams are concatenated in the order given; every header after the
+// first must describe the first's study.
+type SpillStream struct {
+	header  *spillHeader
+	readers []io.Reader
+	files   []*os.File
+	idx     int
+	cur     *binReader
+}
+
+// OpenSpills starts streaming over the given spill streams.
+func OpenSpills(readers ...io.Reader) (*SpillStream, error) {
+	if len(readers) == 0 {
+		return nil, fmt.Errorf("logstore: no spill streams to read")
+	}
+	s := &SpillStream{readers: readers}
+	br := newBinReader(readers[0])
+	h, err := readSpillHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	s.header = h
+	s.cur = br
+	s.idx = 1
+	return s, nil
+}
+
+// OpenSpillFiles starts streaming over the named spill files. Close
+// releases them.
+func OpenSpillFiles(paths ...string) (*SpillStream, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("logstore: no spill files to read")
+	}
+	files := make([]*os.File, 0, len(paths))
+	readers := make([]io.Reader, 0, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			for _, open := range files {
+				open.Close()
+			}
+			return nil, err
+		}
+		files = append(files, f)
+		readers = append(readers, f)
+	}
+	s, err := OpenSpills(readers...)
+	if err != nil {
+		for _, open := range files {
+			open.Close()
+		}
+		return nil, err
+	}
+	s.files = files
+	return s, nil
+}
+
+// NumFeatures returns the streams' corpus size.
+func (s *SpillStream) NumFeatures() int { return s.header.numFeatures }
+
+// Domains returns the streams' site list.
+func (s *SpillStream) Domains() []string {
+	return append([]string(nil), s.header.domains...)
+}
+
+// Next decodes the next record, transparently advancing across streams. It
+// returns io.EOF after the last stream's last record; any other error means
+// corruption or a study mismatch.
+func (s *SpillStream) Next() (SpillRecord, error) {
 	for {
-		kind, err := r.br.ReadByte()
+		kind, err := s.cur.br.ReadByte()
 		if err == io.EOF {
-			return nil
+			// Clean end of one stream on a record boundary: move to
+			// the next stream, validating its header.
+			if s.idx >= len(s.readers) {
+				return SpillRecord{}, io.EOF
+			}
+			br := newBinReader(s.readers[s.idx])
+			h, err := readSpillHeader(br)
+			if err != nil {
+				return SpillRecord{}, err
+			}
+			if err := h.sameStudy(s.header); err != nil {
+				return SpillRecord{}, fmt.Errorf("logstore: spill stream %d: %w", s.idx, err)
+			}
+			s.cur = br
+			s.idx++
+			continue
 		}
 		if err != nil {
-			return fmt.Errorf("logstore: reading spill record: %w", err)
+			return SpillRecord{}, fmt.Errorf("logstore: reading spill record: %w", err)
 		}
-		if len(h.domains) == 0 {
-			return fmt.Errorf("logstore: spill records a visit but declares zero domains")
+		if len(s.header.domains) == 0 {
+			return SpillRecord{}, fmt.Errorf("logstore: spill records a visit but declares zero domains")
 		}
-		switch kind {
-		case recObservation:
-			cs, err := r.str(256, "case name")
-			if err != nil {
-				return err
-			}
-			round, err := r.count(maxRounds-1, "round")
-			if err != nil {
-				return err
-			}
-			site, err := r.count(len(h.domains)-1, "site")
-			if err != nil {
-				return err
-			}
-			inv, err := r.int64Val("invocations")
-			if err != nil {
-				return err
-			}
-			pages, err := r.int64Val("pages")
-			if err != nil {
-				return err
-			}
-			sf, err := r.bitset(h.numFeatures)
-			if err != nil {
-				return err
-			}
-			if cl := l.Cases[measure.Case(cs)]; cl == nil || round >= len(cl.Rounds) {
+		return s.decodeRecord(SpillKind(kind))
+	}
+}
+
+func (s *SpillStream) decodeRecord(kind SpillKind) (SpillRecord, error) {
+	r := s.cur
+	h := s.header
+	switch kind {
+	case SpillObservation:
+		cs, err := r.str(256, "case name")
+		if err != nil {
+			return SpillRecord{}, err
+		}
+		round, err := r.count(maxRounds-1, "round")
+		if err != nil {
+			return SpillRecord{}, err
+		}
+		site, err := r.count(len(h.domains)-1, "site")
+		if err != nil {
+			return SpillRecord{}, err
+		}
+		inv, err := r.int64Val("invocations")
+		if err != nil {
+			return SpillRecord{}, err
+		}
+		pages, err := r.int64Val("pages")
+		if err != nil {
+			return SpillRecord{}, err
+		}
+		sf, err := r.bitset(h.numFeatures)
+		if err != nil {
+			return SpillRecord{}, err
+		}
+		return SpillRecord{
+			Kind: SpillObservation,
+			Site: site,
+			Obs: Observation{
+				Case:        measure.Case(cs),
+				Round:       round,
+				Site:        site,
+				Features:    sf,
+				Invocations: inv,
+				Pages:       int(pages),
+			},
+		}, nil
+	case SpillFailure:
+		site, err := r.count(len(h.domains)-1, "failure site")
+		if err != nil {
+			return SpillRecord{}, err
+		}
+		return SpillRecord{Kind: SpillFailure, Site: site}, nil
+	case SpillSiteEnd:
+		site, err := r.count(len(h.domains)-1, "site-end site")
+		if err != nil {
+			return SpillRecord{}, err
+		}
+		return SpillRecord{Kind: SpillSiteEnd, Site: site}, nil
+	default:
+		return SpillRecord{}, fmt.Errorf("logstore: unknown spill record type %d", kind)
+	}
+}
+
+// Close releases any files the stream owns.
+func (s *SpillStream) Close() error {
+	var err error
+	for _, f := range s.files {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.files = nil
+	return err
+}
+
+// readIntoLog drains a stream into a full measure.Log. cells caps the
+// (case, round, site) slots materialized so a crafted stream cannot grow
+// the log unboundedly through EnsureRound.
+func readIntoLog(s *SpillStream) (*measure.Log, error) {
+	l := measure.NewLog(s.header.numFeatures, s.header.domains)
+	failed := make([]bool, len(s.header.domains))
+	cells := 0
+	for {
+		rec, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch rec.Kind {
+		case SpillObservation:
+			cs, round := rec.Obs.Case, rec.Obs.Round
+			if cl := l.Cases[cs]; cl == nil || round >= len(cl.Rounds) {
 				have := 0
 				if cl != nil {
 					have = len(cl.Rounds)
 				}
-				*cells += (round + 1 - have) * len(h.domains)
-				if *cells > maxCells {
-					return fmt.Errorf("logstore: spill merge exceeds %d cells", maxCells)
+				cells += (round + 1 - have) * len(s.header.domains)
+				if cells > maxCells {
+					return nil, fmt.Errorf("logstore: spill merge exceeds %d cells", maxCells)
 				}
 				if cl == nil && len(l.Cases) >= maxCases {
-					return fmt.Errorf("logstore: spill merge exceeds %d cases", maxCases)
+					return nil, fmt.Errorf("logstore: spill merge exceeds %d cases", maxCases)
 				}
 			}
-			rl := l.EnsureRound(measure.Case(cs), round)
-			rl.SiteFeatures[site] = sf
-			cl := l.Cases[measure.Case(cs)]
-			cl.Invocations += inv
-			cl.PagesVisited += pages
-			l.Measured[site] = true
-		case recFailure:
-			site, err := r.count(len(h.domains)-1, "failure site")
-			if err != nil {
-				return err
-			}
-			failed[site] = true
-		default:
-			return fmt.Errorf("logstore: unknown spill record type %d", kind)
-		}
-	}
-}
-
-// ReadSpills reassembles one or more spill streams into a single
-// measure.Log, exactly as if every observation had been recorded into one
-// in-memory log: per-case rounds grow to the highest round observed, and a
-// site is measured when it produced at least one observation and no visit
-// of it failed. Every stream must describe the same corpus and site list.
-func ReadSpills(readers ...io.Reader) (*measure.Log, error) {
-	if len(readers) == 0 {
-		return nil, fmt.Errorf("logstore: no spill streams to read")
-	}
-	var l *measure.Log
-	var h0 *spillHeader
-	var failed []bool
-	cells := 0
-	for i, r := range readers {
-		br := newBinReader(r)
-		h, err := readSpillHeader(br)
-		if err != nil {
-			return nil, err
-		}
-		if i == 0 {
-			h0 = h
-			l = measure.NewLog(h.numFeatures, h.domains)
-			failed = make([]bool, len(h.domains))
-		} else if err := h.sameStudy(h0); err != nil {
-			return nil, fmt.Errorf("logstore: spill stream %d: %w", i, err)
-		}
-		if err := replaySpill(br, h, l, failed, &cells); err != nil {
-			return nil, err
+			rl := l.EnsureRound(cs, round)
+			rl.SiteFeatures[rec.Obs.Site] = rec.Obs.Features
+			cl := l.Cases[cs]
+			cl.Invocations += rec.Obs.Invocations
+			cl.PagesVisited += int64(rec.Obs.Pages)
+			l.Measured[rec.Obs.Site] = true
+		case SpillFailure:
+			failed[rec.Site] = true
+		case SpillSiteEnd:
+			// A scheduling marker, not measurement data: the log
+			// gains nothing by retiring sites early.
 		}
 	}
 	for site, f := range failed {
@@ -286,26 +435,27 @@ func ReadSpills(readers ...io.Reader) (*measure.Log, error) {
 	return l, nil
 }
 
+// ReadSpills reassembles one or more spill streams into a single
+// measure.Log, exactly as if every observation had been recorded into one
+// in-memory log: per-case rounds grow to the highest round observed, and a
+// site is measured when it produced at least one observation and no visit
+// of it failed. Every stream must describe the same corpus and site list.
+func ReadSpills(readers ...io.Reader) (*measure.Log, error) {
+	s, err := OpenSpills(readers...)
+	if err != nil {
+		return nil, err
+	}
+	return readIntoLog(s)
+}
+
 // ReadSpillFiles reassembles the named spill files into one log.
 func ReadSpillFiles(paths ...string) (*measure.Log, error) {
-	readers := make([]io.Reader, len(paths))
-	files := make([]*os.File, len(paths))
-	defer func() {
-		for _, f := range files {
-			if f != nil {
-				f.Close()
-			}
-		}
-	}()
-	for i, p := range paths {
-		f, err := os.Open(p)
-		if err != nil {
-			return nil, err
-		}
-		files[i] = f
-		readers[i] = f
+	s, err := OpenSpillFiles(paths...)
+	if err != nil {
+		return nil, err
 	}
-	return ReadSpills(readers...)
+	defer s.Close()
+	return readIntoLog(s)
 }
 
 // spillCodec adapts a single spill stream to the Codec Decode side so Read

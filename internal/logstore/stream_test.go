@@ -195,7 +195,7 @@ func TestSpillReplayBoundsCells(t *testing.T) {
 	for _, d := range domains {
 		w.str(d)
 	}
-	w.bytes([]byte{recObservation})
+	w.bytes([]byte{byte(SpillObservation)})
 	w.str(string(measure.CaseDefault))
 	w.uvarint(uint64(maxRounds - 1)) // round bomb: 16k rounds × 10k sites
 	w.uvarint(0)                     // site

@@ -4,23 +4,36 @@
 //
 // The survey is embarrassingly parallel: every (site, browser
 // configuration, round) visit is independent, seeded only by
-// crawler.VisitSeed. The engine exploits that in three bounded stages:
+// crawler.VisitSeed. The engine exploits that in two bounded stages:
 //
-//	sharder ──► shard queues ──► crawl workers ──► batch channel ──► mergers ──► Aggregate
+//	sharder ──► shard queues ──► crawl workers ──► stats.Aggregate
 //
-// Stage 1, the sharder, partitions sites round-robin into Shards bounded
-// queues. Stage 2 runs WorkersPerShard browser workers per shard; each
-// worker owns one instrumented browser per configuration (reusing its
-// script cache across sites) and emits completed visits in batches of
-// BatchSize. Stage 3 merges batches into a lock-striped Aggregate whose
-// stripes partition sites, so mergers for different site ranges never
-// contend. All queues are bounded, giving natural back-pressure, and a
+// The sharder partitions sites round-robin into Shards bounded queues.
+// Each shard runs WorkersPerShard browser workers; a worker owns one
+// instrumented browser per configuration (reusing its script cache across
+// sites) and folds completed visits into the lock-striped mergeable
+// aggregate of internal/stats in batches of BatchSize — one stripe-lock
+// acquisition per stripe per batch. Because a site is crawled end to end
+// by one worker, the site's visits, failures, and end-of-site fold are
+// naturally ordered; different sites synchronize only on stripe locks.
+// All queues are bounded, giving natural back-pressure, and a
 // context.Context cancels the whole pipeline gracefully.
+//
+// The engine has two memory modes. The default keeps the full per-visit
+// grid, so Result.Log is the complete measure.Log — and the aggregate's
+// incrementally maintained statistics make analysis start warm, with no
+// log rescan. SpillOnly drops the grid entirely: each shard folds its
+// visits into a local stats.Aggregate (plus a streaming spill file when
+// SpillDir is set), the shard aggregates merge after the run, and memory
+// stays bounded regardless of site count; stats.FromSpills rebuilds the
+// identical aggregate from the spill files alone.
 //
 // Determinism is the engine's contract: because visit randomness depends
 // only on (seed, site, case, round) and every aggregate cell is written by
 // at most one visit — all cross-visit state being commutative bit-set
 // unions and integer sums — the final measure.Log is byte-identical to the
 // sequential crawler.Run loop for the same seed, at every shard/worker
-// geometry. TestPipelineMatchesSequential enforces this.
+// geometry, and a spill-only run renders byte-identical reports.
+// TestPipelineMatchesSequential and TestSpillOnlyMatchesInMemory enforce
+// this.
 package pipeline

@@ -10,6 +10,7 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/logstore"
 	"repro/internal/measure"
+	"repro/internal/stats"
 	"repro/internal/synthweb"
 	"repro/internal/webapi"
 	"repro/internal/webserver"
@@ -26,15 +27,19 @@ type Config struct {
 	// shard's queue. Default 4.
 	WorkersPerShard int
 	// BatchSize is the number of completed visits a worker accumulates
-	// before handing them to the merge stage. Default 16.
+	// before folding them into the aggregate (one stripe-lock acquisition
+	// per stripe per batch) and, when spilling, flushing them to disk.
+	// Default 16.
 	BatchSize int
-	// QueueDepth bounds each shard's site queue; the shared merge
-	// channel is sized QueueDepth×Shards. Bounded queues make a stalled
-	// stage exert back-pressure instead of buffering the whole web.
-	// Default 2×WorkersPerShard.
+	// QueueDepth bounds each shard's site queue. Bounded queues make a
+	// stalled stage exert back-pressure instead of buffering the whole
+	// web. Default 2×WorkersPerShard.
 	QueueDepth int
-	// Mergers is the number of goroutines applying batches to the
-	// lock-striped aggregate. Default 2.
+	// Mergers is retained for configuration compatibility and ignored:
+	// the dedicated merge stage is gone. Workers apply their own batches
+	// to the lock-striped stats aggregate, which both preserves per-site
+	// event ordering (a site's visits and its end-of-site fold come from
+	// one worker) and removes a channel hop.
 	Mergers int
 	// Stripes is the lock-stripe count of the aggregate. Default 16.
 	Stripes int
@@ -46,8 +51,16 @@ type Config struct {
 	// SpillDir, when non-empty, streams every shard's completed visits
 	// to a spill file (shard-NNN.spill) in this directory as they merge,
 	// so partial results survive on disk instead of living only in the
-	// in-memory aggregate. logstore.ReadSpillFiles reassembles them.
+	// in-memory aggregate. logstore.ReadSpillFiles reassembles them into
+	// a full log; stats.FromSpills folds them into a warm aggregate.
 	SpillDir string
+	// SpillOnly drops the in-memory log: each shard folds its visits
+	// into a local mergeable stats.Aggregate (plus its spill file when
+	// SpillDir is set), the shard aggregates merge after the run, and
+	// Result.Log is nil. Memory stays bounded regardless of site count;
+	// every aggregate statistic (and therefore every headline table) is
+	// identical to the in-memory run's.
+	SpillOnly bool
 	// Crawl carries the survey methodology (rounds, branch factor, page
 	// budget, cases, seed). Its Parallelism field is ignored; the
 	// pipeline's Shards × WorkersPerShard replaces it.
@@ -78,9 +91,6 @@ func (cfg Config) normalized() Config {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 2 * cfg.WorkersPerShard
 	}
-	if cfg.Mergers <= 0 {
-		cfg.Mergers = 2
-	}
 	if cfg.Stripes <= 0 {
 		cfg.Stripes = 16
 	}
@@ -109,14 +119,35 @@ func New(web *synthweb.Web, bindings *webapi.Bindings, cfg Config) *Engine {
 
 // Result bundles a completed pipeline survey.
 type Result struct {
-	Log   *measure.Log
+	// Log is the full in-memory measurement log; nil in spill-only mode,
+	// where the log exists only as spill files (if SpillDir was set).
+	Log *measure.Log
+	// Agg is the mergeable statistics aggregate the run maintained
+	// incrementally; analysis built from it starts warm, with no log
+	// rescan.
+	Agg   *stats.Aggregate
 	Stats *crawler.Stats
+}
+
+// SurveyStats summarizes a completed aggregate in the sequential crawler's
+// Stats shape (Table 1 of the paper). pageSeconds is the per-page
+// interaction budget.
+func SurveyStats(a *stats.Aggregate, pageSeconds float64) *crawler.Stats {
+	inv, pages := a.Totals()
+	measured := a.MeasuredCount()
+	return &crawler.Stats{
+		DomainsMeasured:    measured,
+		DomainsFailed:      a.NumSites() - measured,
+		PagesVisited:       pages,
+		Invocations:        inv,
+		InteractionSeconds: float64(pages) * pageSeconds,
+	}
 }
 
 // Run executes the survey. The context cancels gracefully: in-flight visits
 // finish, queued sites are dropped, and Run returns ctx.Err() without
-// leaking goroutines. On success the returned log is identical to the
-// sequential crawler's for the same crawl config and seed.
+// leaking goroutines. On success the returned log (when not spill-only) is
+// identical to the sequential crawler's for the same crawl config and seed.
 func (e *Engine) Run(ctx context.Context) (*Result, error) {
 	cfg := e.Cfg.normalized()
 	if cfg.Crawl.Rounds <= 0 || cfg.Crawl.Branch <= 0 {
@@ -133,7 +164,39 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 		domains[i] = s.Domain
 	}
 	numFeatures := len(e.Web.Registry.Features)
-	agg := newAggregate(numFeatures, domains, cfg.Crawl.Cases, cfg.Crawl.Rounds, cfg.Stripes)
+	stdOf := stats.StandardsOf(e.Web.Registry)
+
+	// In-memory mode shares one keep-log aggregate across all shards; in
+	// spill-only mode each shard owns a local aggregate — the same unit a
+	// remote shard would ship home — and the shards merge after the run.
+	statsCfg := stats.Config{
+		NumFeatures: numFeatures,
+		NumSites:    len(domains),
+		Standards:   stdOf,
+		Cases:       cfg.Crawl.Cases,
+		Rounds:      cfg.Crawl.Rounds,
+		Stripes:     cfg.Stripes,
+	}
+	aggs := make([]*stats.Aggregate, cfg.Shards)
+	if cfg.SpillOnly {
+		for s := range aggs {
+			agg, err := stats.New(statsCfg)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: %w", err)
+			}
+			aggs[s] = agg
+		}
+	} else {
+		statsCfg.KeepLog = true
+		statsCfg.Domains = domains
+		shared, err := stats.New(statsCfg)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+		for s := range aggs {
+			aggs[s] = shared
+		}
+	}
 
 	// Optional spill: one streaming writer per shard, shared by the
 	// shard's workers, so partial results land on disk as visits
@@ -155,23 +218,9 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 		}
 	}
 
-	// Stage 3: mergers drain completed batches into the striped
-	// aggregate.
-	batches := make(chan batch, cfg.QueueDepth*cfg.Shards)
-	var mergeWG sync.WaitGroup
-	for i := 0; i < cfg.Mergers; i++ {
-		mergeWG.Add(1)
-		go func() {
-			defer mergeWG.Done()
-			for b := range batches {
-				agg.merge(b)
-			}
-		}()
-	}
-
-	// Stage 2: each shard runs an independent worker pool. Workers
-	// surface visitor-construction errors (deterministic config
-	// problems) through errOnce.
+	// Each shard runs an independent worker pool. Workers surface
+	// visitor-construction errors (deterministic config problems)
+	// through errOnce.
 	var errOnce sync.Once
 	var runErr error
 	shardQueues := make([]chan *synthweb.Site, cfg.Shards)
@@ -180,17 +229,17 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 		shardQueues[s] = make(chan *synthweb.Site, cfg.QueueDepth)
 		for w := 0; w < cfg.WorkersPerShard; w++ {
 			crawlWG.Add(1)
-			go func(queue <-chan *synthweb.Site, spill *logstore.Writer) {
+			go func(queue <-chan *synthweb.Site, agg *stats.Aggregate, spill *logstore.Writer) {
 				defer crawlWG.Done()
-				if err := e.crawlWorker(ctx, cr, cfg, numFeatures, queue, batches, spill); err != nil {
+				if err := e.crawlWorker(ctx, cr, cfg, numFeatures, queue, agg, spill); err != nil {
 					errOnce.Do(func() { runErr = err })
 				}
-			}(shardQueues[s], spills[s])
+			}(shardQueues[s], aggs[s], spills[s])
 		}
 	}
 
-	// Stage 1: the sharder partitions sites round-robin by index. Bounded
-	// queues provide back-pressure; cancellation stops feeding.
+	// The sharder partitions sites round-robin by index. Bounded queues
+	// provide back-pressure; cancellation stops feeding.
 	var feedWG sync.WaitGroup
 	feedWG.Add(1)
 	go func() {
@@ -211,8 +260,6 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 
 	feedWG.Wait()
 	crawlWG.Wait()
-	close(batches)
-	mergeWG.Wait()
 
 	for _, w := range spills {
 		if w == nil {
@@ -228,16 +275,32 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
-	return &Result{Log: agg.Log(), Stats: agg.Stats(cfg.Crawl.PageSeconds)}, nil
+
+	final := aggs[0]
+	if cfg.SpillOnly {
+		for _, shard := range aggs[1:] {
+			if err := final.Merge(shard); err != nil {
+				return nil, fmt.Errorf("pipeline: merging shard aggregates: %w", err)
+			}
+		}
+	}
+	res := &Result{Agg: final, Stats: SurveyStats(final, cfg.Crawl.PageSeconds)}
+	if !cfg.SpillOnly {
+		res.Log = final.Log()
+	}
+	return res, nil
 }
 
 // crawlWorker drains one shard queue. For each site it runs every
 // configured case for every round, exactly as the sequential loop does: a
 // failed visit marks the site unmeasurable and skips the case's remaining
 // rounds, but other cases still run. Completed visits accumulate into a
-// batch that is flushed to the merge stage — and, when the shard spills, to
-// its spill writer — every BatchSize observations.
-func (e *Engine) crawlWorker(ctx context.Context, cr *crawler.Crawler, cfg Config, numFeatures int, queue <-chan *synthweb.Site, batches chan<- batch, spill *logstore.Writer) error {
+// batch that is folded into the shard's aggregate — and, when the shard
+// spills, flushed to its spill writer — every BatchSize observations. When
+// a site's last case finishes, a site-end event rides the same batch, so
+// the aggregate retires the site's accumulator and spill readers can do
+// the same.
+func (e *Engine) crawlWorker(ctx context.Context, cr *crawler.Crawler, cfg Config, numFeatures int, queue <-chan *synthweb.Site, agg *stats.Aggregate, spill *logstore.Writer) error {
 	visitors := make(map[measure.Case]*crawler.Visitor, len(cfg.Crawl.Cases))
 	for _, cs := range cfg.Crawl.Cases {
 		v, err := cr.NewVisitor(cs)
@@ -251,22 +314,24 @@ func (e *Engine) crawlWorker(ctx context.Context, cr *crawler.Crawler, cfg Confi
 		visitors[cs] = v
 	}
 
-	var pending batch
-	var spillErr error
+	var pending stats.Batch
+	var workerErr error
 	flush := func() {
-		if len(pending.obs) == 0 && len(pending.fails) == 0 {
+		if len(pending.Visits) == 0 && len(pending.Fails) == 0 && len(pending.Ends) == 0 {
 			return
 		}
-		if spill != nil && spillErr == nil {
-			spillErr = spillBatch(spill, cfg.Crawl.Cases, pending)
+		if spill != nil && workerErr == nil {
+			workerErr = spillBatch(spill, pending)
 		}
-		batches <- pending
-		pending = batch{}
+		if err := agg.Apply(pending); err != nil && workerErr == nil {
+			workerErr = err
+		}
+		pending = stats.Batch{}
 	}
 	defer flush()
 
 	for site := range queue {
-		for ci, cs := range cfg.Crawl.Cases {
+		for _, cs := range cfg.Crawl.Cases {
 			v := visitors[cs]
 			for round := 0; round < cfg.Crawl.Rounds; round++ {
 				if ctx.Err() != nil {
@@ -276,30 +341,31 @@ func (e *Engine) crawlWorker(ctx context.Context, cr *crawler.Crawler, cfg Confi
 					flush()
 					for range queue {
 					}
-					return spillErr
+					return workerErr
 				}
 				seed := crawler.VisitSeed(cfg.Crawl.Seed, site.Index, cs, round)
 				out := e.visit(v, cfg.Cache, numFeatures, site, cs, seed)
 				if out.Failed {
-					pending.fails = append(pending.fails, failure{site: site.Index})
+					pending.Fails = append(pending.Fails, site.Index)
 					break
 				}
-				pending.obs = append(pending.obs, observation{
-					caseIdx:     ci,
-					round:       round,
-					site:        site.Index,
-					features:    out.Features,
-					invocations: out.Invocations,
-					pages:       out.Pages,
+				pending.Visits = append(pending.Visits, stats.Visit{
+					Case:        cs,
+					Round:       round,
+					Site:        site.Index,
+					Features:    out.Features,
+					Invocations: out.Invocations,
+					Pages:       out.Pages,
 				})
-				if len(pending.obs) >= cfg.BatchSize {
+				if len(pending.Visits) >= cfg.BatchSize {
 					flush()
 				}
 			}
 		}
+		pending.Ends = append(pending.Ends, site.Index)
 	}
 	flush()
-	return spillErr
+	return workerErr
 }
 
 // visit performs (or replays) one crawl. With a cache configured, the
@@ -331,22 +397,29 @@ func (e *Engine) visit(v *crawler.Visitor, cache *logstore.Cache, numFeatures in
 	return out
 }
 
-// spillBatch streams a flushed batch to the shard's spill writer.
-func spillBatch(w *logstore.Writer, cases []measure.Case, b batch) error {
-	for _, obs := range b.obs {
+// spillBatch streams a flushed batch to the shard's spill writer: visits,
+// then failures, then site-end markers — the same order the aggregate
+// applies them, so a site's end marker always follows its last visit.
+func spillBatch(w *logstore.Writer, b stats.Batch) error {
+	for _, v := range b.Visits {
 		if err := w.Append(logstore.Observation{
-			Case:        cases[obs.caseIdx],
-			Round:       obs.round,
-			Site:        obs.site,
-			Features:    obs.features,
-			Invocations: obs.invocations,
-			Pages:       obs.pages,
+			Case:        v.Case,
+			Round:       v.Round,
+			Site:        v.Site,
+			Features:    v.Features,
+			Invocations: v.Invocations,
+			Pages:       v.Pages,
 		}); err != nil {
 			return err
 		}
 	}
-	for _, f := range b.fails {
-		if err := w.Fail(f.site); err != nil {
+	for _, site := range b.Fails {
+		if err := w.Fail(site); err != nil {
+			return err
+		}
+	}
+	for _, site := range b.Ends {
+		if err := w.EndSite(site); err != nil {
 			return err
 		}
 	}

@@ -127,7 +127,6 @@ func TestPipelineConcurrent(t *testing.T) {
 		Shards:          4,
 		WorkersPerShard: 3,
 		BatchSize:       1,
-		Mergers:         4,
 		Stripes:         2,
 		Crawl:           sequentialConfig(),
 	}

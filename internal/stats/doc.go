@@ -1,0 +1,34 @@
+// Package stats is the mergeable statistics layer of the survey: a
+// lock-striped, concurrently fed Aggregate that maintains — incrementally,
+// as visits complete — every aggregate number internal/analysis otherwise
+// derives by scanning a full measure.Log: per-case feature-site counts,
+// standard-site counts, blocked-vs-unblocked pair tallies, site-complexity
+// tallies, and new-standards-per-round sums.
+//
+// The Aggregate is what makes two execution modes share one analysis path:
+//
+//   - Keep-log mode (Config.KeepLog) additionally retains every visit's
+//     feature set, so Log() can freeze the exact measure.Log the sequential
+//     crawler would have produced. Analysis built from the Aggregate starts
+//     warm — no rescan — while per-site queries fall back to the Log.
+//
+//   - Spill-only mode drops the per-visit grid entirely: memory stays
+//     bounded regardless of site count because a site's state lives only in
+//     a small open-site accumulator between its first visit and EndSite,
+//     and open sites are bounded by worker count, not survey size. The full
+//     log, if ever needed, is reassembled from the spill files.
+//
+// Aggregates merge: Merge folds another aggregate's tallies into this one,
+// which is how the pipeline combines per-shard aggregates after a
+// spill-only run and how a distributed deployment would combine the
+// aggregates remote shards report home. FromSpills replays spill streams
+// through the same AddVisit/EndSite path, so a crashed or remote shard's
+// spill file is exactly as good as its live aggregate.
+//
+// Feeding protocol: every completed visit is one AddVisit (or one Visit in
+// an Apply batch); a failed visit is an AddFailure; and once a site's last
+// visit is in, EndSite folds the site's unions into the derived tallies and
+// discards its accumulator. Calls for the same site must be ordered (the
+// pipeline guarantees this by assigning each site to one worker); calls for
+// different sites may race freely — they synchronize on stripe locks.
+package stats

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/logstore"
+	"repro/internal/measure"
+	"repro/internal/standards"
+)
+
+// FromSpills folds one or more spill files into a fresh spill-only
+// Aggregate by streaming records through the same AddVisit/AddFailure/
+// EndSite path a live pipeline shard uses — the full log is never
+// materialized, so memory stays bounded by in-flight sites (streams
+// written by the pipeline carry site-end markers; sites a stream never
+// closes are retired at EOF).
+//
+// stdOf is the per-feature standard mapping (see StandardsOf) and must
+// match the spill files' corpus size. cases must cover every case the
+// spills record; a superset (measure.AllCases when the run's profile is
+// unknown) is always safe — untracked-in-practice cases simply stay empty,
+// exactly as in a log the case never reached.
+func FromSpills(stdOf []standards.Abbrev, cases []measure.Case, paths ...string) (*Aggregate, error) {
+	s, err := logstore.OpenSpillFiles(paths...)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	if len(stdOf) != s.NumFeatures() {
+		return nil, fmt.Errorf("stats: %d standards mappings for a %d-feature spill", len(stdOf), s.NumFeatures())
+	}
+	agg, err := New(Config{
+		NumFeatures: s.NumFeatures(),
+		NumSites:    len(s.Domains()),
+		Standards:   stdOf,
+		Cases:       cases,
+		Stripes:     1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch rec.Kind {
+		case logstore.SpillObservation:
+			err = agg.AddVisit(Visit{
+				Case:        rec.Obs.Case,
+				Round:       rec.Obs.Round,
+				Site:        rec.Obs.Site,
+				Features:    rec.Obs.Features,
+				Invocations: rec.Obs.Invocations,
+				Pages:       rec.Obs.Pages,
+			})
+		case logstore.SpillFailure:
+			err = agg.AddFailure(rec.Site)
+		case logstore.SpillSiteEnd:
+			err = agg.EndSite(rec.Site)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	agg.EndOpenSites()
+	return agg, nil
+}

@@ -1,0 +1,748 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/measure"
+	"repro/internal/standards"
+	"repro/internal/webidl"
+)
+
+// Visit is one completed (site, case, round) crawl: the unit fed to an
+// Aggregate. Features ownership transfers to the aggregate — callers must
+// not mutate the bitset after the call.
+type Visit struct {
+	Case        measure.Case
+	Round       int
+	Site        int
+	Features    measure.Bitset
+	Invocations int64
+	Pages       int
+}
+
+// Batch groups per-visit events so a producer takes each stripe lock once
+// per flush instead of once per visit. Within a batch, visits are applied
+// first, then failures, then site ends — so a batch may carry a site's last
+// visits and its end marker together.
+type Batch struct {
+	Visits []Visit
+	// Fails lists sites a visit of which failed (making them unmeasurable).
+	Fails []int
+	// Ends lists sites whose visits are all in (this batch or earlier
+	// ones); each is folded into the derived tallies and its accumulator
+	// freed.
+	Ends []int
+}
+
+// Config sizes an Aggregate.
+type Config struct {
+	// NumFeatures is the corpus size.
+	NumFeatures int
+	// NumSites is the site-list size.
+	NumSites int
+	// Standards[featureID] is the feature's standard; it drives the
+	// standard-level tallies. Must have NumFeatures entries.
+	Standards []standards.Abbrev
+	// Cases are the browser configurations the aggregate tracks, in the
+	// survey's canonical order. Visits for other cases are rejected.
+	Cases []measure.Case
+	// Rounds is the maximum round count; required with KeepLog (it sizes
+	// the per-visit grid), advisory otherwise.
+	Rounds int
+	// Stripes is the lock-stripe count; default 16.
+	Stripes int
+	// KeepLog retains every visit's feature set so Log() can freeze the
+	// aggregate into a full measure.Log. Costs O(cases × rounds × sites)
+	// memory; spill-only pipelines leave it off.
+	KeepLog bool
+	// Domains[siteIndex] is the site's domain; required with KeepLog
+	// (the log records domains), ignored otherwise.
+	Domains []string
+}
+
+// StandardsOf extracts the per-feature standard mapping Config.Standards
+// wants from a WebIDL registry.
+func StandardsOf(reg *webidl.Registry) []standards.Abbrev {
+	out := make([]standards.Abbrev, len(reg.Features))
+	for i, f := range reg.Features {
+		out[i] = f.Standard
+	}
+	return out
+}
+
+// stripe is one lock-striped partition of the aggregate. Sites map to
+// stripes by index, so producers working disjoint site ranges never
+// contend. The padding keeps neighboring stripe locks off one cache line.
+type stripe struct {
+	mu sync.Mutex
+	// invocations and pages are per-case partial sums for the stripe's
+	// sites; maxRound is the per-case highest round seen (-1 when none).
+	invocations []int64
+	pages       []int64
+	maxRound    []int
+	// open holds the accumulators of the stripe's in-flight sites: state
+	// between a site's first visit and its EndSite. Its size is bounded
+	// by the number of producers, never by the survey's site count.
+	open map[int]*openSite
+	_    [64]byte
+}
+
+// openSite accumulates one site's visits until EndSite folds it.
+type openSite struct {
+	// unions[caseIdx] is the union of the site's feature sets across
+	// rounds; nil until the case's first visit.
+	unions []measure.Bitset
+	// defRounds[round] is the default case's per-round feature set,
+	// kept so the new-standards-per-round fold walks rounds in order
+	// regardless of arrival order.
+	defRounds []measure.Bitset
+	recorded  bool
+	failed    bool
+}
+
+// Aggregate is the lock-striped, concurrently mergeable statistics form of
+// a survey. Producers feed it visits from many goroutines (calls for one
+// site must be ordered; see the package comment); afterwards its query
+// methods answer every aggregate question internal/analysis asks, and — in
+// keep-log mode — Log() freezes the exact measure.Log the sequential
+// crawler would have produced, because every grid cell is written by at
+// most one visit and all cross-visit state is commutative.
+type Aggregate struct {
+	cfg     Config
+	caseIdx map[measure.Case]int
+	defIdx  int // index of measure.CaseDefault in cfg.Cases; -1 when absent
+
+	stripes []stripe
+
+	// Derived tallies, folded once per site at EndSite. Guarded by foldMu;
+	// fold traffic is per-site, not per-visit, so the single lock is cold.
+	foldMu       sync.Mutex
+	featureSites [][]int // [caseIdx][featureID] → sites using the feature
+	stdSites     []map[standards.Abbrev]int
+	// blockedPairs[caseIdx][std] counts sites that used std in the default
+	// case but executed none of its features under the case — the §5.1
+	// block-rate numerator for every (default, case) pair.
+	blockedPairs []map[standards.Abbrev]int
+	// complexity[n] counts measured sites using exactly n standards in the
+	// default case (Figure 8's population).
+	complexity map[int]int
+	// nspSums[round] sums, over measured sites, the standards first seen
+	// in the round (default case); nspMeasured is the population.
+	nspSums     []int64
+	nspMeasured int
+	measured    int
+
+	// Keep-log state: features[caseIdx][round][site] is the visit's
+	// feature set (guarded by the site's stripe lock); recorded/failed
+	// reproduce the sequential crawler's Measured bookkeeping.
+	features [][][]measure.Bitset
+	recorded []bool
+	failed   []bool
+}
+
+// New builds an aggregate for a study.
+func New(cfg Config) (*Aggregate, error) {
+	if cfg.NumFeatures <= 0 {
+		return nil, fmt.Errorf("stats: config requires a positive feature count")
+	}
+	if cfg.NumSites < 0 {
+		return nil, fmt.Errorf("stats: negative site count %d", cfg.NumSites)
+	}
+	if len(cfg.Standards) != cfg.NumFeatures {
+		return nil, fmt.Errorf("stats: %d standards mappings for %d features", len(cfg.Standards), cfg.NumFeatures)
+	}
+	if len(cfg.Cases) == 0 {
+		return nil, fmt.Errorf("stats: config requires at least one case")
+	}
+	if cfg.Stripes <= 0 {
+		cfg.Stripes = 16
+	}
+	if cfg.KeepLog {
+		if len(cfg.Domains) != cfg.NumSites {
+			return nil, fmt.Errorf("stats: keep-log aggregate needs %d domains, got %d", cfg.NumSites, len(cfg.Domains))
+		}
+		if cfg.Rounds <= 0 {
+			return nil, fmt.Errorf("stats: keep-log aggregate requires a positive round count")
+		}
+	}
+	a := &Aggregate{
+		cfg:          cfg,
+		caseIdx:      make(map[measure.Case]int, len(cfg.Cases)),
+		defIdx:       -1,
+		stripes:      make([]stripe, cfg.Stripes),
+		featureSites: make([][]int, len(cfg.Cases)),
+		stdSites:     make([]map[standards.Abbrev]int, len(cfg.Cases)),
+		blockedPairs: make([]map[standards.Abbrev]int, len(cfg.Cases)),
+		complexity:   make(map[int]int),
+	}
+	for ci, cs := range cfg.Cases {
+		if _, dup := a.caseIdx[cs]; dup {
+			return nil, fmt.Errorf("stats: duplicate case %q", cs)
+		}
+		a.caseIdx[cs] = ci
+		if cs == measure.CaseDefault {
+			a.defIdx = ci
+		}
+		a.featureSites[ci] = make([]int, cfg.NumFeatures)
+		a.stdSites[ci] = make(map[standards.Abbrev]int)
+		a.blockedPairs[ci] = make(map[standards.Abbrev]int)
+	}
+	for si := range a.stripes {
+		a.stripes[si].invocations = make([]int64, len(cfg.Cases))
+		a.stripes[si].pages = make([]int64, len(cfg.Cases))
+		a.stripes[si].maxRound = make([]int, len(cfg.Cases))
+		for ci := range cfg.Cases {
+			a.stripes[si].maxRound[ci] = -1
+		}
+		a.stripes[si].open = make(map[int]*openSite)
+	}
+	if cfg.KeepLog {
+		a.features = make([][][]measure.Bitset, len(cfg.Cases))
+		for ci := range a.features {
+			a.features[ci] = make([][]measure.Bitset, cfg.Rounds)
+			for r := range a.features[ci] {
+				a.features[ci][r] = make([]measure.Bitset, cfg.NumSites)
+			}
+		}
+		a.recorded = make([]bool, cfg.NumSites)
+		a.failed = make([]bool, cfg.NumSites)
+	}
+	return a, nil
+}
+
+// stripeOf maps a site index to its stripe.
+func (a *Aggregate) stripeOf(site int) *stripe { return &a.stripes[site%len(a.stripes)] }
+
+// validate rejects a visit the aggregate cannot hold.
+func (a *Aggregate) validate(v Visit) error {
+	if _, ok := a.caseIdx[v.Case]; !ok {
+		return fmt.Errorf("stats: visit for case %q not tracked by this aggregate", v.Case)
+	}
+	if v.Site < 0 || v.Site >= a.cfg.NumSites {
+		return fmt.Errorf("stats: visit site %d outside [0,%d)", v.Site, a.cfg.NumSites)
+	}
+	if v.Round < 0 {
+		return fmt.Errorf("stats: negative visit round %d", v.Round)
+	}
+	if a.cfg.KeepLog && v.Round >= a.cfg.Rounds {
+		return fmt.Errorf("stats: visit round %d outside the keep-log grid's %d rounds", v.Round, a.cfg.Rounds)
+	}
+	return nil
+}
+
+// Apply folds one batch: visits first, then failures, then site ends.
+// Visits are grouped by stripe so each stripe lock is taken at most once
+// per batch regardless of batch size. The whole batch is validated before
+// any of it is applied.
+func (a *Aggregate) Apply(b Batch) error {
+	for _, v := range b.Visits {
+		if err := a.validate(v); err != nil {
+			return err
+		}
+	}
+	for _, site := range b.Fails {
+		if site < 0 || site >= a.cfg.NumSites {
+			return fmt.Errorf("stats: site %d outside [0,%d)", site, a.cfg.NumSites)
+		}
+	}
+	for _, site := range b.Ends {
+		if site < 0 || site >= a.cfg.NumSites {
+			return fmt.Errorf("stats: site %d outside [0,%d)", site, a.cfg.NumSites)
+		}
+	}
+
+	groups := make(map[*stripe][]int, len(a.stripes))
+	for i, v := range b.Visits {
+		st := a.stripeOf(v.Site)
+		groups[st] = append(groups[st], i)
+	}
+	for st, idxs := range groups {
+		st.mu.Lock()
+		for _, i := range idxs {
+			a.applyVisitLocked(st, b.Visits[i])
+		}
+		st.mu.Unlock()
+	}
+	for _, site := range b.Fails {
+		st := a.stripeOf(site)
+		st.mu.Lock()
+		a.applyFailLocked(st, site)
+		st.mu.Unlock()
+	}
+	if len(b.Ends) == 0 {
+		return nil
+	}
+	folds := make([]*openSite, 0, len(b.Ends))
+	for _, site := range b.Ends {
+		st := a.stripeOf(site)
+		st.mu.Lock()
+		if o := st.open[site]; o != nil {
+			delete(st.open, site)
+			folds = append(folds, o)
+		}
+		st.mu.Unlock()
+	}
+	a.foldMu.Lock()
+	for _, o := range folds {
+		a.foldLocked(o)
+	}
+	a.foldMu.Unlock()
+	return nil
+}
+
+// AddVisit records one completed visit.
+func (a *Aggregate) AddVisit(v Visit) error {
+	if err := a.validate(v); err != nil {
+		return err
+	}
+	st := a.stripeOf(v.Site)
+	st.mu.Lock()
+	a.applyVisitLocked(st, v)
+	st.mu.Unlock()
+	return nil
+}
+
+// AddFailure marks a site unmeasurable (one of its visits failed).
+func (a *Aggregate) AddFailure(site int) error {
+	if site < 0 || site >= a.cfg.NumSites {
+		return fmt.Errorf("stats: failure site %d outside [0,%d)", site, a.cfg.NumSites)
+	}
+	st := a.stripeOf(site)
+	st.mu.Lock()
+	a.applyFailLocked(st, site)
+	st.mu.Unlock()
+	return nil
+}
+
+// EndSite folds a completed site's accumulator into the derived tallies.
+// Ending a site that never produced a visit or failure is a no-op.
+func (a *Aggregate) EndSite(site int) error {
+	return a.Apply(Batch{Ends: []int{site}})
+}
+
+// EndOpenSites folds every still-open site. FromSpills calls it after
+// replaying streams that lack end markers (a crashed shard's spill); a
+// pipeline run ends each site as its worker finishes it instead.
+func (a *Aggregate) EndOpenSites() {
+	var folds []*openSite
+	for si := range a.stripes {
+		st := &a.stripes[si]
+		st.mu.Lock()
+		for site, o := range st.open {
+			delete(st.open, site)
+			folds = append(folds, o)
+		}
+		st.mu.Unlock()
+	}
+	a.foldMu.Lock()
+	for _, o := range folds {
+		a.foldLocked(o)
+	}
+	a.foldMu.Unlock()
+}
+
+func (a *Aggregate) applyVisitLocked(st *stripe, v Visit) {
+	ci := a.caseIdx[v.Case]
+	st.invocations[ci] += v.Invocations
+	st.pages[ci] += int64(v.Pages)
+	if v.Round > st.maxRound[ci] {
+		st.maxRound[ci] = v.Round
+	}
+	o := st.open[v.Site]
+	if o == nil {
+		o = &openSite{unions: make([]measure.Bitset, len(a.cfg.Cases))}
+		st.open[v.Site] = o
+	}
+	o.recorded = true
+	if o.unions[ci] == nil {
+		o.unions[ci] = v.Features.Clone()
+	} else {
+		o.unions[ci].Or(v.Features)
+	}
+	if ci == a.defIdx {
+		for len(o.defRounds) <= v.Round {
+			o.defRounds = append(o.defRounds, nil)
+		}
+		o.defRounds[v.Round] = v.Features
+	}
+	if a.cfg.KeepLog {
+		a.features[ci][v.Round][v.Site] = v.Features
+		a.recorded[v.Site] = true
+	}
+}
+
+func (a *Aggregate) applyFailLocked(st *stripe, site int) {
+	o := st.open[site]
+	if o == nil {
+		o = &openSite{unions: make([]measure.Bitset, len(a.cfg.Cases))}
+		st.open[site] = o
+	}
+	o.failed = true
+	if a.cfg.KeepLog {
+		a.failed[site] = true
+	}
+}
+
+// foldLocked retires one site: its per-case unions become feature- and
+// standard-site increments, its default set drives the block-pair,
+// complexity, and new-standards tallies. Must hold foldMu.
+//
+// The tallies mirror the cold analysis scan exactly: union-based counts
+// include partially measured (failed) sites, while complexity and
+// new-standards-per-round count only measured sites, and every site with a
+// default-case observation contributes to the block pairs — a case with no
+// observations blocks all of the site's default standards, matching the
+// "no features executed" definition.
+func (a *Aggregate) foldLocked(o *openSite) {
+	measured := o.recorded && !o.failed
+	if measured {
+		a.measured++
+	}
+
+	sets := make([]map[standards.Abbrev]bool, len(a.cfg.Cases))
+	for ci, u := range o.unions {
+		if u == nil {
+			continue
+		}
+		set := make(map[standards.Abbrev]bool)
+		fs := a.featureSites[ci]
+		stdOf := a.cfg.Standards
+		u.ForEach(a.cfg.NumFeatures, func(id int) {
+			fs[id]++
+			set[stdOf[id]] = true
+		})
+		for std := range set {
+			a.stdSites[ci][std]++
+		}
+		sets[ci] = set
+	}
+
+	if a.defIdx < 0 || sets[a.defIdx] == nil {
+		return
+	}
+	defSet := sets[a.defIdx]
+	for ci := range a.cfg.Cases {
+		blocked := a.blockedPairs[ci]
+		for std := range defSet {
+			if sets[ci] == nil || !sets[ci][std] {
+				blocked[std]++
+			}
+		}
+	}
+	if !measured {
+		return
+	}
+	a.complexity[len(defSet)]++
+	seen := make(map[standards.Abbrev]bool, len(defSet))
+	for r, sf := range o.defRounds {
+		if sf == nil {
+			continue
+		}
+		newStd := 0
+		sf.ForEach(a.cfg.NumFeatures, func(id int) {
+			if std := a.cfg.Standards[id]; !seen[std] {
+				seen[std] = true
+				newStd++
+			}
+		})
+		for len(a.nspSums) <= r {
+			a.nspSums = append(a.nspSums, 0)
+		}
+		a.nspSums[r] += int64(newStd)
+	}
+	a.nspMeasured++
+}
+
+// OpenSites reports how many sites are mid-flight (visits recorded, not yet
+// ended). It is zero after a completed run.
+func (a *Aggregate) OpenSites() int {
+	n := 0
+	for si := range a.stripes {
+		st := &a.stripes[si]
+		st.mu.Lock()
+		n += len(st.open)
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// NumFeatures returns the corpus size.
+func (a *Aggregate) NumFeatures() int { return a.cfg.NumFeatures }
+
+// NumSites returns the site-list size.
+func (a *Aggregate) NumSites() int { return a.cfg.NumSites }
+
+// Cases returns the tracked cases in canonical order.
+func (a *Aggregate) Cases() []measure.Case {
+	return append([]measure.Case(nil), a.cfg.Cases...)
+}
+
+// HasCase reports whether the aggregate tracks the case.
+func (a *Aggregate) HasCase(c measure.Case) bool {
+	_, ok := a.caseIdx[c]
+	return ok
+}
+
+// FeatureSites returns, per feature ID, the number of sites on which the
+// feature was observed at least once under the case — the same counts
+// measure.Log.FeatureSites derives by rescanning. Untracked cases return
+// all zeros, like a log the case never reached.
+func (a *Aggregate) FeatureSites(c measure.Case) []int {
+	out := make([]int, a.cfg.NumFeatures)
+	ci, ok := a.caseIdx[c]
+	if !ok {
+		return out
+	}
+	a.foldMu.Lock()
+	copy(out, a.featureSites[ci])
+	a.foldMu.Unlock()
+	return out
+}
+
+// StandardSites returns the number of sites using each standard under the
+// case (absent standards are simply missing, as in the cold scan).
+func (a *Aggregate) StandardSites(c measure.Case) map[standards.Abbrev]int {
+	out := make(map[standards.Abbrev]int)
+	ci, ok := a.caseIdx[c]
+	if !ok {
+		return out
+	}
+	a.foldMu.Lock()
+	for std, n := range a.stdSites[ci] {
+		out[std] = n
+	}
+	a.foldMu.Unlock()
+	return out
+}
+
+// BlockedSites returns, per standard, the number of sites that used the
+// standard in the default case but executed none of its features under c —
+// the block-rate numerator. A case the aggregate never tracked blocks
+// everything (no feature of it ever executed), so the default-case counts
+// are returned, matching the cold scan over a log without the case.
+func (a *Aggregate) BlockedSites(c measure.Case) map[standards.Abbrev]int {
+	if _, ok := a.caseIdx[c]; !ok {
+		return a.StandardSites(measure.CaseDefault)
+	}
+	out := make(map[standards.Abbrev]int)
+	ci := a.caseIdx[c]
+	a.foldMu.Lock()
+	for std, n := range a.blockedPairs[ci] {
+		out[std] = n
+	}
+	a.foldMu.Unlock()
+	return out
+}
+
+// Complexity returns, per measured site with default-case observations, the
+// number of standards the site used — ascending, since the aggregate folds
+// sites in completion order and keeps only tallies. Every consumer of the
+// series (CDFs, histograms) is order-insensitive.
+func (a *Aggregate) Complexity() []int {
+	a.foldMu.Lock()
+	var out []int
+	for n, count := range a.complexity {
+		for i := 0; i < count; i++ {
+			out = append(out, n)
+		}
+	}
+	a.foldMu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+// NewStandardsPerRound returns Table 3's series: the average number of
+// standards first observed in each default-case round across measured
+// sites, identical to the cold scan (nil when the default case was never
+// observed).
+func (a *Aggregate) NewStandardsPerRound() []float64 {
+	if a.defIdx < 0 {
+		return nil
+	}
+	maxRound := -1
+	for si := range a.stripes {
+		st := &a.stripes[si]
+		st.mu.Lock()
+		if mr := st.maxRound[a.defIdx]; mr > maxRound {
+			maxRound = mr
+		}
+		st.mu.Unlock()
+	}
+	if maxRound < 0 {
+		return nil
+	}
+	out := make([]float64, maxRound+1)
+	a.foldMu.Lock()
+	for r := range out {
+		if r < len(a.nspSums) {
+			out[r] = float64(a.nspSums[r])
+		}
+	}
+	measured := a.nspMeasured
+	a.foldMu.Unlock()
+	if measured == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] /= float64(measured)
+	}
+	return out
+}
+
+// MeasuredCount returns how many sites produced measurements and never
+// failed a visit.
+func (a *Aggregate) MeasuredCount() int {
+	a.foldMu.Lock()
+	defer a.foldMu.Unlock()
+	return a.measured
+}
+
+// Totals returns the survey-wide invocation and page-visit sums (Table 1).
+func (a *Aggregate) Totals() (invocations, pages int64) {
+	for si := range a.stripes {
+		st := &a.stripes[si]
+		st.mu.Lock()
+		for ci := range a.cfg.Cases {
+			invocations += st.invocations[ci]
+			pages += st.pages[ci]
+		}
+		st.mu.Unlock()
+	}
+	return invocations, pages
+}
+
+// Log freezes a keep-log aggregate into a measure.Log identical to the one
+// the sequential crawler produces for the same seed: per-case round counts
+// grow only as far as data was recorded, and a site is Measured exactly
+// when it produced at least one observation and never failed a visit. It
+// returns nil for spill-only aggregates, which never held the grid.
+//
+// Log must only be called after all producers have finished.
+func (a *Aggregate) Log() *measure.Log {
+	if !a.cfg.KeepLog {
+		return nil
+	}
+	l := measure.NewLog(a.cfg.NumFeatures, a.cfg.Domains)
+	for ci, cs := range a.cfg.Cases {
+		maxRound := -1
+		for si := range a.stripes {
+			if mr := a.stripes[si].maxRound[ci]; mr > maxRound {
+				maxRound = mr
+			}
+		}
+		if maxRound < 0 {
+			continue
+		}
+		l.EnsureRound(cs, maxRound)
+		cl := l.Cases[cs]
+		for r := 0; r <= maxRound; r++ {
+			copy(cl.Rounds[r].SiteFeatures, a.features[ci][r])
+		}
+		for si := range a.stripes {
+			cl.Invocations += a.stripes[si].invocations[ci]
+			cl.PagesVisited += a.stripes[si].pages[ci]
+		}
+	}
+	for site := range a.cfg.Domains {
+		l.Measured[site] = a.recorded[site] && !a.failed[site]
+	}
+	return l
+}
+
+// Merge folds other into a: the mergeable-aggregate operation behind
+// spill-only shard merging and, eventually, distributed shards reporting
+// home. Both aggregates must describe the same study (features, sites,
+// cases, mode) and must have no open sites — end them first. Keep-log
+// merges additionally require the two grids to cover disjoint cells (the
+// pipeline's site partitioning guarantees it); overlapping cells are
+// overwritten, not detected.
+func (a *Aggregate) Merge(other *Aggregate) error {
+	if other.cfg.NumFeatures != a.cfg.NumFeatures || other.cfg.NumSites != a.cfg.NumSites {
+		return fmt.Errorf("stats: merging a %d-feature × %d-site aggregate into %d × %d",
+			other.cfg.NumFeatures, other.cfg.NumSites, a.cfg.NumFeatures, a.cfg.NumSites)
+	}
+	if len(other.cfg.Cases) != len(a.cfg.Cases) {
+		return fmt.Errorf("stats: merging aggregates with different case sets")
+	}
+	for ci, cs := range a.cfg.Cases {
+		if other.cfg.Cases[ci] != cs {
+			return fmt.Errorf("stats: merging aggregates with different case sets")
+		}
+	}
+	if other.cfg.KeepLog != a.cfg.KeepLog {
+		return fmt.Errorf("stats: merging a keep-log aggregate with a spill-only one")
+	}
+	if a.cfg.KeepLog && a.cfg.Rounds != other.cfg.Rounds {
+		return fmt.Errorf("stats: merging keep-log aggregates with different round counts (%d vs %d)",
+			other.cfg.Rounds, a.cfg.Rounds)
+	}
+	if n := a.OpenSites(); n > 0 {
+		return fmt.Errorf("stats: aggregate has %d open sites; end them before merging", n)
+	}
+	if n := other.OpenSites(); n > 0 {
+		return fmt.Errorf("stats: merged aggregate has %d open sites; end them before merging", n)
+	}
+
+	// Stripe partial sums: stripe counts may differ, so other's totals
+	// land in a's stripe 0 — queries sum or max across stripes anyway.
+	st0 := &a.stripes[0]
+	st0.mu.Lock()
+	for si := range other.stripes {
+		ost := &other.stripes[si]
+		for ci := range a.cfg.Cases {
+			st0.invocations[ci] += ost.invocations[ci]
+			st0.pages[ci] += ost.pages[ci]
+			if ost.maxRound[ci] > st0.maxRound[ci] {
+				st0.maxRound[ci] = ost.maxRound[ci]
+			}
+		}
+	}
+	st0.mu.Unlock()
+
+	a.foldMu.Lock()
+	other.foldMu.Lock()
+	for ci := range a.cfg.Cases {
+		for id, n := range other.featureSites[ci] {
+			a.featureSites[ci][id] += n
+		}
+		for std, n := range other.stdSites[ci] {
+			a.stdSites[ci][std] += n
+		}
+		for std, n := range other.blockedPairs[ci] {
+			a.blockedPairs[ci][std] += n
+		}
+	}
+	for n, count := range other.complexity {
+		a.complexity[n] += count
+	}
+	for len(a.nspSums) < len(other.nspSums) {
+		a.nspSums = append(a.nspSums, 0)
+	}
+	for r, s := range other.nspSums {
+		a.nspSums[r] += s
+	}
+	a.nspMeasured += other.nspMeasured
+	a.measured += other.measured
+	other.foldMu.Unlock()
+	a.foldMu.Unlock()
+
+	if a.cfg.KeepLog {
+		for ci := range a.cfg.Cases {
+			for r := range a.features[ci] {
+				dst, src := a.features[ci][r], other.features[ci][r]
+				for site, sf := range src {
+					if sf != nil {
+						dst[site] = sf
+					}
+				}
+			}
+		}
+		for site := range a.recorded {
+			a.recorded[site] = a.recorded[site] || other.recorded[site]
+			a.failed[site] = a.failed[site] || other.failed[site]
+		}
+	}
+	return nil
+}
