@@ -1,13 +1,3 @@
-// Package browser implements the instrumented browser of the paper's §4:
-// a page-load pipeline (fetch → parse → extension injection → script
-// execution → event loop) over the simulated DOM, Web API dispatch layer,
-// and WebScript engine.
-//
-// Extensions hook two points, mirroring the WebExtension surface the paper
-// relies on: OnBeforeRequest may veto subresource fetches (how AdBlock Plus
-// and Ghostery block), and OnDOMReady runs after the DOM exists but before
-// any page script — the injection point "at the beginning of the <head>
-// element" the measuring extension uses (§4.2).
 package browser
 
 import (
@@ -19,7 +9,6 @@ import (
 
 	"repro/internal/blocking"
 	"repro/internal/dom"
-	"repro/internal/html"
 	"repro/internal/webapi"
 	"repro/internal/webscript"
 	"repro/internal/webserver"
@@ -36,34 +25,37 @@ type Extension interface {
 }
 
 // Browser is a reusable browser profile: bindings, fetcher, extensions, and
-// a parsed-script cache (browsers cache compiled scripts across page loads;
-// the crawl revisits every URL ten times).
+// the revisit fast path's caches and pools (see the package documentation).
+// The crawl revisits every URL dozens of times, so the browser caches
+// compiled scripts and parsed page templates across loads and recycles page
+// and runtime structures via Release.
 type Browser struct {
 	Bindings   *webapi.Bindings
 	Fetcher    webserver.Fetcher
 	Extensions []Extension
 
-	cacheMu     sync.Mutex
-	scriptCache map[string]*cachedScript
-}
+	// DisableReuse turns off the revisit fast path — template cloning and
+	// page/runtime pooling — so every load fetches, parses, and allocates
+	// from scratch. An ablation/debugging knob; survey results are
+	// identical either way (test-enforced).
+	DisableReuse bool
 
-type cachedScript struct {
-	body   string
-	script *webscript.Script
-	err    error
-}
+	cacheMu   sync.Mutex
+	scripts   *lruCache[*cachedScript]
+	templates *lruCache[*domTemplate]
 
-// scriptCacheCap bounds the parsed-script cache; site visits are processed
-// consecutively, so locality is high.
-const scriptCacheCap = 4096
+	pagePool    sync.Pool // *Page
+	runtimePool sync.Pool // *webapi.Runtime, instrumented by this browser's extensions
+}
 
 // New creates a browser profile.
 func New(b *webapi.Bindings, f webserver.Fetcher, exts ...Extension) *Browser {
 	return &Browser{
-		Bindings:    b,
-		Fetcher:     f,
-		Extensions:  exts,
-		scriptCache: make(map[string]*cachedScript),
+		Bindings:   b,
+		Fetcher:    f,
+		Extensions: exts,
+		scripts:    newLRUCache[*cachedScript](scriptCacheCap),
+		templates:  newLRUCache[*domTemplate](templateCacheCap),
 	}
 }
 
@@ -76,16 +68,20 @@ type ScriptError struct {
 
 func (e ScriptError) Error() string { return fmt.Sprintf("script %s: %v", e.URL, e.Err) }
 
-// boundHandler is a registered event handler with its origin.
+// boundHandler is a registered event handler with its origin and its
+// selector compiled exactly once at bind time.
 type boundHandler struct {
 	h       *webscript.Handler
-	origin  string // script URL, diagnostics only
+	sel     dom.Selector // compiled h.Selector; meaningful when selOK
+	selOK   bool         // h.Selector parsed successfully
+	origin  string       // script URL, diagnostics only
 	lastRun float64
 }
 
 // Page is one loaded page.
 type Page struct {
-	// URL is the page's resolved location.
+	// URL is the page's resolved location. On the fast path it is shared
+	// read-only with every other load of the same URL; do not mutate.
 	URL *url.URL
 	// DOM is the parsed document.
 	DOM *dom.Node
@@ -108,7 +104,16 @@ type Page struct {
 	BlockedRequests []string
 
 	browser  *Browser
-	handlers []*boundHandler
+	handlers []boundHandler
+
+	// interactive caches the DOM's visible interactive elements (and the
+	// form-field subset), rebuilt when the DOM's mutation generation
+	// moves — the gremlin horde enumerates them per action.
+	interactive    []*dom.Node
+	formFields     []*dom.Node
+	interactiveGen uint64
+	interactiveOK  bool
+	formFieldsOK   bool
 }
 
 // executionHost adapts a page (and the executing script's origin) to the
@@ -132,11 +137,7 @@ func (h executionHost) Navigate(path string) {
 
 // resolveURL resolves a possibly relative reference against the page URL.
 func (p *Page) resolveURL(ref string) string {
-	u, err := url.Parse(ref)
-	if err != nil {
-		return ref
-	}
-	return p.URL.ResolveReference(u).String()
+	return resolveAgainst(p.URL, ref)
 }
 
 // Host returns the page's hostname.
@@ -145,44 +146,70 @@ func (p *Page) Host() string { return p.URL.Hostname() }
 // Load fetches, parses, instruments, and executes a page. A fetch or HTML
 // parse failure of the document itself fails the load; failures of
 // individual scripts are recorded on the page (real browsers keep going).
+//
+// Repeat loads of a URL take the fast path: the document comes from the
+// template cache as an arena clone (no fetch, no parse) and the page and
+// runtime structures are recycled from the pools Release feeds. Pass the
+// finished page to Release to keep the cycle going.
 func (b *Browser) Load(rawURL string) (*Page, error) {
-	res, err := b.Fetcher.Fetch(rawURL)
-	if err != nil {
-		return nil, fmt.Errorf("browser: loading %s: %w", rawURL, err)
+	if b.DisableReuse {
+		return b.loadSlow(rawURL)
 	}
-	if res.ContentType != "text/html" {
-		return nil, fmt.Errorf("browser: %s is %s, not a document", rawURL, res.ContentType)
-	}
-	doc, err := html.Parse(res.Body)
-	if err != nil {
-		return nil, fmt.Errorf("browser: parsing %s: %w", rawURL, err)
-	}
-	u, err := url.Parse(rawURL)
+	t, err := b.template(rawURL)
 	if err != nil {
 		return nil, err
 	}
+	page := b.newPage()
+	page.URL = t.url
+	page.DOM = t.tpl.Instantiate()
+	page.Runtime = b.newRuntime()
+	page.browser = b
+	b.finishLoad(page, t.scripts)
+	return page, nil
+}
 
+// loadSlow is the fast path's ablation twin: fetch, parse, and allocate
+// the document, page, and runtime per load, bypassing the template cache
+// and the pools. It is not the pre-fast-path seed byte for byte: script
+// parses (external and, unlike the seed, inline too) stay LRU-cached and
+// selectors still compile once per bound handler — the knob isolates
+// template cloning and pooling, the mechanisms that share state across
+// loads.
+func (b *Browser) loadSlow(rawURL string) (*Page, error) {
+	doc, u, err := b.fetchDocument(rawURL)
+	if err != nil {
+		return nil, err
+	}
 	page := &Page{
 		URL:     u,
 		DOM:     doc,
 		Runtime: b.Bindings.NewRuntime(),
 		browser: b,
 	}
+	b.finishLoad(page, collectScripts(doc, u))
+	return page, nil
+}
 
+// finishLoad runs the load pipeline past DOM construction: extension
+// injection, script execution in document order, and load-event dispatch.
+func (b *Browser) finishLoad(page *Page, scripts []templateScript) {
 	// Extension injection point: after DOM construction, before any page
 	// script executes (paper §4.2).
 	for _, ext := range b.Extensions {
 		ext.OnDOMReady(page)
 	}
 
-	// Execute scripts in document order.
-	for _, ref := range doc.Scripts() {
-		if ref.Src == "" {
-			page.runScriptSource("inline:"+u.String(), ref.Inline)
+	for _, ref := range scripts {
+		if ref.url == "" {
+			cs := b.inlineScript(ref.inline)
+			if cs.err != nil {
+				page.ScriptErrors = append(page.ScriptErrors, ScriptError{URL: "inline:" + page.URL.String(), Err: cs.err})
+				continue
+			}
+			page.installScript("inline:"+page.URL.String(), cs)
 			continue
 		}
-		scriptURL := page.resolveURL(ref.Src)
-		req := blocking.Request{URL: scriptURL, PageHost: page.Host(), Type: blocking.ResourceScript}
+		req := blocking.Request{URL: ref.url, PageHost: page.Host(), Type: blocking.ResourceScript}
 		vetoed := false
 		for _, ext := range b.Extensions {
 			if ext.OnBeforeRequest(req) {
@@ -191,69 +218,102 @@ func (b *Browser) Load(rawURL string) (*Page, error) {
 			}
 		}
 		if vetoed {
-			page.BlockedRequests = append(page.BlockedRequests, scriptURL)
+			page.BlockedRequests = append(page.BlockedRequests, ref.url)
 			continue
 		}
-		cs := b.fetchScript(scriptURL)
+		cs := b.fetchScript(ref.url)
 		if cs.err != nil {
-			page.ScriptErrors = append(page.ScriptErrors, ScriptError{URL: scriptURL, Err: cs.err})
+			page.ScriptErrors = append(page.ScriptErrors, ScriptError{URL: ref.url, Err: cs.err})
 			continue
 		}
-		page.installScript(scriptURL, cs.script)
+		page.installScript(ref.url, cs)
 	}
 
 	// Fire load handlers.
 	page.fire(webscript.EventLoad, nil)
-	return page, nil
 }
 
-// fetchScript fetches and parses an external script with caching.
-func (b *Browser) fetchScript(scriptURL string) *cachedScript {
-	b.cacheMu.Lock()
-	if cs, ok := b.scriptCache[scriptURL]; ok {
-		b.cacheMu.Unlock()
-		return cs
+// newPage takes a recycled page from the pool, or allocates one.
+func (b *Browser) newPage() *Page {
+	if p, _ := b.pagePool.Get().(*Page); p != nil {
+		return p
 	}
-	b.cacheMu.Unlock()
-
-	cs := &cachedScript{}
-	res, err := b.Fetcher.Fetch(scriptURL)
-	if err != nil {
-		cs.err = err
-	} else {
-		cs.body = res.Body
-		cs.script, cs.err = webscript.Parse(res.Body)
-	}
-
-	b.cacheMu.Lock()
-	if len(b.scriptCache) >= scriptCacheCap {
-		// Simple wholesale eviction: visits are site-local, so a cold
-		// cache refills quickly.
-		b.scriptCache = make(map[string]*cachedScript)
-	}
-	b.scriptCache[scriptURL] = cs
-	b.cacheMu.Unlock()
-	return cs
+	return &Page{}
 }
 
-// runScriptSource parses and executes script text (inline scripts).
-func (p *Page) runScriptSource(origin, src string) {
-	s, err := webscript.Parse(src)
-	if err != nil {
-		p.ScriptErrors = append(p.ScriptErrors, ScriptError{URL: origin, Err: err})
+// newRuntime takes a recycled runtime from the pool (arriving with this
+// browser's instrumentation intact and counters zeroed), or builds a fresh
+// one from the bindings.
+func (b *Browser) newRuntime() *webapi.Runtime {
+	if rt, _ := b.runtimePool.Get().(*webapi.Runtime); rt != nil {
+		return rt
+	}
+	return b.Bindings.NewRuntime()
+}
+
+// Release returns a finished page and its runtime to the browser's pools.
+// Call it once everything needed from the page has been drained (measurer
+// counts taken, navigation attempts copied); the page must not be used —
+// or Released again — afterwards, exactly like any pooled object after
+// Put (a second Release is only harmless while the page has not been
+// reissued by a Load). Releasing nil, a page belonging to another browser,
+// or a page under DisableReuse is a no-op.
+func (b *Browser) Release(p *Page) {
+	if p == nil || p.browser != b || b.DisableReuse {
 		return
 	}
-	p.installScript(origin, s)
+	rt := p.Runtime
+	p.reset()
+	b.pagePool.Put(p)
+	if rt != nil {
+		// The runtime keeps this browser's shims (extensions mark what
+		// they instrument and skip re-instrumenting); only the per-page
+		// counters reset.
+		rt.ResetCounts()
+		b.runtimePool.Put(rt)
+	}
+}
+
+// reset clears a page for pooling, keeping slice capacity.
+func (p *Page) reset() {
+	p.URL = nil
+	p.DOM = nil
+	p.Runtime = nil
+	p.Clock = 0
+	p.NavAttempts = p.NavAttempts[:0]
+	p.OnHandlerRegistered = nil
+	p.ScriptErrors = p.ScriptErrors[:0]
+	p.BlockedRequests = p.BlockedRequests[:0]
+	p.browser = nil
+	for i := range p.handlers {
+		p.handlers[i] = boundHandler{}
+	}
+	p.handlers = p.handlers[:0]
+	// Zero the element pointers over the full capacity, not just the
+	// lengths: a pooled page must not pin the released page's DOM slab,
+	// and a post-mutation rebuild may have left the lists shorter than
+	// the backing arrays.
+	clear(p.interactive[:cap(p.interactive)])
+	p.interactive = p.interactive[:0]
+	clear(p.formFields[:cap(p.formFields)])
+	p.formFields = p.formFields[:0]
+	p.interactiveGen = 0
+	p.interactiveOK = false
+	p.formFieldsOK = false
 }
 
 // installScript executes a script's immediate statements and registers its
-// handlers.
-func (p *Page) installScript(origin string, s *webscript.Script) {
-	if err := webscript.Execute(s.Immediate, executionHost{page: p, origin: origin}); err != nil {
+// handlers, reusing the cache's precompiled selectors.
+func (p *Page) installScript(origin string, cs *cachedScript) {
+	if err := webscript.Execute(cs.script.Immediate, executionHost{page: p, origin: origin}); err != nil {
 		p.ScriptErrors = append(p.ScriptErrors, ScriptError{URL: origin, Err: err})
 	}
-	for _, h := range s.Handlers {
-		p.handlers = append(p.handlers, &boundHandler{h: h, origin: origin})
+	for i, h := range cs.script.Handlers {
+		bh := boundHandler{h: h, origin: origin}
+		if h.Selector != "" {
+			bh.sel, bh.selOK = cs.sels[i].sel, cs.sels[i].ok
+		}
+		p.handlers = append(p.handlers, bh)
 		if p.OnHandlerRegistered != nil {
 			p.OnHandlerRegistered(h.Event, h.Selector)
 		}
@@ -264,16 +324,13 @@ func (p *Page) installScript(origin string, s *webscript.Script) {
 // handlers: nil means "no specific element" (load/scroll/move), in which
 // case only selector-less handlers fire.
 func (p *Page) fire(ev webscript.EventType, target *dom.Node) {
-	for _, bh := range p.handlers {
+	for i := range p.handlers {
+		bh := &p.handlers[i]
 		if bh.h.Event != ev {
 			continue
 		}
 		if bh.h.Selector != "" {
-			if target == nil {
-				continue
-			}
-			sel, err := dom.ParseSelector(bh.h.Selector)
-			if err != nil || !sel.Matches(target) {
+			if target == nil || !bh.selOK || !bh.sel.Matches(target) {
 				continue
 			}
 		}
@@ -317,7 +374,8 @@ func (p *Page) MouseMove() { p.fire(webscript.EventMove, nil) }
 // due (each timer fires once per elapsed interval).
 func (p *Page) AdvanceClock(dt float64) {
 	target := p.Clock + dt
-	for _, bh := range p.handlers {
+	for i := range p.handlers {
+		bh := &p.handlers[i]
 		if bh.h.Event != webscript.EventTimer || bh.h.Interval <= 0 {
 			continue
 		}
@@ -332,14 +390,56 @@ func (p *Page) AdvanceClock(dt float64) {
 	p.Clock = target
 }
 
+// refreshInteractive revalidates the cached element lists against the DOM's
+// mutation generation.
+func (p *Page) refreshInteractive() {
+	gen := p.DOM.Gen()
+	if p.interactiveOK && gen == p.interactiveGen {
+		return
+	}
+	p.interactive = p.DOM.AppendInteractive(p.interactive[:0])
+	p.interactiveGen = gen
+	p.interactiveOK = true
+	p.formFieldsOK = false
+}
+
 // Interactive returns the page's currently visible interactive elements.
-func (p *Page) Interactive() []*dom.Node { return p.DOM.Interactive() }
+// The list is cached and invalidated by DOM mutation (structure changes or
+// SetHidden); callers must not modify or retain it across mutations.
+func (p *Page) Interactive() []*dom.Node {
+	p.refreshInteractive()
+	return p.interactive
+}
+
+// FormFields returns the visible text-entry elements (input, textarea), the
+// targets the typing gremlin picks from, cached like Interactive.
+func (p *Page) FormFields() []*dom.Node {
+	p.refreshInteractive()
+	if !p.formFieldsOK {
+		p.formFields = p.formFields[:0]
+		for _, el := range p.interactive {
+			if el.Tag == "input" || el.Tag == "textarea" {
+				p.formFields = append(p.formFields, el)
+			}
+		}
+		p.formFieldsOK = true
+	}
+	return p.formFields
+}
 
 // LocalNavAttempts filters the recorded navigation attempts to those
 // sameSite judges local, deduplicated in first-seen order.
 func (p *Page) LocalNavAttempts(sameSite func(host string) bool) []string {
-	seen := map[string]bool{}
-	var out []string
+	return p.LocalNavAttemptsInto(sameSite, make(map[string]bool), nil)
+}
+
+// LocalNavAttemptsInto is LocalNavAttempts with caller-owned scratch: seen
+// is cleared and reused for deduplication, and the result is appended to
+// out (pass out[:0] to reuse its backing array). The crawler calls this
+// once per page with per-Visitor scratch instead of allocating a fresh map
+// and slice every page.
+func (p *Page) LocalNavAttemptsInto(sameSite func(host string) bool, seen map[string]bool, out []string) []string {
+	clear(seen)
 	for _, raw := range p.NavAttempts {
 		u, err := url.Parse(raw)
 		if err != nil {
@@ -372,12 +472,17 @@ func (p *Page) HasParseErrors() bool {
 
 // BlockingExtension adapts a blocking.Blocker (ABP engine, tracker DB, or
 // their combination) to the Extension interface, applying element-hiding
-// rules at DOM-ready.
+// rules at DOM-ready. Hide-rule selectors compile once per profile, not
+// once per page.
 type BlockingExtension struct {
 	// Label names the extension ("adblock-plus", "ghostery").
 	Label string
 	// Blocker decides request vetoes and hiding selectors.
 	Blocker blocking.Blocker
+
+	selMu    sync.Mutex
+	selCache map[string]compiledSel
+	matches  []*dom.Node
 }
 
 // Name implements Extension.
@@ -390,11 +495,31 @@ func (b *BlockingExtension) OnBeforeRequest(req blocking.Request) bool {
 
 // OnDOMReady applies element-hiding rules.
 func (b *BlockingExtension) OnDOMReady(p *Page) {
-	for _, sel := range b.Blocker.HideSelectors(p.Host()) {
-		for _, el := range p.DOM.QuerySelectorAll(sel) {
-			el.Hidden = true
+	b.selMu.Lock()
+	defer b.selMu.Unlock()
+	for _, raw := range b.Blocker.HideSelectors(p.Host()) {
+		cs, ok := b.selCache[raw]
+		if !ok {
+			sel, err := dom.ParseSelector(raw)
+			cs = compiledSel{sel: sel, ok: err == nil}
+			if b.selCache == nil {
+				b.selCache = make(map[string]compiledSel)
+			}
+			b.selCache[raw] = cs
+		}
+		if !cs.ok {
+			continue
+		}
+		b.matches = p.DOM.MatchAll(cs.sel, b.matches[:0])
+		for _, el := range b.matches {
+			el.SetHidden(true)
 		}
 	}
+	// Zero the scratch over its full capacity (earlier selectors may have
+	// matched more nodes than the last) so it never pins a released
+	// page's DOM slab.
+	clear(b.matches[:cap(b.matches)])
+	b.matches = b.matches[:0]
 }
 
 // String renders a page summary for diagnostics.

@@ -1,0 +1,239 @@
+package browser
+
+import (
+	"container/list"
+	"fmt"
+	"net/url"
+
+	"repro/internal/dom"
+	"repro/internal/html"
+	"repro/internal/webscript"
+)
+
+// scriptCacheCap bounds the parsed-script cache (external and inline
+// entries); site visits are processed consecutively, so locality is high.
+const scriptCacheCap = 4096
+
+// templateCacheCap bounds the parsed-DOM template cache. Templates are only
+// useful while a site's rounds are in flight (a site rarely has more than a
+// few dozen distinct pages), so the cap mostly bounds memory across the
+// site→site transition.
+const templateCacheCap = 256
+
+// inlineKeyPrefix namespaces inline-script cache keys (keyed by source
+// text) away from URL keys. The byte cannot appear in a fetched URL.
+const inlineKeyPrefix = "\x00inline\x00"
+
+// lruCache is a tiny entry-count-capped in-memory LRU — the same eviction
+// discipline logstore.Cache applies to its on-disk entries, minus the
+// persistence. It replaces the script cache's old wholesale map reset,
+// which dropped hot cross-site entries (shared trackers, ad scripts)
+// whenever the cache filled. Not goroutine-safe; callers lock.
+type lruCache[V any] struct {
+	cap     int
+	entries map[string]*list.Element
+	order   list.List // front = most recently used
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+func newLRUCache[V any](cap int) *lruCache[V] {
+	c := &lruCache[V]{cap: cap, entries: make(map[string]*list.Element)}
+	c.order.Init()
+	return c
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lruCache[V]) get(key string) (V, bool) {
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// put inserts or refreshes a value, evicting the least-recently-used
+// entries beyond the cap.
+func (c *lruCache[V]) put(key string, val V) {
+	if el, ok := c.entries[key]; ok {
+		el.Value = lruEntry[V]{key, val}
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(lruEntry[V]{key, val})
+	for len(c.entries) > c.cap {
+		back := c.order.Back()
+		delete(c.entries, back.Value.(lruEntry[V]).key)
+		c.order.Remove(back)
+	}
+}
+
+// compiledSel is a handler selector parsed once at script-cache (or
+// install) time instead of once per event dispatch.
+type compiledSel struct {
+	sel dom.Selector
+	ok  bool
+}
+
+// cachedScript is one parse outcome in the script cache, with every handler
+// selector precompiled (aligned with script.Handlers).
+type cachedScript struct {
+	script *webscript.Script
+	sels   []compiledSel
+	err    error
+}
+
+// newCachedScript parses source text and precompiles handler selectors.
+func newCachedScript(src string) *cachedScript {
+	cs := &cachedScript{}
+	cs.script, cs.err = webscript.Parse(src)
+	if cs.err != nil {
+		return cs
+	}
+	cs.sels = compileSelectors(cs.script)
+	return cs
+}
+
+// compileSelectors parses each handler's selector once.
+func compileSelectors(s *webscript.Script) []compiledSel {
+	if len(s.Handlers) == 0 {
+		return nil
+	}
+	sels := make([]compiledSel, len(s.Handlers))
+	for i, h := range s.Handlers {
+		if h.Selector == "" {
+			continue
+		}
+		sel, err := dom.ParseSelector(h.Selector)
+		sels[i] = compiledSel{sel: sel, ok: err == nil}
+	}
+	return sels
+}
+
+// templateScript is one script reference of a cached page template with its
+// src pre-resolved against the page URL (identical for every clone).
+type templateScript struct {
+	url    string // resolved absolute URL; empty for inline scripts
+	inline string // inline source when url is empty
+}
+
+// domTemplate is one parsed page in the template cache: the frozen DOM plus
+// everything about the page that is identical across visits.
+type domTemplate struct {
+	tpl     *dom.Template
+	url     *url.URL // parsed page URL, shared read-only by all clones
+	scripts []templateScript
+}
+
+// template returns the cached template for a URL, fetching and parsing on
+// the first visit. Fetch and parse errors are not cached: a failed document
+// load is fatal to the visit and the retry cost is irrelevant.
+func (b *Browser) template(rawURL string) (*domTemplate, error) {
+	b.cacheMu.Lock()
+	t, ok := b.templates.get(rawURL)
+	b.cacheMu.Unlock()
+	if ok {
+		return t, nil
+	}
+
+	doc, u, err := b.fetchDocument(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	t = &domTemplate{url: u, scripts: collectScripts(doc, u)}
+	t.tpl = dom.NewTemplate(doc) // freezes doc; must be the last use of it
+
+	b.cacheMu.Lock()
+	b.templates.put(rawURL, t)
+	b.cacheMu.Unlock()
+	return t, nil
+}
+
+// fetchDocument fetches and parses a page document.
+func (b *Browser) fetchDocument(rawURL string) (*dom.Node, *url.URL, error) {
+	res, err := b.Fetcher.Fetch(rawURL)
+	if err != nil {
+		return nil, nil, fmt.Errorf("browser: loading %s: %w", rawURL, err)
+	}
+	if res.ContentType != "text/html" {
+		return nil, nil, fmt.Errorf("browser: %s is %s, not a document", rawURL, res.ContentType)
+	}
+	doc, err := html.Parse(res.Body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("browser: parsing %s: %w", rawURL, err)
+	}
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, nil, err
+	}
+	return doc, u, nil
+}
+
+// collectScripts extracts a document's script references with src URLs
+// resolved, in document order.
+func collectScripts(doc *dom.Node, base *url.URL) []templateScript {
+	refs := doc.Scripts()
+	if len(refs) == 0 {
+		return nil
+	}
+	out := make([]templateScript, len(refs))
+	for i, ref := range refs {
+		if ref.Src == "" {
+			out[i].inline = ref.Inline
+			continue
+		}
+		out[i].url = resolveAgainst(base, ref.Src)
+	}
+	return out
+}
+
+// resolveAgainst resolves a possibly relative reference against base.
+func resolveAgainst(base *url.URL, ref string) string {
+	u, err := url.Parse(ref)
+	if err != nil {
+		return ref
+	}
+	return base.ResolveReference(u).String()
+}
+
+// cachedScriptFor returns the script-cache entry for key, building and
+// inserting it on a miss. Building happens outside the lock; concurrent
+// misses may build twice and last-put wins, which is harmless (entries for
+// one key are interchangeable).
+func (b *Browser) cachedScriptFor(key string, build func() *cachedScript) *cachedScript {
+	b.cacheMu.Lock()
+	cs, ok := b.scripts.get(key)
+	b.cacheMu.Unlock()
+	if ok {
+		return cs
+	}
+	cs = build()
+	b.cacheMu.Lock()
+	b.scripts.put(key, cs)
+	b.cacheMu.Unlock()
+	return cs
+}
+
+// fetchScript fetches and parses an external script with LRU caching.
+func (b *Browser) fetchScript(scriptURL string) *cachedScript {
+	return b.cachedScriptFor(scriptURL, func() *cachedScript {
+		res, err := b.Fetcher.Fetch(scriptURL)
+		if err != nil {
+			return &cachedScript{err: err}
+		}
+		return newCachedScript(res.Body)
+	})
+}
+
+// inlineScript parses inline script text with LRU caching keyed by the
+// source text itself: the same inline script used to be re-parsed on every
+// visit of its page.
+func (b *Browser) inlineScript(src string) *cachedScript {
+	return b.cachedScriptFor(inlineKeyPrefix+src, func() *cachedScript {
+		return newCachedScript(src)
+	})
+}

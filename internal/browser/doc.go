@@ -1,0 +1,53 @@
+// Package browser implements the instrumented browser of the paper's §4:
+// a page-load pipeline (fetch → parse → extension injection → script
+// execution → event loop) over the simulated DOM, Web API dispatch layer,
+// and WebScript engine.
+//
+// Extensions hook two points, mirroring the WebExtension surface the paper
+// relies on: OnBeforeRequest may veto subresource fetches (how AdBlock Plus
+// and Ghostery block), and OnDOMReady runs after the DOM exists but before
+// any page script — the injection point "at the beginning of the <head>
+// element" the measuring extension uses (§4.2).
+//
+// # The revisit fast path
+//
+// The survey loads every page of every site once per case per round, so the
+// same URL is loaded dozens of times per browser. Load is built around that
+// revisit pattern; three mechanisms (all per-Browser, all bypassed when
+// DisableReuse is set) make a repeat load allocate almost nothing:
+//
+//   - DOM template cache. The first load of a URL parses the document once
+//     into a frozen dom.Template; every load — including the first — then
+//     arena-clones the template (two slab allocations per page, attribute
+//     maps shared copy-on-write) instead of re-fetching and re-parsing.
+//     Clones are fully independent: mutating one page's tree, Hidden flags,
+//     or attributes never leaks into the template or another page.
+//     Templates and parsed scripts live in LRU caches, so a hot cross-site
+//     script is never dropped mid-survey.
+//
+//   - Page/Runtime pooling. Browser.Release(page) returns a finished page
+//     and its webapi.Runtime to per-Browser sync.Pools. The page is reset
+//     field by field (slices keep their capacity); the runtime keeps its
+//     patches and watchpoints but zeroes its per-page counters
+//     (webapi.Runtime.ResetCounts), so the next load skips re-shimming the
+//     whole corpus. Release is safe once the caller has drained everything
+//     it needs from the page (measurer counts taken, navigation attempts
+//     copied out); after Release the page must not be touched or Released
+//     again — like any pooled object, a stale second Release is only
+//     harmless while the page has not been reissued by a Load. Releasing
+//     nil or a page of another browser is a no-op.
+//
+//   - Precompiled selectors. Handler selectors compile once per bound
+//     handler at install time (never per event dispatch), blocking
+//     extensions compile each hide rule once per profile, and the page
+//     caches its Interactive/FormFields lists, invalidated by the DOM's
+//     mutation generation (dom.Node.Gen).
+//
+// Correctness contract for the fast path: extensions must not structurally
+// add or remove script elements at DOMReady (hiding is fine — script
+// execution ignores visibility), and an extension that instruments
+// Page.Runtime must mark it via webapi.Runtime.MarkInstrumented and skip
+// re-instrumenting a runtime it already owns, because pooled runtimes
+// return with shims intact. Both in-tree measurers comply. Survey logs are
+// byte-identical with the fast path on or off (test-enforced).
+package browser

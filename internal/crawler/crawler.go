@@ -46,6 +46,11 @@ type Config struct {
 	// the site's session token, so monkey testing covers logged-in
 	// functionality too.
 	WithCredentials bool
+	// DisableBrowserReuse turns off the browser's revisit fast path (DOM
+	// template cache, page/runtime pooling) so every load fetches and
+	// allocates from scratch — an ablation/debugging knob; survey logs
+	// are byte-identical either way (test-enforced).
+	DisableBrowserReuse bool
 }
 
 // DefaultConfig mirrors the paper's methodology.
@@ -276,6 +281,8 @@ type Visitor struct {
 	visited  map[string]bool
 	seenDirs map[string]bool
 	pool     []string
+	navSeen  map[string]bool
+	navOut   []string
 }
 
 // NewVisitor builds a single-goroutine visitor for one browser
@@ -294,10 +301,12 @@ func (c *Crawler) newVisitor(cs measure.Case, cfg Config) (*Visitor, error) {
 	if c.NewFetcher != nil {
 		fetcher = c.NewFetcher()
 	}
+	b := browser.New(c.Bindings, fetcher, exts...)
+	b.DisableReuse = cfg.DisableBrowserReuse
 	return &Visitor{
 		crawler:  c,
 		cfg:      cfg,
-		browser:  browser.New(c.Bindings, fetcher, exts...),
+		browser:  b,
 		measurer: m,
 	}, nil
 }
@@ -318,6 +327,7 @@ func (w *Visitor) ensureScratch() {
 		w.counts = make(map[int]int64)
 		w.visited = make(map[string]bool)
 		w.seenDirs = make(map[string]bool)
+		w.navSeen = make(map[string]bool)
 	}
 }
 
@@ -356,7 +366,10 @@ func (w *Visitor) CrawlOnce(site *synthweb.Site, seed int64) (map[int]int64, int
 	pages := 0
 
 	// visit loads a URL, monkey-tests it, and returns candidate local
-	// URLs for the next BFS level.
+	// URLs for the next BFS level. The returned slice is the Visitor's
+	// interned nav scratch — valid only until the next visit call; every
+	// caller below consumes it (pool add + selection) before revisiting.
+	// The page itself is recycled via Release once its counts are taken.
 	visit := func(rawURL string, isHome bool) ([]string, error) {
 		if w.cfg.WithCredentials {
 			rawURL = authenticate(rawURL)
@@ -369,13 +382,16 @@ func (w *Visitor) CrawlOnce(site *synthweb.Site, seed int64) (map[int]int64, int
 			return nil, nil // dead subpage: skip, keep crawling
 		}
 		if isHome && page.HasParseErrors() {
+			w.browser.Release(page)
 			return nil, fmt.Errorf("crawler: %s has script syntax errors", site.Domain)
 		}
 		horde.Unleash(page, rng)
 		merge(w.measurer.Take())
 		pages++
 		visited[rawURL] = true
-		return page.LocalNavAttempts(sameSite), nil
+		w.navOut = page.LocalNavAttemptsInto(sameSite, w.navSeen, w.navOut[:0])
+		w.browser.Release(page)
+		return w.navOut, nil
 	}
 
 	home := "http://" + site.Domain + "/"
@@ -547,6 +563,7 @@ func (c *Crawler) HumanVisit(site *synthweb.Site, seed int64) (map[int]int64, er
 			}
 		}
 		merge(m.Take())
+		b.Release(page)
 		if next == "" {
 			break
 		}

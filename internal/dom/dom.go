@@ -32,11 +32,22 @@ type Node struct {
 
 	// Hidden marks elements suppressed by element-hiding filter rules
 	// (AdBlock Plus "##" rules); hidden elements are invisible to the
-	// monkey-testing horde.
+	// monkey-testing horde. Prefer SetHidden, which also invalidates
+	// cached tree queries (see Gen); writing the field directly still
+	// works but bypasses invalidation.
 	Hidden bool
 
 	attrs     map[string]string
 	attrOrder []string
+
+	// sharedAttrs marks attrs/attrOrder as borrowed from a Template (or
+	// another clone); SetAttr copies them before the first write so
+	// mutations never leak across clones.
+	sharedAttrs bool
+
+	// gen counts structural and visibility mutations of the tree. It is
+	// maintained on the root node only; see Gen.
+	gen uint64
 }
 
 // NewDocument returns an empty document root.
@@ -56,6 +67,17 @@ func NewComment(text string) *Node { return &Node{Type: CommentNode, Text: text}
 // SetAttr sets an attribute, preserving first-set order for serialization.
 func (n *Node) SetAttr(name, value string) {
 	name = strings.ToLower(name)
+	if n.sharedAttrs {
+		// Copy-on-write: the attribute storage is shared with a template
+		// (and its other clones), so the first write takes a private copy.
+		m := make(map[string]string, len(n.attrs)+1)
+		for k, v := range n.attrs {
+			m[k] = v
+		}
+		n.attrs = m
+		n.attrOrder = append(make([]string, 0, len(n.attrOrder)+1), n.attrOrder...)
+		n.sharedAttrs = false
+	}
 	if n.attrs == nil {
 		n.attrs = make(map[string]string)
 	}
@@ -63,6 +85,10 @@ func (n *Node) SetAttr(name, value string) {
 		n.attrOrder = append(n.attrOrder, name)
 	}
 	n.attrs[name] = value
+	// Attributes feed cached views too (data-action drives Interactive),
+	// so attribute writes move the generation. Cheap in the common case:
+	// the parser sets attributes on still-detached elements (root = self).
+	n.bumpGen()
 }
 
 // Attr returns the attribute value and whether it is present.
@@ -104,6 +130,34 @@ func (n *Node) HasClass(c string) bool {
 	return false
 }
 
+// Root returns the topmost ancestor of n (n itself when detached).
+func (n *Node) Root() *Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// Gen returns the mutation generation of the node's tree: a counter bumped
+// by every structural change (AppendChild, InsertBefore, RemoveChild) and
+// every SetHidden on any node of the tree. Callers caching derived views of
+// the tree (Interactive lists, query results) can compare generations
+// instead of re-walking.
+func (n *Node) Gen() uint64 { return n.Root().gen }
+
+// bumpGen records a mutation of the tree containing n.
+func (n *Node) bumpGen() { n.Root().gen++ }
+
+// SetHidden sets the element-hiding flag and invalidates cached tree
+// queries. Equal-value writes are no-ops.
+func (n *Node) SetHidden(hidden bool) {
+	if n.Hidden == hidden {
+		return
+	}
+	n.Hidden = hidden
+	n.bumpGen()
+}
+
 // AppendChild attaches child as the last child of n, detaching it from any
 // previous parent.
 func (n *Node) AppendChild(child *Node) {
@@ -112,6 +166,7 @@ func (n *Node) AppendChild(child *Node) {
 	}
 	child.Parent = n
 	n.Children = append(n.Children, child)
+	n.bumpGen()
 }
 
 // InsertBefore inserts child immediately before ref, which must be a child
@@ -138,6 +193,7 @@ func (n *Node) InsertBefore(child, ref *Node) error {
 	n.Children = append(n.Children, nil)
 	copy(n.Children[idx+1:], n.Children[idx:])
 	n.Children[idx] = child
+	n.bumpGen()
 	return nil
 }
 
@@ -147,12 +203,16 @@ func (n *Node) RemoveChild(child *Node) {
 		if c == child {
 			n.Children = append(n.Children[:i], n.Children[i+1:]...)
 			child.Parent = nil
+			n.bumpGen()
 			return
 		}
 	}
 }
 
-// Clone deep-copies the subtree rooted at n. The clone is detached.
+// Clone deep-copies the subtree rooted at n. The clone is detached. Every
+// node, attribute map, and child slice is allocated individually; for
+// repeated cloning of the same tree, NewTemplate/Instantiate amortizes that
+// cost to a couple of slab allocations per clone.
 func (n *Node) Clone() *Node {
 	cp := &Node{Type: n.Type, Tag: n.Tag, Text: n.Text, Hidden: n.Hidden}
 	if n.attrs != nil {
@@ -168,6 +228,81 @@ func (n *Node) Clone() *Node {
 		cp.Children = append(cp.Children, cc)
 	}
 	return cp
+}
+
+// Template is a frozen subtree prepared for cheap repeated cloning: the
+// survey's browser loads the same page dozens of times (cases × rounds),
+// and instantiating a template replaces a full re-parse — or a per-node
+// deep Clone — with two slab allocations.
+//
+// The wrapped tree is owned by the Template and must not be mutated after
+// NewTemplate; clones share its attribute storage copy-on-write, so
+// Instantiate is safe to call from multiple goroutines concurrently and
+// mutating one clone (structure, Hidden flags, attributes) never leaks
+// into the template or any other clone.
+type Template struct {
+	root  *Node
+	nodes int // node count of the subtree
+	kids  int // total child-slice length across the subtree
+}
+
+// NewTemplate freezes the subtree rooted at n and returns its template.
+// The caller must hand over ownership: the tree must not be mutated (or
+// handed to anything that mutates it) afterwards.
+func NewTemplate(n *Node) *Template {
+	t := &Template{root: n}
+	n.Walk(func(c *Node) bool {
+		// Mark attribute storage shared now, once, so instantiation
+		// never writes to template nodes (concurrent clones only read).
+		c.sharedAttrs = c.attrs != nil
+		t.nodes++
+		t.kids += len(c.Children)
+		return true
+	})
+	return t
+}
+
+// Root returns the frozen tree for read-only inspection (queries, walks).
+func (t *Template) Root() *Node { return t.root }
+
+// NumNodes returns the node count of the frozen subtree.
+func (t *Template) NumNodes() int { return t.nodes }
+
+// Instantiate arena-clones the template: all nodes come from one []Node
+// slab and all child slices are bump-allocated from one []*Node slab, so a
+// clone costs two allocations regardless of page size. Attribute maps are
+// shared with the template copy-on-write (SetAttr on a clone copies first).
+func (t *Template) Instantiate() *Node {
+	if t.nodes == 0 {
+		return nil
+	}
+	slab := make([]Node, t.nodes)
+	kidSlab := make([]*Node, t.kids)
+	nodeIdx, kidIdx := 0, 0
+	var build func(src, parent *Node) *Node
+	build = func(src, parent *Node) *Node {
+		cp := &slab[nodeIdx]
+		nodeIdx++
+		cp.Type = src.Type
+		cp.Tag = src.Tag
+		cp.Text = src.Text
+		cp.Hidden = src.Hidden
+		cp.Parent = parent
+		if src.attrs != nil {
+			cp.attrs = src.attrs
+			cp.attrOrder = src.attrOrder
+			cp.sharedAttrs = true
+		}
+		if len(src.Children) > 0 {
+			cp.Children = kidSlab[kidIdx : kidIdx : kidIdx+len(src.Children)]
+			kidIdx += len(src.Children)
+			for _, c := range src.Children {
+				cp.Children = append(cp.Children, build(c, cp))
+			}
+		}
+		return cp
+	}
+	return build(t.root, nil)
 }
 
 // Walk visits the subtree rooted at n in document (pre-)order. Returning
@@ -313,14 +448,21 @@ func (n *Node) QuerySelectorAll(s string) []*Node {
 	if err != nil {
 		return nil
 	}
-	var out []*Node
+	return n.MatchAll(sel, nil)
+}
+
+// MatchAll appends all descendant elements matching the compiled selector
+// to dst, in document order, and returns it. Callers that query the same
+// selector repeatedly (blocker hide rules, event dispatch) parse once and
+// reuse both the selector and the destination slice.
+func (n *Node) MatchAll(sel Selector, dst []*Node) []*Node {
 	n.Walk(func(c *Node) bool {
 		if c != n && sel.Matches(c) {
-			out = append(out, c)
+			dst = append(dst, c)
 		}
 		return true
 	})
-	return out
+	return dst
 }
 
 // GetElementByID returns the first element with the given id, or nil.
@@ -362,22 +504,26 @@ var interactiveTags = map[string]bool{
 // Interactive returns the visible interactive elements of the subtree in
 // document order: links, buttons, form fields, iframes, and any element
 // carrying a data-action attribute.
-func (n *Node) Interactive() []*Node {
-	var out []*Node
+func (n *Node) Interactive() []*Node { return n.AppendInteractive(nil) }
+
+// AppendInteractive appends the visible interactive elements to dst and
+// returns it; callers enumerating repeatedly (the monkey-testing horde)
+// pass a recycled slice. See Gen for cheap change detection.
+func (n *Node) AppendInteractive(dst []*Node) []*Node {
 	n.Walk(func(c *Node) bool {
 		if c.Type != ElementNode || !c.Visible() {
 			return c.Type != ElementNode || !c.Hidden // skip hidden subtrees entirely
 		}
 		if interactiveTags[c.Tag] {
-			out = append(out, c)
+			dst = append(dst, c)
 			return true
 		}
 		if _, ok := c.Attr("data-action"); ok {
-			out = append(out, c)
+			dst = append(dst, c)
 		}
 		return true
 	})
-	return out
+	return dst
 }
 
 // Links returns the href values of all visible anchors, deduplicated in

@@ -2,6 +2,7 @@ package dom
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -344,5 +345,167 @@ func TestNodeString(t *testing.T) {
 	s := main.String()
 	if !strings.Contains(s, `<div`) || !strings.Contains(s, `id="main"`) {
 		t.Errorf("element String = %q", s)
+	}
+}
+
+// treeShape renders a subtree's full structure (types, tags, text, hidden
+// flags, and attributes in first-set order) for deep-equality checks.
+func treeShape(n *Node) string {
+	var b strings.Builder
+	var walk func(*Node, int)
+	walk = func(c *Node, depth int) {
+		b.WriteString(strings.Repeat(" ", depth))
+		b.WriteString(c.String())
+		if c.Hidden {
+			b.WriteString("[hidden]")
+		}
+		for _, name := range c.AttrNames() {
+			v, _ := c.Attr(name)
+			b.WriteString(" " + name + "=" + v)
+		}
+		b.WriteString("\n")
+		for _, k := range c.Children {
+			walk(k, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}
+
+func TestTemplateInstantiateEqualsClone(t *testing.T) {
+	doc := buildTestTree()
+	want := treeShape(doc)
+	total := 0
+	doc.Walk(func(*Node) bool { total++; return true })
+	tpl := NewTemplate(doc)
+	if tpl.NumNodes() != total {
+		t.Errorf("NumNodes = %d, want %d", tpl.NumNodes(), total)
+	}
+	inst := tpl.Instantiate()
+	if got := treeShape(inst); got != want {
+		t.Errorf("instantiated tree differs:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	// Parent links must be internally consistent.
+	inst.Walk(func(c *Node) bool {
+		for _, k := range c.Children {
+			if k.Parent != c {
+				t.Errorf("child %s has wrong parent", k)
+			}
+		}
+		return true
+	})
+	if inst.Parent != nil {
+		t.Error("instantiated root has a parent")
+	}
+}
+
+func TestTemplateCloneIndependence(t *testing.T) {
+	tpl := NewTemplate(buildTestTree())
+	ref := treeShape(tpl.Root())
+
+	a, b := tpl.Instantiate(), tpl.Instantiate()
+
+	// Structural mutation of one clone.
+	main := a.GetElementByID("main")
+	main.AppendChild(NewElement("span"))
+	main.RemoveChild(main.Children[0])
+
+	// Visibility mutation of one clone.
+	a.GetElementByID("ads").SetHidden(true)
+
+	// Attribute mutation of one clone: both rewriting an existing
+	// attribute and adding a new one trigger copy-on-write.
+	btn := a.GetElementByID("go")
+	btn.SetAttr("id", "stop")
+	btn.SetAttr("data-x", "1")
+
+	if got := treeShape(b); got != treeShape(tpl.Instantiate()) {
+		t.Error("mutating clone A leaked into clone B")
+	}
+	if got := treeShape(tpl.Root()); got != ref {
+		t.Errorf("mutating a clone leaked into the template:\n got:\n%s\nwant:\n%s", got, ref)
+	}
+	if b.GetElementByID("go") == nil || b.GetElementByID("stop") != nil {
+		t.Error("clone B sees clone A's attribute write")
+	}
+	if !a.GetElementByID("main").HasClass("wrap") {
+		t.Error("clone A lost shared attributes after unrelated writes")
+	}
+}
+
+func TestTemplateConcurrentInstantiate(t *testing.T) {
+	tpl := NewTemplate(buildTestTree())
+	want := treeShape(tpl.Root())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				inst := tpl.Instantiate()
+				// Mutate every clone: under -race this proves clones
+				// share no mutable state with each other or the template.
+				inst.GetElementByID("main").SetAttr("data-g", "x")
+				inst.GetElementByID("ads").SetHidden(true)
+				inst.GetElementByID("go").SetAttr("id", "stop")
+				if inst.GetElementByID("stop") == nil {
+					t.Errorf("goroutine %d: attribute write lost", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := treeShape(tpl.Root()); got != want {
+		t.Error("concurrent clone mutation leaked into the template")
+	}
+}
+
+func TestGenTracksMutations(t *testing.T) {
+	doc := buildTestTree()
+	g0 := doc.Gen()
+	main := doc.GetElementByID("main")
+
+	main.SetHidden(true)
+	if doc.Gen() == g0 {
+		t.Error("SetHidden did not bump Gen")
+	}
+	g1 := doc.Gen()
+	main.SetHidden(true) // no-op write
+	if doc.Gen() != g1 {
+		t.Error("equal-value SetHidden bumped Gen")
+	}
+	main.AppendChild(NewElement("em"))
+	if doc.Gen() == g1 {
+		t.Error("AppendChild did not bump Gen")
+	}
+	g2 := doc.Gen()
+	main.RemoveChild(main.Children[len(main.Children)-1])
+	if doc.Gen() == g2 {
+		t.Error("RemoveChild did not bump Gen")
+	}
+	// Gen is visible from any node of the tree.
+	if main.Gen() != doc.Gen() {
+		t.Error("Gen differs between root and descendant")
+	}
+}
+
+func TestMatchAllMatchesQuerySelectorAll(t *testing.T) {
+	doc := buildTestTree()
+	for _, s := range []string{"a", "div.ad-banner", "#go", ".nav"} {
+		sel, err := ParseSelector(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := doc.MatchAll(sel, nil)
+		want := doc.QuerySelectorAll(s)
+		if len(got) != len(want) {
+			t.Fatalf("MatchAll(%q) = %d nodes, QuerySelectorAll = %d", s, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("MatchAll(%q)[%d] differs", s, i)
+			}
+		}
 	}
 }

@@ -39,16 +39,27 @@ func (m *Measurer) OnBeforeRequest(blocking.Request) bool { return false }
 // OnDOMReady instruments the page: every prototype method is replaced with
 // a closure-wrapped shim that logs and forwards to the original, and every
 // watchable singleton property gets a write watchpoint.
+//
+// A runtime recycled through Browser.Release arrives with this measurer's
+// shims and watchpoints already installed (and its counters zeroed), so
+// instrumentation is skipped — re-wrapping would double every count. The
+// shims only forward to m, which serves every page of the worker's browser,
+// so the reused instrumentation observes exactly what fresh shims would.
 func (m *Measurer) OnDOMReady(p *browser.Page) {
-	p.Runtime.PatchAllMethods(func(f *webidl.Feature, original webapi.MethodFunc) webapi.MethodFunc {
+	rt := p.Runtime
+	if rt.InstrumentedBy(m) {
+		return
+	}
+	rt.PatchAllMethods(func(f *webidl.Feature, original webapi.MethodFunc) webapi.MethodFunc {
 		return func(ctx *webapi.CallContext) {
 			m.observe(ctx.Feature.ID, int64(ctx.Count))
 			original(ctx) // preserve page functionality
 		}
 	})
-	m.watchpoints = p.Runtime.WatchAllSingletons(func(f *webidl.Feature, count int) {
+	m.watchpoints = rt.WatchAllSingletons(func(f *webidl.Feature, count int) {
 		m.observe(f.ID, int64(count))
 	})
+	rt.MarkInstrumented(m)
 }
 
 func (m *Measurer) observe(id int, n int64) {

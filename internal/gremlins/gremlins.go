@@ -8,7 +8,6 @@ import (
 	"math/rand"
 
 	"repro/internal/browser"
-	"repro/internal/dom"
 )
 
 // Species is one kind of gremlin.
@@ -56,14 +55,10 @@ func (Typer) Name() string { return "typer" }
 
 var typerWords = []string{"hello", "test", "gremlin", "query", "42", "zzz"}
 
-// Act implements Species.
+// Act implements Species. The candidate list comes from the page's cached
+// form-field enumeration instead of a per-action filtered copy.
 func (Typer) Act(p *browser.Page, rng *rand.Rand) bool {
-	var fields []*dom.Node
-	for _, el := range p.Interactive() {
-		if el.Tag == "input" || el.Tag == "textarea" {
-			fields = append(fields, el)
-		}
-	}
+	fields := p.FormFields()
 	if len(fields) == 0 {
 		return false
 	}

@@ -28,9 +28,14 @@ func benchCrawlConfig() crawler.Config {
 // seen-dirs maps plus the gremlin horde, reused per Visitor instead of
 // rebuilt per visit — cut this benchmark from 23,779,309 to 23,765,726
 // allocs/op (13.6k fewer, ~19 per visit) and ~3.1 MB/op. The honest
-// conclusion: the scratch was real but small; ~99.9% of allocations are
-// page/DOM construction inside the browser, which is what the ROADMAP
-// hot-path item targets next.
+// conclusion at the time: ~99.9% of allocations were page/DOM construction
+// inside the browser. The browser's revisit fast path (DOM template cache +
+// arena clones, pooled pages/runtimes with preserved instrumentation,
+// precompiled selectors) then took that on and cut the benchmark from
+// 23,765,722 to 3,526,542 allocs/op (−85%), 1,019.7 MB to 318.6 MB/op
+// (−69%), and 3.00 s to 1.27 s/op (2.4×); BenchmarkLoadRepeatVisit in
+// internal/browser isolates the per-load delta (2,157 → 11 allocs/op).
+// Current numbers are tracked in BENCH_baseline.json at the repo root.
 func BenchmarkSequentialCrawl(b *testing.B) {
 	setup(b)
 	cfg := benchCrawlConfig()

@@ -118,6 +118,28 @@ func TestPipelineMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestFastPathMatchesSlowPath pins the browser's revisit fast path (DOM
+// template cloning, page/runtime pooling, precompiled selectors) to the
+// from-scratch load path: the same survey run with reuse disabled must
+// produce the byte-identical log and stats. The spill-only and sharded
+// determinism tests compare against the same baseline, so transitively every
+// engine mode is pinned to the slow path too.
+func TestFastPathMatchesSlowPath(t *testing.T) {
+	setup(t)
+	cfg := sequentialConfig()
+	cfg.DisableBrowserReuse = true
+	slowLog, slowStats, err := crawler.New(testWeb, testBind, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := csvBytes(t, slowLog), csvBytes(t, baseLog); !bytes.Equal(got, want) {
+		t.Errorf("slow-path log differs from fast-path baseline (%d vs %d bytes)", len(got), len(want))
+	}
+	if *slowStats != *baseStats {
+		t.Errorf("slow-path stats = %+v, want %+v", *slowStats, *baseStats)
+	}
+}
+
 // TestPipelineConcurrent exercises the multi-shard engine under the race
 // detector: many shards, many workers, tiny batches, few stripes — the
 // maximum-contention geometry.

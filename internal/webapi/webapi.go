@@ -150,6 +150,9 @@ type Runtime struct {
 	native []int64
 	// watchers[featureID] holds property watchpoints.
 	watchers map[int][]WatchFunc
+	// instrumented lists the owners (extensions) that have installed
+	// their shims on this runtime; see MarkInstrumented.
+	instrumented []any
 }
 
 // NewRuntime creates a fresh page runtime with pristine (unpatched) slots.
@@ -161,6 +164,49 @@ func (b *Bindings) NewRuntime() *Runtime {
 		watchers: nil, // lazily allocated
 	}
 	return rt
+}
+
+// Reset returns the runtime to its pristine post-NewRuntime state: every
+// patch is removed, every watchpoint dropped, every counter zeroed, and all
+// instrumentation marks cleared. Backing storage is retained, so a reset
+// runtime costs no allocations to reuse. The browser's same-profile recycle
+// path deliberately uses only ResetCounts (shims survive); Reset is the
+// full wipe a pool shared across extension stacks — e.g. a future
+// Bindings-level pool serving browsers of different cases — must use
+// before handing a runtime to a different profile.
+func (rt *Runtime) Reset() {
+	clear(rt.methods)
+	clear(rt.native)
+	clear(rt.watchers)
+	rt.instrumented = rt.instrumented[:0]
+}
+
+// ResetCounts zeroes the per-page native counters while preserving patches,
+// watchpoints, and instrumentation marks. This is the recycle path for a
+// runtime returning to its browser's pool between pages of one profile:
+// the extension stack is identical on every page, so its shims — which are
+// pure forwarding closures — can survive the round trip, and only the
+// counts (the per-page ground truth) must start fresh.
+func (rt *Runtime) ResetCounts() { clear(rt.native) }
+
+// MarkInstrumented records that owner has installed its instrumentation on
+// this runtime. Extensions that patch methods or register watchpoints must
+// mark the runtime and check InstrumentedBy before instrumenting, so a
+// runtime recycled by the browser's page pool is never shimmed twice
+// (double-wrapping would double every count). Reset clears the marks;
+// ResetCounts preserves them.
+func (rt *Runtime) MarkInstrumented(owner any) {
+	rt.instrumented = append(rt.instrumented, owner)
+}
+
+// InstrumentedBy reports whether owner has marked this runtime.
+func (rt *Runtime) InstrumentedBy(owner any) bool {
+	for _, o := range rt.instrumented {
+		if o == owner {
+			return true
+		}
+	}
+	return false
 }
 
 // nativeImpl is the default implementation for every method slot: it

@@ -316,3 +316,89 @@ func TestRuntimesAreIsolated(t *testing.T) {
 		t.Fatal("native counters shared across runtimes")
 	}
 }
+
+// TestResetCountsPreservesInstrumentation is the runtime-recycling
+// contract: after ResetCounts a runtime reports zero counts everywhere, but
+// its patches, watchpoints, and instrumentation marks survive and keep
+// observing — the state Browser.Release hands back to the page pool.
+func TestResetCountsPreservesInstrumentation(t *testing.T) {
+	b := bindings(t)
+	rt := b.NewRuntime()
+	var patched int64
+	rt.PatchAllMethods(func(f *webidl.Feature, original MethodFunc) MethodFunc {
+		return func(ctx *CallContext) {
+			patched += int64(ctx.Count)
+			original(ctx)
+		}
+	})
+	var watched int64
+	rt.WatchAllSingletons(func(f *webidl.Feature, count int) { watched += int64(count) })
+	owner := &struct{ int }{}
+	rt.MarkInstrumented(owner)
+
+	if err := rt.Call("Document", "createElement", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetProperty("Window", "name"); err != nil {
+		t.Fatal(err)
+	}
+	if rt.TotalNativeCalls() == 0 || patched != 3 || watched != 1 {
+		t.Fatalf("pre-reset counts: native=%d patched=%d watched=%d", rt.TotalNativeCalls(), patched, watched)
+	}
+
+	rt.ResetCounts()
+	if got := rt.TotalNativeCalls(); got != 0 {
+		t.Fatalf("recycled runtime reports %d native calls, want 0", got)
+	}
+	if !rt.InstrumentedBy(owner) {
+		t.Error("ResetCounts dropped the instrumentation mark")
+	}
+	if err := rt.Call("Document", "createElement", 2); err != nil {
+		t.Fatal(err)
+	}
+	if patched != 5 {
+		t.Errorf("patch stopped observing after ResetCounts: %d, want 5", patched)
+	}
+	if got := rt.TotalNativeCalls(); got != 2 {
+		t.Errorf("post-recycle native calls = %d, want 2", got)
+	}
+}
+
+// TestResetRestoresPristineState: the full Reset drops patches, watchers,
+// counters, and marks, so the runtime behaves like a fresh NewRuntime.
+func TestResetRestoresPristineState(t *testing.T) {
+	b := bindings(t)
+	rt := b.NewRuntime()
+	var patched int64
+	rt.PatchAllMethods(func(f *webidl.Feature, original MethodFunc) MethodFunc {
+		return func(ctx *CallContext) { patched++; original(ctx) }
+	})
+	var watched int64
+	rt.WatchAllSingletons(func(f *webidl.Feature, count int) { watched++ })
+	owner := "owner"
+	rt.MarkInstrumented(owner)
+	if err := rt.Call("Document", "createElement", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	rt.Reset()
+	if rt.TotalNativeCalls() != 0 {
+		t.Error("Reset left native counts")
+	}
+	if rt.InstrumentedBy(owner) {
+		t.Error("Reset left instrumentation marks")
+	}
+	patched, watched = 0, 0
+	if err := rt.Call("Document", "createElement", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetProperty("Window", "name"); err != nil {
+		t.Fatal(err)
+	}
+	if patched != 0 || watched != 0 {
+		t.Errorf("reset runtime still instrumented: patched=%d watched=%d", patched, watched)
+	}
+	if rt.TotalNativeCalls() != 2 {
+		t.Errorf("reset runtime native calls = %d, want 2", rt.TotalNativeCalls())
+	}
+}
