@@ -30,20 +30,40 @@
 // regardless of site count while every printed table is byte-identical to
 // the in-memory run's. Combine with -spill to keep the full log on disk
 // (report -spills replays it); -out is unavailable in this mode.
+//
+// # Distributed surveys
+//
+// -coordinator and -worker run the survey across machines
+// (internal/dist; docs/OPERATIONS.md is the runbook):
+//
+//	pipeline -sites 10000 -seed 42 -coordinator :9090          # on one machine
+//	pipeline -worker coord-host:9090 -shards 2 -workers 4      # on each worker
+//
+// The coordinator partitions the site list into leases (-lease sites
+// each), ships the study spec to every connecting worker, folds each
+// completed lease's streamed spill data into a merged aggregate — re-issuing
+// the leases of workers that die (-heartbeat silence) — and prints exactly
+// the tables a single-machine -spill-only run of the same flags prints,
+// byte for byte. Workers take their survey methodology from the
+// coordinator, so only engine-geometry flags (-shards, -workers, -batch,
+// -cache…) matter on the worker command line.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"time"
 
 	"repro/internal/blocking"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/measure"
 	"repro/internal/report"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -63,12 +83,45 @@ func main() {
 		cacheLimit = flag.Int64("cache-limit", 0, "visit cache size cap in bytes; least-recently-used entries are pruned (0 = unbounded)")
 		spillDir   = flag.String("spill", "", "stream per-shard spill files to this directory")
 		spillOnly  = flag.Bool("spill-only", false, "drop the in-memory log; fold visits into mergeable per-shard aggregates (bounded memory)")
+		coord      = flag.String("coordinator", "", "run as survey coordinator, listening on this host:port for workers")
+		workerAddr = flag.String("worker", "", "run as survey worker, connecting to this coordinator host:port")
+		leaseSites = flag.Int("lease", 0, "coordinator: sites per worker lease (0 = default 64)")
+		heartbeat  = flag.Duration("heartbeat", 0, "coordinator: declare a worker dead after this much silence and re-issue its lease (0 = default 10s)")
 	)
 	flag.Parse()
 
 	if *spillOnly && *out != "" {
 		fmt.Fprintln(os.Stderr, "pipeline: -spill-only keeps no in-memory log; use -spill and `report -spills` instead of -out")
 		os.Exit(2)
+	}
+	if *coord != "" && *workerAddr != "" {
+		fmt.Fprintln(os.Stderr, "pipeline: -coordinator and -worker are mutually exclusive")
+		os.Exit(2)
+	}
+	if *coord != "" && *out != "" {
+		fmt.Fprintln(os.Stderr, "pipeline: the coordinator merges aggregates, not logs; -out is unavailable in coordinator mode (run workers with -spill for on-disk copies of what they stream)")
+		os.Exit(2)
+	}
+	if *workerAddr != "" && (*out != "" || *spillOnly) {
+		fmt.Fprintln(os.Stderr, "pipeline: workers take the survey from the coordinator; -out and -spill-only do not apply in worker mode (-spill keeps local copies of streamed leases)")
+		os.Exit(2)
+	}
+
+	ctxRoot, stopRoot := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopRoot()
+
+	if *workerAddr != "" {
+		if err := runWorker(ctxRoot, *workerAddr, *spillDir, core.Config{
+			Shards:        *shards,
+			ShardWorkers:  *workers,
+			BatchSize:     *batch,
+			CacheDir:      *cacheDir,
+			CacheMaxBytes: *cacheLimit,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	prof, err := blocking.ParseProfile(*profile)
@@ -97,8 +150,7 @@ func main() {
 	}
 	defer study.Close()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	ctx := ctxRoot
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -106,19 +158,30 @@ func main() {
 	}
 
 	start := time.Now()
-	results, err := study.RunSurveyContext(ctx)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var results *core.Results
+	if *coord != "" {
+		agg, err := runCoordinator(ctx, *coord, study, *leaseSites, *heartbeat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		results = study.AggregateResults(agg)
+		fmt.Fprintf(os.Stderr, "%d sites × %d cases × %d rounds in %s (distributed)\n",
+			*sites, len(prof.Cases()), *rounds, time.Since(start).Round(time.Millisecond))
+	} else {
+		results, err = study.RunSurveyContext(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%d sites × %d cases × %d rounds in %s (%d shards × %d workers)\n",
+			*sites, len(prof.Cases()), *rounds, time.Since(start).Round(time.Millisecond), *shards, *workers)
 	}
-	elapsed := time.Since(start)
-	fmt.Fprintf(os.Stderr, "%d sites × %d cases × %d rounds in %s (%d shards × %d workers)\n",
-		*sites, len(prof.Cases()), *rounds, elapsed.Round(time.Millisecond), *shards, *workers)
 	if study.Cache != nil {
 		st := study.Cache.Stats()
 		fmt.Fprintf(os.Stderr, "visit cache: %d hits, %d misses, %d stored\n", st.Hits, st.Misses, st.Puts)
 	}
-	if *spillDir != "" {
+	if *spillDir != "" && *coord == "" {
 		fmt.Fprintf(os.Stderr, "per-shard spill files in %s\n", *spillDir)
 	}
 	if *spillOnly {
@@ -151,4 +214,62 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "measurement log written to %s (%s)\n", *out, *format)
 	}
+}
+
+// runCoordinator serves the survey to remote workers and returns the merged
+// aggregate. Survey methodology comes from the local study's flags; workers
+// receive it in the study spec and never need matching flags.
+func runCoordinator(ctx context.Context, addr string, study *core.Study, leaseSites int, heartbeat time.Duration) (*stats.Aggregate, error) {
+	spec, err := study.Spec()
+	if err != nil {
+		return nil, err
+	}
+	c, err := dist.Listen(addr, dist.CoordinatorConfig{
+		Spec:             spec,
+		NumSites:         len(study.Web.Sites),
+		NumFeatures:      len(study.Registry.Features),
+		Standards:        stats.StandardsOf(study.Registry),
+		Cases:            study.Cfg.Cases,
+		LeaseSites:       leaseSites,
+		HeartbeatTimeout: heartbeat,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "coordinator listening on %s (%d leases); start workers with: pipeline -worker %s\n",
+		c.Addr(), c.Leases(), c.Addr())
+	return c.Serve(ctx)
+}
+
+// runWorker joins a coordinator and crawls leases until the survey ends.
+// opts carries only worker-local engine geometry; the survey methodology
+// arrives in the coordinator's study spec. spillDir, when set, keeps local
+// lease-NNN.spill copies of everything streamed home.
+func runWorker(ctx context.Context, addr, spillDir string, opts core.Config) error {
+	var study *core.Study
+	defer func() {
+		if study != nil {
+			study.Close()
+		}
+	}()
+	return dist.Run(ctx, dist.WorkerConfig{
+		Addr:     addr,
+		SpillDir: spillDir,
+		Build: func(spec []byte) (dist.CrawlFunc, error) {
+			s, err := core.StudyFromSpec(spec, opts)
+			if err != nil {
+				return nil, err
+			}
+			study = s
+			return func(ctx context.Context, sites []int, spill io.Writer) error {
+				return s.CrawlSites(ctx, sites, spill)
+			}, nil
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
 }

@@ -1,12 +1,3 @@
-// Package alexa models the Alexa traffic rankings the paper draws on (§3.1).
-//
-// The paper uses the Alexa API's view of the ten thousand most popular
-// websites — global rank, per-site monthly visitor and page-load counts, and
-// related-domain data — and notes that the top 10k collectively receive
-// about one third of all web visits. This package synthesizes a ranking
-// with those properties: deterministic domain names, a Zipf-like visit
-// distribution normalized so the top 10k carry one third of total web
-// traffic, per-country ranks, and popular-subsite breakdowns.
 package alexa
 
 import (

@@ -1,13 +1,3 @@
-// Package browserstats embeds the browser-complexity time series behind the
-// paper's Figure 1: the number of web-standard families available in modern
-// browsers over time (from W3C documents and Can I Use) and the total lines
-// of code of the major browsers (from Open Hub), 2009-2015.
-//
-// The series reproduce the figure's qualitative shape: steady growth in both
-// standards and code size for every browser, with the one discontinuity the
-// paper calls out — Google's mid-2013 move to the Blink rendering engine,
-// which removed at least 8.8 million lines of WebKit-derived code from
-// Chrome.
 package browserstats
 
 import (

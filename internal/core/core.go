@@ -1,17 +1,8 @@
-// Package core is the study orchestrator: the public entry point that wires
-// the corpus, synthetic web, instrumented browser, survey crawler, and
-// analysis pipeline into one reproducible experiment, mirroring the paper's
-// end-to-end methodology.
-//
-// Typical use:
-//
-//	study, err := core.NewStudy(core.Config{Sites: 1000, Seed: 42})
-//	results, err := study.RunSurvey()
-//	study.WriteReport(os.Stdout, results)
 package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -289,6 +280,102 @@ func (s *Study) pipeline() *pipeline.Engine {
 	return eng
 }
 
+// spec is the JSON shape of the study specification a distributed
+// coordinator ships to its workers: the survey methodology alone. Engine
+// geometry (shards, workers, cache) stays worker-local — it never changes
+// results, only speed.
+type spec struct {
+	Version int            `json:"version"`
+	Sites   int            `json:"sites"`
+	Seed    int64          `json:"seed"`
+	Rounds  int            `json:"rounds"`
+	Cases   []measure.Case `json:"cases"`
+}
+
+// specVersion is bumped whenever a change to study construction would make
+// two builds of the same spec diverge; coordinator and workers must match.
+const specVersion = 1
+
+// Spec serializes the study's survey methodology for distributed workers
+// (internal/dist): everything a worker needs to regenerate the identical
+// corpus, synthetic web, and per-visit randomness. StudyFromSpec is the
+// inverse.
+func (s *Study) Spec() ([]byte, error) {
+	return json.Marshal(spec{
+		Version: specVersion,
+		Sites:   s.Cfg.Sites,
+		Seed:    s.Cfg.Seed,
+		Rounds:  s.Cfg.Rounds,
+		Cases:   s.Cfg.Cases,
+	})
+}
+
+// StudyFromSpec builds a worker's study from a coordinator's spec. The
+// spec's methodology fields override opts; opts supplies the worker-local
+// engine configuration (Shards, ShardWorkers, CacheDir, …). The returned
+// study always runs the pipeline engine in spill-only mode — a distributed
+// worker is exactly a spill-only shard.
+func StudyFromSpec(data []byte, opts Config) (*Study, error) {
+	var sp spec
+	if err := json.Unmarshal(data, &sp); err != nil {
+		return nil, fmt.Errorf("core: decoding study spec: %w", err)
+	}
+	if sp.Version != specVersion {
+		return nil, fmt.Errorf("core: study spec version %d, this build speaks %d", sp.Version, specVersion)
+	}
+	opts.Sites = sp.Sites
+	opts.Seed = sp.Seed
+	opts.Rounds = sp.Rounds
+	opts.Cases = sp.Cases
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	opts.SpillOnly = true
+	opts.SpillDir = ""
+	return NewStudy(opts)
+}
+
+// domains returns the study's site list, index-aligned with Web.Sites.
+func (s *Study) domains() []string {
+	out := make([]string, len(s.Web.Sites))
+	for i, site := range s.Web.Sites {
+		out[i] = site.Domain
+	}
+	return out
+}
+
+// CrawlSites crawls exactly the given site indices — a distributed lease —
+// through a spill-only pipeline run, streaming the visits into spill as one
+// complete spill stream (header first, then every observation, failure, and
+// site-end marker). It matches dist.CrawlFunc; cmd/pipeline -worker wires
+// it up.
+func (s *Study) CrawlSites(ctx context.Context, sites []int, spill io.Writer) error {
+	w, err := logstore.NewWriter(spill, len(s.Registry.Features), s.domains())
+	if err != nil {
+		return err
+	}
+	eng := s.pipeline()
+	eng.Cfg.Sites = sites
+	eng.Cfg.SpillOnly = true
+	eng.Cfg.SpillDir = ""
+	eng.Cfg.Spill = w
+	if _, err := eng.Run(ctx); err != nil {
+		return err
+	}
+	return w.Close() // flushes; the engine never closes an external writer
+}
+
+// AggregateResults wraps a mergeable aggregate — a distributed
+// coordinator's merged total, or any spill-only product — in the Results
+// shape every report path consumes, with warm analysis attached.
+func (s *Study) AggregateResults(agg *stats.Aggregate) *Results {
+	return &Results{
+		Stats:    pipeline.SurveyStats(agg, s.crawlConfig().PageSeconds),
+		Agg:      agg,
+		Analysis: analysis.FromStats(agg, s.Registry),
+	}
+}
+
 // ResultsFromSpills reconstructs a warm Results from a spill-only run's
 // per-shard spill files, streaming them through the mergeable stats layer —
 // the full log is never materialized, so memory stays bounded regardless of
@@ -301,11 +388,7 @@ func (s *Study) ResultsFromSpills(paths ...string) (*Results, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: merging spills: %w", err)
 	}
-	return &Results{
-		Stats:    pipeline.SurveyStats(agg, s.crawlConfig().PageSeconds),
-		Agg:      agg,
-		Analysis: analysis.FromStats(agg, s.Registry),
-	}, nil
+	return s.AggregateResults(agg), nil
 }
 
 // RunExternalValidation performs the §6.2 protocol: visit a visit-weighted

@@ -1,0 +1,11 @@
+// Package core is the study orchestrator: the public entry point that wires
+// the corpus, synthetic web, instrumented browser, survey crawler, and
+// analysis pipeline into one reproducible experiment, mirroring the paper's
+// end-to-end methodology.
+//
+// Typical use:
+//
+//	study, err := core.NewStudy(core.Config{Sites: 1000, Seed: 42})
+//	results, err := study.RunSurvey()
+//	study.WriteReport(os.Stdout, results)
+package core

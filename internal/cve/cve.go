@@ -1,13 +1,3 @@
-// Package cve models the vulnerability dataset of the paper's §3.5.
-//
-// The paper searches the CVE database for entries from the last three years
-// that mention Firefox: 470 records, of which 14 turn out on manual
-// inspection to concern other web software, leaving 456 Firefox CVEs; 111 of
-// those are manually associated with a specific web standard (Table 2,
-// column 6). This package generates a synthetic database with exactly that
-// triage structure, including the two records the paper cites by number:
-// CVE-2013-0763 (remote execution in the WebGL implementation) and
-// CVE-2014-1577 (information disclosure in the Web Audio implementation).
 package cve
 
 import (

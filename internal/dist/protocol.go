@@ -1,0 +1,202 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/logstore"
+)
+
+// protocolVersion is bumped whenever the frame grammar changes; a
+// coordinator and worker must agree exactly (the handshake enforces it).
+const protocolVersion = 1
+
+// maxFramePayload bounds a single frame. Spill data arrives in chunks the
+// size of the writer's flush buffer (64 KiB), control payloads are tiny,
+// and the Welcome spec is small JSON — 1 MiB leaves room for all of them
+// while keeping a hostile peer from ballooning the reader.
+const maxFramePayload = 1 << 20
+
+// Frame types. Worker→coordinator and coordinator→worker types share one
+// namespace so a misdirected frame is always detectable.
+const (
+	// frameHello (worker→coordinator) opens a connection: payload is the
+	// worker's protocol version.
+	frameHello = 0x01
+	// frameWelcome (coordinator→worker) accepts it: payload is the
+	// coordinator's protocol version followed by the length-prefixed
+	// study spec the worker builds its local survey from.
+	frameWelcome = 0x02
+	// frameLease (coordinator→worker) assigns work: a lease ID and the
+	// site indices the worker must crawl.
+	frameLease = 0x03
+	// frameShutdown (coordinator→worker) ends the session: the survey is
+	// complete and the worker should exit cleanly.
+	frameShutdown = 0x04
+	// frameSpillData (worker→coordinator) carries a chunk of the lease's
+	// spill stream, exactly as logstore.Writer produced it.
+	frameSpillData = 0x05
+	// frameLeaseDone (worker→coordinator) commits a lease: every site in
+	// it has been crawled and every spill byte sent.
+	frameLeaseDone = 0x06
+	// frameHeartbeat (worker→coordinator) proves liveness mid-crawl; it
+	// carries no payload.
+	frameHeartbeat = 0x07
+)
+
+// conn wraps a network connection with the frame codec. Writes are
+// serialized by a mutex so the heartbeat goroutine and the spill stream can
+// interleave whole frames, never frame fragments.
+type conn struct {
+	c   net.Conn
+	br  logstore.FrameReader
+	wmu sync.Mutex
+}
+
+func newConn(c net.Conn) *conn {
+	return &conn{c: c, br: bufio.NewReaderSize(c, 1<<16)}
+}
+
+func (c *conn) writeFrame(typ byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return logstore.WriteFrame(c.c, typ, payload)
+}
+
+func (c *conn) readFrame() (logstore.Frame, error) {
+	return logstore.ReadFrame(c.br, maxFramePayload)
+}
+
+// spillChunkWriter adapts the frame connection to io.Writer so a
+// logstore.Writer can stream a lease's spill bytes straight onto the wire:
+// every flush of the spill writer's buffer becomes one SpillData frame.
+type spillChunkWriter struct{ c *conn }
+
+func (w spillChunkWriter) Write(p []byte) (int, error) {
+	if err := w.c.writeFrame(frameSpillData, p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// uvarints below are the same encoding the logstore binary codec uses; the
+// payloads stay byte-compatible with what a binWriter would emit.
+
+func putUvarint(buf []byte, vs ...uint64) []byte {
+	var scratch [binary.MaxVarintLen64]byte
+	for _, v := range vs {
+		n := binary.PutUvarint(scratch[:], v)
+		buf = append(buf, scratch[:n]...)
+	}
+	return buf
+}
+
+func readUvarint(r io.ByteReader, what string) (uint64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("dist: decoding %s: %w", what, err)
+	}
+	return v, nil
+}
+
+// encodeHello builds a Hello payload.
+func encodeHello() []byte { return putUvarint(nil, protocolVersion) }
+
+// decodeHello validates a Hello payload.
+func decodeHello(payload []byte) error {
+	v, err := readUvarint(bytes.NewReader(payload), "hello version")
+	if err != nil {
+		return err
+	}
+	if v != protocolVersion {
+		return fmt.Errorf("dist: worker speaks protocol %d, coordinator %d", v, protocolVersion)
+	}
+	return nil
+}
+
+// encodeWelcome builds a Welcome payload: protocol version, the
+// coordinator's heartbeat timeout (milliseconds — workers derive their
+// send interval from it, so the pair can never disagree), and the study
+// spec.
+func encodeWelcome(spec []byte, heartbeatTimeout time.Duration) []byte {
+	buf := putUvarint(nil, protocolVersion, uint64(heartbeatTimeout.Milliseconds()), uint64(len(spec)))
+	return append(buf, spec...)
+}
+
+// decodeWelcome returns the study spec and the coordinator's heartbeat
+// timeout.
+func decodeWelcome(payload []byte) ([]byte, time.Duration, error) {
+	r := bytes.NewReader(payload)
+	v, err := readUvarint(r, "welcome version")
+	if err != nil {
+		return nil, 0, err
+	}
+	if v != protocolVersion {
+		return nil, 0, fmt.Errorf("dist: coordinator speaks protocol %d, worker %d", v, protocolVersion)
+	}
+	hbMillis, err := readUvarint(r, "heartbeat timeout")
+	if err != nil {
+		return nil, 0, err
+	}
+	n, err := readUvarint(r, "spec length")
+	if err != nil {
+		return nil, 0, err
+	}
+	if n > uint64(r.Len()) {
+		return nil, 0, fmt.Errorf("dist: spec length %d exceeds payload", n)
+	}
+	spec := make([]byte, n)
+	if _, err := io.ReadFull(r, spec); err != nil {
+		return nil, 0, fmt.Errorf("dist: decoding spec: %w", err)
+	}
+	return spec, time.Duration(hbMillis) * time.Millisecond, nil
+}
+
+// encodeLease builds a Lease payload: ID, site count, site indices.
+func encodeLease(id int, sites []int) []byte {
+	buf := putUvarint(nil, uint64(id), uint64(len(sites)))
+	for _, s := range sites {
+		buf = putUvarint(buf, uint64(s))
+	}
+	return buf
+}
+
+// decodeLease returns the lease ID and its site indices.
+func decodeLease(payload []byte) (int, []int, error) {
+	r := bytes.NewReader(payload)
+	id, err := readUvarint(r, "lease id")
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := readUvarint(r, "lease site count")
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > uint64(r.Len()) { // each site index is ≥ 1 byte
+		return 0, nil, fmt.Errorf("dist: lease claims %d sites in a %d-byte payload", n, r.Len())
+	}
+	sites := make([]int, n)
+	for i := range sites {
+		s, err := readUvarint(r, "lease site")
+		if err != nil {
+			return 0, nil, err
+		}
+		sites[i] = int(s)
+	}
+	return int(id), sites, nil
+}
+
+// encodeLeaseDone builds a LeaseDone payload.
+func encodeLeaseDone(id int) []byte { return putUvarint(nil, uint64(id)) }
+
+// decodeLeaseDone returns the completed lease's ID.
+func decodeLeaseDone(payload []byte) (int, error) {
+	id, err := readUvarint(bytes.NewReader(payload), "lease-done id")
+	return int(id), err
+}

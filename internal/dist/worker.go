@@ -1,0 +1,183 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// CrawlFunc runs the worker's local survey engine over a lease: it crawls
+// exactly the given site indices and streams the resulting spill records —
+// one complete, self-describing spill stream — into spill.
+// core.Study.CrawlSites is the production implementation (a spill-only
+// internal/pipeline shard).
+type CrawlFunc func(ctx context.Context, sites []int, spill io.Writer) error
+
+// WorkerConfig parameterizes one worker process.
+type WorkerConfig struct {
+	// Addr is the coordinator's host:port.
+	Addr string
+	// Build constructs the lease crawler from the coordinator's study
+	// spec, received in the Welcome frame. It runs once per connection;
+	// building the study (corpus + synthetic web generation) is the
+	// worker's startup cost.
+	Build func(spec []byte) (CrawlFunc, error)
+	// HeartbeatInterval is how often the worker proves liveness. The
+	// zero value derives it from the coordinator's announced heartbeat
+	// timeout (a third of it), which is the right choice everywhere
+	// outside tests: the pair can then never disagree, whatever
+	// -heartbeat the coordinator was started with.
+	HeartbeatInterval time.Duration
+	// SpillDir, when non-empty, keeps a local copy of every lease's
+	// spill stream (lease-NNN.spill) alongside the bytes streamed to the
+	// coordinator — an on-disk backup of exactly what this worker
+	// shipped, readable by report -spills like any other spill file.
+	SpillDir string
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Run connects to the coordinator and works leases until the coordinator
+// sends Shutdown (survey complete — Run returns nil), the context is
+// canceled, or the connection breaks. A worker is stateless between leases:
+// killing one mid-crawl loses nothing but that lease's work, which the
+// coordinator re-issues elsewhere.
+func Run(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Build == nil {
+		return fmt.Errorf("dist: worker requires a Build function")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	raw, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("dist: %w", err)
+	}
+	defer raw.Close()
+	// Cancellation unblocks every pending read and write by closing the
+	// connection out from under them.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			raw.Close()
+		case <-watchDone:
+		}
+	}()
+	cn := newConn(raw)
+
+	if err := cn.writeFrame(frameHello, encodeHello()); err != nil {
+		return fmt.Errorf("dist: hello: %w", err)
+	}
+	f, err := cn.readFrame()
+	if err != nil {
+		return ctxOr(ctx, fmt.Errorf("dist: awaiting welcome: %w", err))
+	}
+	if f.Type != frameWelcome {
+		return fmt.Errorf("dist: expected welcome, got frame type %#x", f.Type)
+	}
+	spec, hbTimeout, err := decodeWelcome(f.Payload)
+	if err != nil {
+		return err
+	}
+	interval := cfg.HeartbeatInterval
+	if interval <= 0 {
+		interval = hbTimeout / 3
+		if interval <= 0 {
+			interval = 3 * time.Second
+		}
+	}
+
+	// Heartbeats run for the whole session, starting now: building the
+	// study below can take longer than the coordinator's timeout at
+	// survey scale (corpus + synthetic web generation), and the
+	// coordinator has already granted this worker its first lease.
+	stopHB := make(chan struct{})
+	defer close(stopHB)
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if cn.writeFrame(frameHeartbeat, nil) != nil {
+					return // the main loop will see the broken conn
+				}
+			case <-stopHB:
+				return
+			}
+		}
+	}()
+
+	crawl, err := cfg.Build(spec)
+	if err != nil {
+		return fmt.Errorf("dist: building study from spec: %w", err)
+	}
+	logf("dist: joined %s, study built", cfg.Addr)
+
+	for {
+		f, err := cn.readFrame()
+		if err != nil {
+			return ctxOr(ctx, fmt.Errorf("dist: awaiting lease: %w", err))
+		}
+		switch f.Type {
+		case frameShutdown:
+			logf("dist: survey complete, shutting down")
+			return nil
+		case frameLease:
+			id, sites, err := decodeLease(f.Payload)
+			if err != nil {
+				return err
+			}
+			logf("dist: crawling lease %d (%d sites)", id, len(sites))
+			if err := runLease(ctx, cn, crawl, id, sites, cfg.SpillDir); err != nil {
+				return ctxOr(ctx, err)
+			}
+		default:
+			return fmt.Errorf("dist: unexpected frame type %#x while idle", f.Type)
+		}
+	}
+}
+
+// runLease crawls one lease and commits it. The commit frame is sent only
+// after the crawl finished and every spill chunk went out, so the
+// coordinator's view of a lease is all-or-nothing. With a SpillDir, the
+// stream is teed into lease-NNN.spill as it is sent.
+func runLease(ctx context.Context, cn *conn, crawl CrawlFunc, id int, sites []int, spillDir string) error {
+	var spill io.Writer = spillChunkWriter{cn}
+	if spillDir != "" {
+		if err := os.MkdirAll(spillDir, 0o755); err != nil {
+			return fmt.Errorf("dist: lease %d spill dir: %w", id, err)
+		}
+		f, err := os.Create(filepath.Join(spillDir, fmt.Sprintf("lease-%03d.spill", id)))
+		if err != nil {
+			return fmt.Errorf("dist: lease %d spill file: %w", id, err)
+		}
+		defer f.Close()
+		spill = io.MultiWriter(spill, f)
+	}
+	if err := crawl(ctx, sites, spill); err != nil {
+		return fmt.Errorf("dist: lease %d crawl: %w", id, err)
+	}
+	if err := cn.writeFrame(frameLeaseDone, encodeLeaseDone(id)); err != nil {
+		return fmt.Errorf("dist: committing lease %d: %w", id, err)
+	}
+	return nil
+}
+
+// ctxOr prefers the context's error when the context ended: a connection
+// closed by the cancellation watcher should read as "canceled", not as an
+// I/O failure.
+func ctxOr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}

@@ -1,0 +1,6 @@
+// Package dom implements the document object model of the browser
+// simulator: a mutable tree of elements, text, and comments with the query
+// operations the crawler and the monkey-testing horde need (id/class/tag
+// selectors, link and script extraction, interactive-element enumeration,
+// and visibility tracking for element-hiding rules).
+package dom

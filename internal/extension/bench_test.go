@@ -1,0 +1,53 @@
+package extension
+
+import "testing"
+
+// drainOnePage simulates the survey's hottest extension path: a page's
+// worth of shim observations followed by the crawler's per-page drain.
+func drainOnePage(m *Measurer) map[int]int64 {
+	for id := 0; id < 64; id++ {
+		m.observe(id, 3)
+	}
+	return m.Take()
+}
+
+// TestTakeDoesNotAllocate guards the double-buffered count table: once both
+// buffers are warm, the observe-then-Take page drain must be allocation-free
+// (Take used to build a fresh map per page — the top remaining allocation
+// site after the PR 4 fast path).
+func TestTakeDoesNotAllocate(t *testing.T) {
+	m := NewMeasurer()
+	drainOnePage(m) // warm buffer A
+	drainOnePage(m) // warm buffer B
+	if allocs := testing.AllocsPerRun(100, func() { drainOnePage(m) }); allocs != 0 {
+		t.Errorf("page drain allocates %v times per run; want 0", allocs)
+	}
+}
+
+// TestTakeRecyclesBuffers pins the contract change: the map Take returns is
+// invalidated by the next Take (it becomes the new accumulation buffer), so
+// callers must fold it immediately — which both survey engines do.
+func TestTakeRecyclesBuffers(t *testing.T) {
+	m := NewMeasurer()
+	first := drainOnePage(m)
+	if len(first) != 64 || first[0] != 3 {
+		t.Fatalf("first drain saw %d entries, first[0]=%d; want 64 and 3", len(first), first[0])
+	}
+	second := drainOnePage(m)
+	if len(second) != 64 || second[0] != 3 {
+		t.Fatalf("second drain saw %d entries, second[0]=%d; want 64 and 3", len(second), second[0])
+	}
+	// "first" is now the accumulation buffer again: the second Take
+	// cleared it. This is the documented invalidation.
+	if len(first) != 0 {
+		t.Fatalf("previously returned map still holds %d entries; want it recycled empty", len(first))
+	}
+}
+
+func BenchmarkMeasurerTake(b *testing.B) {
+	m := NewMeasurer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		drainOnePage(m)
+	}
+}

@@ -1,0 +1,7 @@
+// Package extension implements the paper's measuring extension (§4.2): a
+// browser extension that, injected before any page script runs, shims every
+// method on the interface prototypes with a counting wrapper (§4.2.1) and
+// registers Object.watch-style watchpoints on the writable properties of
+// singleton objects (§4.2.2). Everything the extension observes lands in a
+// per-visit count table the crawler drains after each page.
+package extension

@@ -1,9 +1,3 @@
-// Package extension implements the paper's measuring extension (§4.2): a
-// browser extension that, injected before any page script runs, shims every
-// method on the interface prototypes with a counting wrapper (§4.2.1) and
-// registers Object.watch-style watchpoints on the writable properties of
-// singleton objects (§4.2.2). Everything the extension observes lands in a
-// per-visit count table the crawler drains after each page.
 package extension
 
 import (
@@ -18,8 +12,13 @@ import (
 // Measurer is the measuring extension. One Measurer serves one browser
 // worker; counts accumulate until Take is called.
 type Measurer struct {
-	mu     sync.Mutex
-	counts map[int]int64
+	mu sync.Mutex
+	// counts and scratch double-buffer the per-page count table: Take
+	// hands out counts and installs the (cleared) scratch, so the survey's
+	// hottest drain — once per page, hundreds of thousands of times per
+	// run — allocates nothing.
+	counts  map[int]int64
+	scratch map[int]int64
 	// watchpoints counts installed property watchpoints on the last
 	// instrumented page (diagnostic).
 	watchpoints int
@@ -27,7 +26,7 @@ type Measurer struct {
 
 // NewMeasurer creates an empty measurer.
 func NewMeasurer() *Measurer {
-	return &Measurer{counts: make(map[int]int64)}
+	return &Measurer{counts: make(map[int]int64), scratch: make(map[int]int64)}
 }
 
 // Name implements browser.Extension.
@@ -68,12 +67,19 @@ func (m *Measurer) observe(id int, n int64) {
 	m.mu.Unlock()
 }
 
-// Take returns the accumulated counts and resets the measurer.
+// Take returns the accumulated counts and resets the measurer. The
+// returned map is the measurer's recycled scratch: it stays valid only
+// until the next Take, so callers that keep counts past that point must
+// copy them. Both survey engines fold the map into their own accumulator
+// immediately (crawler.CrawlOnce's merge), which is why the page-drain path
+// can run allocation-free.
 func (m *Measurer) Take() map[int]int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := m.counts
-	m.counts = make(map[int]int64)
+	clear(m.scratch)
+	m.counts = m.scratch
+	m.scratch = out
 	return out
 }
 

@@ -1,18 +1,3 @@
-// Package firefoxhist models the historical Firefox release line the paper
-// uses to date browser features (§3.4).
-//
-// The paper examines the 186 versions of Firefox released since 2004 and,
-// for each of the 1,392 features of the current (46.0.1) corpus, finds the
-// earliest release in which the feature appears; that release's date is the
-// feature's "implementation date". A standard's implementation date is the
-// introduction date of its currently most popular feature, with ties broken
-// by the earliest feature available.
-//
-// This package reproduces both the release calendar (major trains from 1.0
-// in November 2004 through 46.0 in April 2016, with point releases, 186
-// versions in total) and the feature-dating procedure: every release is
-// materialized as a Build exposing its feature set, and Introduced performs
-// the same build-by-build search the paper describes.
 package firefoxhist
 
 import (

@@ -1,7 +1,3 @@
-// Package gremlins implements monkey testing over simulated pages, after
-// the gremlins.js library the paper uses (§4.3.1): a horde of species that
-// click, scroll, and enter text on random elements for a fixed interaction
-// budget (30 virtual seconds per page in the paper's methodology).
 package gremlins
 
 import (

@@ -1,12 +1,3 @@
-// Package html parses the HTML subset the synthetic web emits into dom
-// trees, and serializes dom trees back to HTML. It is the browser
-// simulator's analog of the rendering engine's parser: the measuring
-// extension's injection point ("the beginning of the <head> element", paper
-// §4.2) is defined in terms of the tree this package produces.
-//
-// Supported syntax: doctype, elements with quoted/unquoted attributes,
-// boolean attributes, void elements, raw-text elements (script, style),
-// comments, and character references for & < > " '.
 package html
 
 import (

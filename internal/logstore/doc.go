@@ -23,9 +23,61 @@
 // The codecs need the whole log in memory; the streaming layer does not.
 // A Writer appends per-visit Observations to a spill file as they complete,
 // so a pipeline shard can spill partial results instead of holding the full
-// log — a spilled shard file is exactly the partial aggregate a future
-// network shard would ship home. ReadSpills/ReadSpillFiles reassemble any
-// number of spill streams into the single measure.Log the visits describe.
+// log — and a spilled stream is exactly what a distributed worker ships to
+// its coordinator (internal/dist). ReadSpills/ReadSpillFiles reassemble any
+// number of spill streams into the single measure.Log the visits describe;
+// stats.FromSpills folds them into a mergeable aggregate without ever
+// materializing the log.
+//
+// # Spill frame format (bytes on the wire)
+//
+// A spill stream — whether a shard-NNN.spill file on disk or the payload
+// bytes a dist worker streams home — is a header followed by
+// self-delimiting records. All integers are unsigned LEB128 varints
+// (encoding/binary uvarint); strings are a varint length followed by that
+// many bytes; there is no padding or alignment anywhere.
+//
+//	header:
+//	  magic     5 bytes   F1 53 50 4C 31           ("\xF1SPL1")
+//	  features  uvarint   corpus size (bitset width of every record)
+//	  domains   uvarint   site-list size, then that many strings,
+//	                      index-aligned with site indices
+//
+//	record: 1 type byte, then per type —
+//	  01 observation:
+//	     case        string    browser configuration name
+//	     round       uvarint
+//	     site        uvarint   index into the header's domain list
+//	     invocations uvarint
+//	     pages       uvarint
+//	     features    bitset    see below
+//	  02 failure:
+//	     site        uvarint   a visit of this site failed
+//	  03 site-end:
+//	     site        uvarint   every visit of this site precedes this
+//	                           record (streaming consumers retire it)
+//
+//	bitset (run-length encoded set bits):
+//	  runs      uvarint   number of maximal runs of consecutive set bits
+//	  per run:  uvarint   (gap from end of previous run) << 1, low bit set
+//	                      when a second uvarint follows carrying
+//	                      (run length − 2); no second varint means a
+//	                      1-bit run
+//
+// The stream is truncation-evident at record granularity: a stream cut on
+// a record boundary reads as a shorter valid stream (a crashed shard's
+// spill stays usable to its last durable record), while a cut inside a
+// record surfaces a decode error (TestSpillStreamTruncation sweeps every
+// offset). Every varint decodes against a caller-side cap, so corrupt or
+// hostile input can never force an unbounded allocation.
+//
+// # Frames
+//
+// WriteFrame/ReadFrame add a minimal message envelope — type byte, uvarint
+// payload length, payload — used by the internal/dist coordinator/worker
+// protocol to interleave spill chunks with control messages on one TCP
+// connection. A frame stream distinguishes a clean end (io.EOF exactly on
+// a frame boundary) from a death mid-frame (io.ErrUnexpectedEOF).
 //
 // # Visit cache
 //

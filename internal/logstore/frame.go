@@ -1,0 +1,74 @@
+package logstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame is the length-prefixed message envelope of the distributed shard
+// protocol (internal/dist). On the wire a frame is:
+//
+//	[1 byte]  frame type (opaque to this package)
+//	[uvarint] payload length
+//	[n bytes] payload
+//
+// — the same varint primitives every binary logstore format uses, so a
+// frame's payload can itself be a slice of a spill stream. The zero-copy
+// contract: ReadFrame returns a freshly allocated payload the caller owns.
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+// WriteFrame writes one frame. The write is a single Write call on w, so a
+// caller serializing frames from several goroutines only needs to
+// mutex-protect the WriteFrame call itself, not the underlying connection's
+// byte stream.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = typ
+	n := binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	buf := make([]byte, 0, 1+n+len(payload))
+	buf = append(buf, hdr[:1+n]...)
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// FrameReader is the stream a frame decodes from: a buffered reader
+// (bufio.Reader satisfies it) so the varint length can be read byte by byte
+// and the payload in one ReadFull.
+type FrameReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// ReadFrame reads one frame, rejecting payloads larger than maxPayload so a
+// corrupt or hostile peer can never make the reader allocate unboundedly.
+// It returns io.EOF only when the stream ends cleanly on a frame boundary;
+// a stream that dies mid-frame returns io.ErrUnexpectedEOF (wrapped).
+func ReadFrame(r FrameReader, maxPayload int) (Frame, error) {
+	typ, err := r.ReadByte()
+	if err != nil {
+		return Frame{}, err // io.EOF on a clean boundary
+	}
+	length, err := binary.ReadUvarint(r)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, fmt.Errorf("logstore: reading frame length: %w", err)
+	}
+	if length > uint64(maxPayload) {
+		return Frame{}, fmt.Errorf("logstore: frame payload %d exceeds limit %d", length, maxPayload)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, fmt.Errorf("logstore: reading frame payload: %w", err)
+	}
+	return Frame{Type: typ, Payload: payload}, nil
+}

@@ -1,0 +1,76 @@
+package logstore
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []Frame{
+		{Type: 0x01, Payload: nil},
+		{Type: 0x05, Payload: []byte("spill bytes")},
+		{Type: 0x07, Payload: make([]byte, 70_000)}, // > one varint byte of length
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f.Type, f.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(bytes.NewReader(buf.Bytes()))
+	for i, want := range frames {
+		got, err := ReadFrame(r, 1<<20)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got type %#x, %d bytes; want type %#x, %d bytes",
+				i, got.Type, len(got.Payload), want.Type, len(want.Payload))
+		}
+	}
+	if _, err := ReadFrame(r, 1<<20); err != io.EOF {
+		t.Fatalf("clean end of stream: got %v, want io.EOF", err)
+	}
+}
+
+// TestFrameTruncation distinguishes the two ways a frame stream can end:
+// exactly between frames is a clean io.EOF; anywhere inside a frame is
+// io.ErrUnexpectedEOF — the signal the dist coordinator uses to tell a
+// finished worker from a dead one.
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 0x05, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Len()
+	for off := 0; off < whole; off++ {
+		r := bufio.NewReader(bytes.NewReader(buf.Bytes()[:off]))
+		_, err := ReadFrame(r, 1<<20)
+		switch {
+		case off == 0:
+			if err != io.EOF {
+				t.Errorf("offset 0: got %v, want io.EOF", err)
+			}
+		case err == nil:
+			t.Errorf("offset %d: truncated frame read cleanly", off)
+		case !errors.Is(err, io.ErrUnexpectedEOF):
+			t.Errorf("offset %d: got %v, want io.ErrUnexpectedEOF", off, err)
+		}
+	}
+}
+
+func TestFrameRejectsOversizedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 0x05, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(buf.Bytes())), 99); err == nil {
+		t.Fatal("payload above the cap accepted")
+	}
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(buf.Bytes())), 100); err != nil {
+		t.Fatalf("payload at the cap rejected: %v", err)
+	}
+}

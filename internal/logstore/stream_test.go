@@ -2,6 +2,7 @@ package logstore
 
 import (
 	"bytes"
+	"io"
 	"path/filepath"
 	"reflect"
 	"sync"
@@ -280,4 +281,93 @@ func (b *syncBuffer) Bytes() []byte {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.buf.Bytes()
+}
+
+// TestSpillStreamTruncation sweeps every possible truncation point of a
+// spill stream and pins the reader's contract at each: a stream cut inside
+// the header or inside a record must surface an error (never a panic, never
+// a silently short read), while a cut exactly on a record boundary reads as
+// a clean, shorter stream — the property that keeps a crashed shard's spill
+// usable up to its last durable record.
+func TestSpillStreamTruncation(t *testing.T) {
+	domains := []string{"a.example", "b.example", "c.example"}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 64, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// boundaries[i] is the offset at which exactly i records are durable.
+	var boundaries []int
+	mark := func() {
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, buf.Len())
+	}
+	mark() // header only: a valid, empty stream
+	sf := measure.NewBitset(64)
+	sf.Set(3)
+	sf.Set(40)
+	if err := w.Append(Observation{Case: measure.CaseDefault, Round: 0, Site: 0, Features: sf, Invocations: 5, Pages: 1}); err != nil {
+		t.Fatal(err)
+	}
+	mark()
+	if err := w.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	mark()
+	if err := w.EndSite(0); err != nil {
+		t.Fatal(err)
+	}
+	mark()
+	sf2 := measure.NewBitset(64)
+	sf2.Set(0)
+	if err := w.Append(Observation{Case: measure.CaseBlocking, Round: 1, Site: 2, Features: sf2, Invocations: 2, Pages: 1}); err != nil {
+		t.Fatal(err)
+	}
+	mark()
+
+	headerLen := boundaries[0]
+	records := map[int]int{} // boundary offset → records before it
+	for i, off := range boundaries {
+		records[off] = i
+	}
+
+	drain := func(s *SpillStream) (int, error) {
+		n := 0
+		for {
+			_, err := s.Next()
+			if err == io.EOF {
+				return n, nil
+			}
+			if err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+
+	total := buf.Len()
+	for off := 0; off <= total; off++ {
+		s, err := OpenSpills(bytes.NewReader(buf.Bytes()[:off]))
+		if off < headerLen {
+			if err == nil {
+				t.Errorf("offset %d: truncated header opened cleanly", off)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("offset %d: header unexpectedly unreadable: %v", off, err)
+		}
+		n, derr := drain(s)
+		if want, boundary := records[off]; boundary {
+			if derr != nil {
+				t.Errorf("offset %d (boundary): unexpected error after %d records: %v", off, n, derr)
+			} else if n != want {
+				t.Errorf("offset %d (boundary): read %d records, want %d", off, n, want)
+			}
+		} else if derr == nil {
+			t.Errorf("offset %d (mid-record): drained %d records with no error; truncation went undetected", off, n)
+		}
+	}
 }

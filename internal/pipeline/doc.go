@@ -36,4 +36,11 @@
 // geometry, and a spill-only run renders byte-identical reports.
 // TestPipelineMatchesSequential and TestSpillOnlyMatchesInMemory enforce
 // this.
+//
+// Two Config fields exist for the distributed protocol (internal/dist):
+// Sites restricts a run to a subset of site indices (a worker's lease) while
+// keeping the aggregate sized for the full site list, so disjoint subset
+// aggregates merge into exactly the full-run aggregate; Spill points every
+// shard at one externally owned spill writer — a worker's network stream —
+// instead of per-shard files.
 package pipeline

@@ -54,6 +54,12 @@ type Config struct {
 	// in-memory aggregate. logstore.ReadSpillFiles reassembles them into
 	// a full log; stats.FromSpills folds them into a warm aggregate.
 	SpillDir string
+	// Spill, when non-nil, is an externally owned spill writer shared by
+	// every shard in place of SpillDir's per-shard files. The engine
+	// flushes it but never closes it; the caller owns its lifecycle. This
+	// is how a distributed worker streams a lease's visits straight onto
+	// the wire (internal/dist) instead of into local files.
+	Spill *logstore.Writer
 	// SpillOnly drops the in-memory log: each shard folds its visits
 	// into a local mergeable stats.Aggregate (plus its spill file when
 	// SpillDir is set), the shard aggregates merge after the run, and
@@ -61,6 +67,12 @@ type Config struct {
 	// every aggregate statistic (and therefore every headline table) is
 	// identical to the in-memory run's.
 	SpillOnly bool
+	// Sites, when non-nil, restricts the survey to these site indices of
+	// the web (a distributed lease); nil crawls every site. The stats
+	// aggregate is still sized for the full site list, so subset
+	// aggregates from disjoint leases merge into exactly the full-run
+	// aggregate.
+	Sites []int
 	// Crawl carries the survey methodology (rounds, branch factor, page
 	// budget, cases, seed). Its Parallelism field is ignored; the
 	// pipeline's Shards × WorkersPerShard replaces it.
@@ -198,11 +210,30 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 		}
 	}
 
+	// Resolve the optional site subset (a distributed lease) up front so
+	// an out-of-range index fails the run before any crawling happens.
+	sites := e.Web.Sites
+	if cfg.Sites != nil {
+		sites = make([]*synthweb.Site, len(cfg.Sites))
+		for i, idx := range cfg.Sites {
+			if idx < 0 || idx >= len(e.Web.Sites) {
+				return nil, fmt.Errorf("pipeline: site index %d outside [0,%d)", idx, len(e.Web.Sites))
+			}
+			sites[i] = e.Web.Sites[idx]
+		}
+	}
+
 	// Optional spill: one streaming writer per shard, shared by the
 	// shard's workers, so partial results land on disk as visits
-	// complete instead of existing only in the aggregate.
+	// complete instead of existing only in the aggregate. An external
+	// cfg.Spill writer is shared by every shard and never closed here.
 	spills := make([]*logstore.Writer, cfg.Shards)
-	if cfg.SpillDir != "" {
+	ownSpills := false
+	if cfg.Spill != nil {
+		for s := range spills {
+			spills[s] = cfg.Spill
+		}
+	} else if cfg.SpillDir != "" {
 		if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
 			return nil, fmt.Errorf("pipeline: creating spill dir: %w", err)
 		}
@@ -216,6 +247,7 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 			}
 			spills[s] = w
 		}
+		ownSpills = true
 	}
 
 	// Each shard runs an independent worker pool. Workers surface
@@ -249,7 +281,7 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 				close(q)
 			}
 		}()
-		for _, site := range e.Web.Sites {
+		for _, site := range sites {
 			select {
 			case shardQueues[site.Index%cfg.Shards] <- site:
 			case <-ctx.Done():
@@ -261,12 +293,18 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 	feedWG.Wait()
 	crawlWG.Wait()
 
-	for _, w := range spills {
-		if w == nil {
-			continue
+	if ownSpills {
+		for _, w := range spills {
+			if w == nil {
+				continue
+			}
+			if err := w.Close(); err != nil {
+				errOnce.Do(func() { runErr = fmt.Errorf("pipeline: closing spill: %w", err) })
+			}
 		}
-		if err := w.Close(); err != nil {
-			errOnce.Do(func() { runErr = fmt.Errorf("pipeline: closing spill: %w", err) })
+	} else if cfg.Spill != nil {
+		if err := cfg.Spill.Flush(); err != nil {
+			errOnce.Do(func() { runErr = fmt.Errorf("pipeline: flushing spill: %w", err) })
 		}
 	}
 	if err := ctx.Err(); err != nil {

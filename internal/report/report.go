@@ -1,7 +1,3 @@
-// Package report renders the paper's tables and figures as text from
-// analysis results: the same rows and series the paper prints, regenerated
-// from measured data. Figures are rendered as aligned data series (and
-// simple ASCII plots) suitable for diffing against EXPERIMENTS.md.
 package report
 
 import (

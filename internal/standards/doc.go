@@ -1,0 +1,12 @@
+// Package standards catalogs the Web API standards studied in "Browser
+// Feature Usage on the Modern Web" (Snyder et al., IMC 2016).
+//
+// The paper identifies 74 Web API standards implemented in Firefox 46 plus a
+// catch-all Non-Standard bucket, for 75 categories covering 1,392
+// JavaScript-exposed features. This package embeds that catalog together
+// with the paper's per-standard ground truth (Table 2): instrumented feature
+// counts, default-case site counts on the Alexa 10k, block rates under
+// AdBlock Plus + Ghostery, and associated Firefox CVE counts. The synthetic
+// web generator consumes these values as calibration targets; the analysis
+// pipeline never reads them directly.
+package standards

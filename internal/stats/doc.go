@@ -20,10 +20,14 @@
 //
 // Aggregates merge: Merge folds another aggregate's tallies into this one,
 // which is how the pipeline combines per-shard aggregates after a
-// spill-only run and how a distributed deployment would combine the
-// aggregates remote shards report home. FromSpills replays spill streams
+// spill-only run and how the internal/dist coordinator combines the
+// per-lease aggregates remote workers stream home. FromSpills (and
+// FromSpillStream, the coordinator's entry point) replays spill streams
 // through the same AddVisit/EndSite path, so a crashed or remote shard's
-// spill file is exactly as good as its live aggregate.
+// spill data is exactly as good as its live aggregate. Merge is a pure
+// tally addition: merging two aggregates that both contain a site counts
+// the site twice, so distributed callers must merge each site's results
+// exactly once (dist commits each lease atomically, at most once).
 //
 // Feeding protocol: every completed visit is one AddVisit (or one Visit in
 // an Apply batch); a failed visit is an AddFailure; and once a site's last

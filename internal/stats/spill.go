@@ -27,6 +27,15 @@ func FromSpills(stdOf []standards.Abbrev, cases []measure.Case, paths ...string)
 		return nil, err
 	}
 	defer s.Close()
+	return FromSpillStream(stdOf, cases, s)
+}
+
+// FromSpillStream is FromSpills over an already opened stream: the form the
+// distributed coordinator uses to fold a completed lease's spill bytes —
+// streamed home by a remote worker — into a per-lease aggregate it then
+// merges into the survey total. The caller retains ownership of the stream
+// (and closes it).
+func FromSpillStream(stdOf []standards.Abbrev, cases []measure.Case, s *logstore.SpillStream) (*Aggregate, error) {
 	if len(stdOf) != s.NumFeatures() {
 		return nil, fmt.Errorf("stats: %d standards mappings for a %d-feature spill", len(stdOf), s.NumFeatures())
 	}

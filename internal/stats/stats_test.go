@@ -430,3 +430,46 @@ func TestUntrackedCaseQueries(t *testing.T) {
 		t.Error("HasCase misreports the tracked case set")
 	}
 }
+
+// TestMergeOverlappingSites pins what Merge does when both aggregates hold
+// the same site — the duplicate-lease shape a distributed coordinator
+// would feed it by merging a re-issued lease twice. The tallies are
+// per-site sums with no site identity attached, so the overlap
+// double-counts rather than deduplicating. That is by design (it keeps
+// Merge a pure tally addition), and it is exactly why internal/dist commits
+// each lease at most once and drops duplicate commits instead of leaning on
+// Merge to sort it out.
+func TestMergeOverlappingSites(t *testing.T) {
+	build := func() *Aggregate {
+		a, err := New(tConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf := measure.NewBitset(tNumFeatures)
+		sf.Set(0)
+		sf.Set(7)
+		if err := a.AddVisit(Visit{Case: measure.CaseDefault, Round: 0, Site: 5, Features: sf, Invocations: 10, Pages: 2}); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.EndSite(5); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	a, b := build(), build()
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := a.FeatureSites(measure.CaseDefault)
+	if fs[0] != 2 || fs[7] != 2 {
+		t.Errorf("overlapping site counted %d/%d times per feature; duplicate leases double-count (want 2/2)", fs[0], fs[7])
+	}
+	if got := a.MeasuredCount(); got != 2 {
+		t.Errorf("MeasuredCount = %d after overlapping merge; one physical site counts twice (want 2)", got)
+	}
+	inv, pages := a.Totals()
+	if inv != 20 || pages != 4 {
+		t.Errorf("Totals = (%d, %d) after overlapping merge; want doubled (20, 4)", inv, pages)
+	}
+}

@@ -1,21 +1,3 @@
-// Package webapi implements the browser simulator's Web API dispatch layer:
-// the analog of the JavaScript engine's prototype objects that Firefox
-// generates from its WebIDL files.
-//
-// Every corpus feature gets a slot on its interface's prototype. Script
-// execution calls methods and writes properties through Runtime, which
-// resolves the member along the inheritance chain and invokes the slot's
-// current implementation. The measuring extension instruments a page the
-// way the paper's extension does (§4.2):
-//
-//   - PatchMethod replaces a method slot with a wrapper that receives the
-//     original implementation as a closure, so pages cannot reach the
-//     unwrapped function (§4.2.1);
-//   - Watch registers a write observer on a property of a singleton object
-//     (window, document, navigator, ...), the analog of Firefox's
-//     non-standard Object.watch (§4.2.2). Properties of non-singleton
-//     objects cannot be watched, reproducing the measurement blind spot the
-//     paper documents.
 package webapi
 
 import (

@@ -1,0 +1,9 @@
+// Package webserver exposes the synthetic web to the browser simulator.
+//
+// Two fetch paths are provided. DirectFetcher resolves resources in-process
+// — the fast path the large-scale survey uses. Server + HTTPFetcher serve
+// the same web over a real net/http listener with host-based virtual
+// hosting, reproducing the paper's proxy architecture (every browser
+// request traverses an HTTP hop); the integration tests and one benchmark
+// exercise this path to keep the network stack honest.
+package webserver
