@@ -26,8 +26,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -84,14 +82,10 @@ func main() {
 			Analysis: analysis.New(log, study.Registry),
 		}
 	case *spillsGlob != "":
-		paths, err := filepath.Glob(*spillsGlob)
+		paths, err := core.SpillGlob(*spillsGlob)
 		if err != nil {
 			fatal(err)
 		}
-		if len(paths) == 0 {
-			fatal(fmt.Errorf("report: no spill files match %q", *spillsGlob))
-		}
-		sort.Strings(paths)
 		results, err = study.ResultsFromSpills(paths...)
 		if err != nil {
 			fatal(err)

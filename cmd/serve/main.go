@@ -1,0 +1,128 @@
+// Command serve runs the survey as a service: a resident HTTP server that
+// holds a warm aggregate and answers every analysis/report product without
+// the batch binaries' load-scan-exit cycle. It loads its aggregate from one
+// of three sources:
+//
+//   - -spills 'dir/*.spill'   cold-start from a spill-only run's shards
+//   - -load survey.log        cold-start from a saved log (format auto-detected)
+//   - -coordinator :9000      start empty and act as the distributed-survey
+//     coordinator: workers (pipeline -worker) stream lease commits in and
+//     the served tables fill in mid-survey
+//
+// Exactly one source is required. -sites/-seed must match the data, just
+// like cmd/report; in coordinator mode -rounds/-profile additionally pick
+// the survey the workers crawl (match them to the pipeline flags you would
+// have used).
+//
+// Usage:
+//
+//	serve -addr :8080 -sites 1000 -seed 42 -spills 'sp/*.spill'
+//	serve -addr :8080 -sites 1000 -seed 42 -load survey.log
+//	serve -addr :8080 -sites 1000 -seed 42 -coordinator :9000
+//
+// Endpoints: /api/top-features, /api/feature-deltas, /api/standards,
+// /api/headlines, /api/complexity, /api/rounds, /report, /healthz,
+// /statusz. See docs/OPERATIONS.md for the runbook.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/blocking"
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "HTTP listen address")
+		sites       = flag.Int("sites", 1000, "ranking size (must match the data)")
+		seed        = flag.Int64("seed", 42, "deterministic seed (must match the data)")
+		rounds      = flag.Int("rounds", 5, "visits per (site, configuration); crawled in coordinator mode, must match the survey that produced -spills/-load data")
+		profile     = flag.String("profile", "all", "blocking profile: none, adblock, ghostery, blocking, or all (must match the data / desired live survey)")
+		spillsGlob  = flag.String("spills", "", "load the aggregate from spill files matching this glob")
+		loadPath    = flag.String("load", "", "load the aggregate from this saved log file (format auto-detected)")
+		coordinator = flag.String("coordinator", "", "act as distributed-survey coordinator on this address; workers fill the served aggregate live")
+		leaseSites  = flag.Int("lease-sites", 64, "sites per lease in coordinator mode")
+		heartbeat   = flag.Duration("heartbeat", 10*time.Second, "worker heartbeat timeout in coordinator mode")
+	)
+	flag.Parse()
+
+	sources := 0
+	for _, s := range []string{*spillsGlob, *loadPath, *coordinator} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		fatal(fmt.Errorf("serve: exactly one of -spills, -load, -coordinator is required"))
+	}
+
+	prof, err := blocking.ParseProfile(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	study, err := core.NewStudy(core.Config{Sites: *sites, Seed: *seed, Rounds: *rounds, Cases: prof.Cases()})
+	if err != nil {
+		fatal(err)
+	}
+	defer study.Close()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+
+	var agg *stats.Aggregate
+	switch {
+	case *spillsGlob != "":
+		if agg, err = serve.LoadSpills(study, *spillsGlob); err != nil {
+			fatal(err)
+		}
+		logf("loaded aggregate from spills %q: %d/%d sites measured", *spillsGlob, agg.MeasuredCount(), agg.NumSites())
+	case *loadPath != "":
+		if agg, err = serve.LoadLog(study, *loadPath); err != nil {
+			fatal(err)
+		}
+		logf("loaded aggregate from log %q: %d/%d sites measured", *loadPath, agg.MeasuredCount(), agg.NumSites())
+	default:
+		if agg, err = serve.EmptyAggregate(study); err != nil {
+			fatal(err)
+		}
+	}
+
+	srv, err := serve.New(serve.Config{Study: study, Agg: agg, Logf: logf})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *coordinator != "" {
+		coord, err := srv.Coordinator(*coordinator, *leaseSites, *heartbeat)
+		if err != nil {
+			fatal(err)
+		}
+		logf("coordinator listening on %s (%d leases); serving fills in live", coord.Addr(), coord.Leases())
+		go func() {
+			if _, err := coord.Serve(context.Background()); err != nil {
+				logf("coordinator: %v", err)
+				os.Exit(1)
+			}
+			logf("survey complete: all leases merged")
+		}()
+	}
+
+	logf("query server listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -19,11 +19,13 @@ import (
 //     derived by scanning it ("cold"), and per-site queries
 //     (SiteStandards, VisitWeightedPopularity, HumanDelta) require it.
 //
-//   - Agg, a mergeable stats.Aggregate maintained incrementally while the
-//     survey ran (or folded from spill files). When present, every
-//     aggregate statistic is read from it directly — no rescan ("warm").
-//     With no Log alongside (a spill-only run), per-site queries
-//     degrade gracefully: they return nil.
+//   - Agg, a warm statistics source: a mergeable stats.Aggregate
+//     maintained incrementally while the survey ran (or folded from spill
+//     files), or an immutable stats.Snapshot of one (the query server's
+//     epoch read path). When present, every aggregate statistic is read
+//     from it directly — no rescan ("warm"). With no Log alongside (a
+//     spill-only run), per-site queries degrade gracefully: they return
+//     nil.
 //
 // Warm and cold construction produce identical results for every aggregate
 // method; the only documented difference is Complexity's element order
@@ -32,7 +34,7 @@ type Analysis struct {
 	Log *measure.Log
 	Reg *webidl.Registry
 	// Agg is the warm statistics source; nil for a purely cold analysis.
-	Agg *stats.Aggregate
+	Agg stats.Source
 
 	// stdOf[featureID] is the feature's standard, memoized.
 	stdOf []standards.Abbrev
@@ -50,24 +52,25 @@ func New(log *measure.Log, reg *webidl.Registry) *Analysis {
 	return newAnalysis(log, nil, reg)
 }
 
-// FromStats builds a warm analysis directly from a mergeable aggregate —
-// no log, no rescan. Aggregate methods match a cold analysis of the same
-// survey exactly; per-site methods return nil (reassemble the log from
-// spill files when they are needed).
-func FromStats(agg *stats.Aggregate, reg *webidl.Registry) *Analysis {
-	return newAnalysis(nil, agg, reg)
+// FromStats builds a warm analysis directly from a statistics source — a
+// live mergeable aggregate or an immutable snapshot — no log, no rescan.
+// Aggregate methods match a cold analysis of the same survey exactly;
+// per-site methods return nil (reassemble the log from spill files when
+// they are needed).
+func FromStats(src stats.Source, reg *webidl.Registry) *Analysis {
+	return newAnalysis(nil, src, reg)
 }
 
 // NewWarm builds an analysis with both sources: aggregate statistics come
-// from the warm aggregate, per-site queries from the log.
-func NewWarm(log *measure.Log, agg *stats.Aggregate, reg *webidl.Registry) *Analysis {
-	return newAnalysis(log, agg, reg)
+// from the warm source, per-site queries from the log.
+func NewWarm(log *measure.Log, src stats.Source, reg *webidl.Registry) *Analysis {
+	return newAnalysis(log, src, reg)
 }
 
-func newAnalysis(log *measure.Log, agg *stats.Aggregate, reg *webidl.Registry) *Analysis {
+func newAnalysis(log *measure.Log, src stats.Source, reg *webidl.Registry) *Analysis {
 	a := &Analysis{
 		Log:               log,
-		Agg:               agg,
+		Agg:               src,
 		Reg:               reg,
 		stdOf:             make([]standards.Abbrev, len(reg.Features)),
 		stdSitesCache:     make(map[measure.Case]map[standards.Abbrev]int),

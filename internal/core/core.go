@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"path/filepath"
+	"sort"
 
 	"repro/internal/alexa"
 	"repro/internal/analysis"
@@ -104,10 +106,10 @@ type Results struct {
 	// measurements live in Agg (and in spill files when SpillDir is set).
 	Log   *measure.Log
 	Stats *crawler.Stats
-	// Agg is the mergeable statistics aggregate maintained while the
-	// survey ran; nil for the sequential engine, which records straight
-	// into the log.
-	Agg      *stats.Aggregate
+	// Agg is the warm statistics source — the mergeable aggregate
+	// maintained while the survey ran, or an immutable snapshot of one;
+	// nil for the sequential engine, which records straight into the log.
+	Agg      stats.Source
 	Analysis *analysis.Analysis
 }
 
@@ -365,15 +367,31 @@ func (s *Study) CrawlSites(ctx context.Context, sites []int, spill io.Writer) er
 	return w.Close() // flushes; the engine never closes an external writer
 }
 
-// AggregateResults wraps a mergeable aggregate — a distributed
-// coordinator's merged total, or any spill-only product — in the Results
-// shape every report path consumes, with warm analysis attached.
-func (s *Study) AggregateResults(agg *stats.Aggregate) *Results {
+// AggregateResults wraps a warm statistics source — a distributed
+// coordinator's merged total, any spill-only product, or an epoch snapshot
+// served by the query server — in the Results shape every report path
+// consumes, with warm analysis attached.
+func (s *Study) AggregateResults(src stats.Source) *Results {
 	return &Results{
-		Stats:    pipeline.SurveyStats(agg, s.crawlConfig().PageSeconds),
-		Agg:      agg,
-		Analysis: analysis.FromStats(agg, s.Registry),
+		Stats:    pipeline.SurveyStats(src, s.crawlConfig().PageSeconds),
+		Agg:      src,
+		Analysis: analysis.FromStats(src, s.Registry),
 	}
+}
+
+// SpillGlob expands a spill-file glob in deterministic (sorted) order. A
+// pattern matching zero files is an error — rendering an empty report from
+// a typo'd glob helps nobody — as is a malformed pattern.
+func SpillGlob(pattern string) ([]string, error) {
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("core: bad spill glob %q: %w", pattern, err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("core: no spill files matched %q", pattern)
+	}
+	sort.Strings(paths)
+	return paths, nil
 }
 
 // ResultsFromSpills reconstructs a warm Results from a spill-only run's

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSpillGlob pins the shared -spills glob resolution, in particular the
+// zero-match case: a glob that matches nothing must be an error naming the
+// pattern (regression: cmd/report and cmd/serve exit non-zero instead of
+// rendering an empty survey), and matches must come back sorted so shard
+// merge order is deterministic.
+func TestSpillGlob(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"shard2.spill", "shard0.spill", "shard1.spill"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, err := SpillGlob(filepath.Join(dir, "*.spill"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		filepath.Join(dir, "shard0.spill"),
+		filepath.Join(dir, "shard1.spill"),
+		filepath.Join(dir, "shard2.spill"),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SpillGlob = %v, want sorted %v", got, want)
+	}
+
+	_, err = SpillGlob(filepath.Join(dir, "*.nope"))
+	if err == nil {
+		t.Fatal("SpillGlob accepted a glob matching nothing")
+	}
+	if !strings.Contains(err.Error(), "no spill files matched") || !strings.Contains(err.Error(), "*.nope") {
+		t.Errorf("zero-match error %q does not name the problem and pattern", err)
+	}
+
+	if _, err := SpillGlob("[bad"); err == nil {
+		t.Error("SpillGlob accepted a malformed pattern")
+	}
+}

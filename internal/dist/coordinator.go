@@ -50,6 +50,18 @@ type CoordinatorConfig struct {
 	// crashing lease (bad worker build, corrupt stream) into an error
 	// instead of an infinite requeue loop. Default 5.
 	MaxLeaseAttempts int
+	// Agg, when non-nil, is the merge target for committed leases instead
+	// of a coordinator-private aggregate. The query server passes its
+	// resident aggregate here so HTTP readers watch tables fill in
+	// mid-survey: every lease commit merges — and therefore publishes a
+	// fresh snapshot epoch — into the aggregate the server reads. It must
+	// describe the same study (NumFeatures, NumSites, Cases) and start
+	// with no open sites.
+	Agg *stats.Aggregate
+	// OnLeaseMerged, when non-nil, is called after each lease commit
+	// merges, with the number of merged leases so far and the total lease
+	// count. Called under the coordinator's lock; keep it quick.
+	OnLeaseMerged func(merged, total int)
 	// Logf, when non-nil, receives progress lines (worker arrivals, lease
 	// grants, requeues).
 	Logf func(format string, args ...any)
@@ -103,15 +115,27 @@ func Listen(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.NumSites <= 0 {
 		return nil, fmt.Errorf("dist: coordinator requires a positive site count")
 	}
-	agg, err := stats.New(stats.Config{
-		NumFeatures: cfg.NumFeatures,
-		NumSites:    cfg.NumSites,
-		Standards:   cfg.Standards,
-		Cases:       cfg.Cases,
-		Stripes:     1,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("dist: %w", err)
+	agg := cfg.Agg
+	if agg == nil {
+		var err error
+		agg, err = stats.New(stats.Config{
+			NumFeatures: cfg.NumFeatures,
+			NumSites:    cfg.NumSites,
+			Standards:   cfg.Standards,
+			Cases:       cfg.Cases,
+			Stripes:     1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dist: %w", err)
+		}
+	} else {
+		if agg.NumFeatures() != cfg.NumFeatures || agg.NumSites() != cfg.NumSites {
+			return nil, fmt.Errorf("dist: external aggregate is %d features × %d sites, survey is %d × %d",
+				agg.NumFeatures(), agg.NumSites(), cfg.NumFeatures, cfg.NumSites)
+		}
+		if n := agg.OpenSites(); n > 0 {
+			return nil, fmt.Errorf("dist: external aggregate has %d open sites", n)
+		}
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -350,6 +374,9 @@ func (c *Coordinator) mergeLease(id int, stream []byte) error {
 	}
 	c.completed[id] = true
 	c.cfg.Logf("dist: lease %d merged (%d/%d)", id, len(c.completed), len(c.leases))
+	if c.cfg.OnLeaseMerged != nil {
+		c.cfg.OnLeaseMerged(len(c.completed), len(c.leases))
+	}
 	if len(c.completed) == len(c.leases) {
 		close(c.allDone)
 	}

@@ -144,7 +144,7 @@ type Result struct {
 // SurveyStats summarizes a completed aggregate in the sequential crawler's
 // Stats shape (Table 1 of the paper). pageSeconds is the per-page
 // interaction budget.
-func SurveyStats(a *stats.Aggregate, pageSeconds float64) *crawler.Stats {
+func SurveyStats(a stats.Source, pageSeconds float64) *crawler.Stats {
 	inv, pages := a.Totals()
 	measured := a.MeasuredCount()
 	return &crawler.Stats{

@@ -1,0 +1,127 @@
+package serve_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+// benchClients is the concurrency the serve benchmarks drive: at least 100
+// in-flight HTTP clients, the acceptance bar for BENCH_serve.json.
+const benchClients = 128
+
+// benchServer builds a warm server over a synthetic survey (no crawling:
+// the benchmark measures the query path, not the browser).
+func benchServer(b *testing.B) (*httptest.Server, *stats.Aggregate) {
+	b.Helper()
+	study, err := core.NewStudy(core.Config{
+		Sites: 100, Seed: 7, Rounds: 2,
+		Cases: []measure.Case{measure.CaseDefault, measure.CaseBlocking},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { study.Close() })
+	agg, err := serve.EmptyAggregate(study)
+	if err != nil {
+		b.Fatal(err)
+	}
+	features := agg.NumFeatures()
+	for site := 0; site < agg.NumSites(); site++ {
+		sf := measure.NewBitset(features)
+		for f := site % features; f < features; f += 97 {
+			sf.Set(f)
+		}
+		for _, c := range []measure.Case{measure.CaseDefault, measure.CaseBlocking} {
+			if err := agg.AddVisit(stats.Visit{Case: c, Site: site, Features: sf, Invocations: 50, Pages: 8}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := agg.EndSite(site); err != nil {
+			b.Fatal(err)
+		}
+	}
+	agg.Publish()
+
+	srv, err := serve.New(serve.Config{Study: study, Agg: agg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	// Plenty of keep-alive connections so the 100+ clients aren't
+	// benchmarking connection setup.
+	ts.Client().Transport.(*http.Transport).MaxIdleConnsPerHost = benchClients
+	return ts, agg
+}
+
+func benchGet(b *testing.B, client *http.Client, url string) {
+	resp, err := client.Get(url)
+	if err != nil {
+		b.Error(err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkServeQueryCached is the steady-state read path: every request
+// after the first is an (epoch, key) cache hit, so an op is one HTTP round
+// trip plus a map read — the qps number a resident dashboard sees.
+func BenchmarkServeQueryCached(b *testing.B) {
+	ts, _ := benchServer(b)
+	url := ts.URL + "/api/top-features?n=25"
+	benchGet(b, ts.Client(), url) // warm the entry
+	b.SetParallelism((benchClients + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			benchGet(b, ts.Client(), url)
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+}
+
+// BenchmarkServeQueryUncached forces every request to re-render: each op
+// publishes a fresh epoch first, so the server rebuilds the epoch view
+// (warm analysis included) and renders the response from scratch — the
+// worst-case cost of an epoch advance under full concurrent load.
+func BenchmarkServeQueryUncached(b *testing.B) {
+	ts, agg := benchServer(b)
+	url := ts.URL + "/api/top-features?n=25"
+	b.SetParallelism((benchClients + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			agg.Publish()
+			benchGet(b, ts.Client(), url)
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+}
+
+// BenchmarkServeReportCached measures the heavyweight artifact on the hit
+// path: the full text report straight out of the cache.
+func BenchmarkServeReportCached(b *testing.B) {
+	ts, _ := benchServer(b)
+	url := ts.URL + "/report"
+	benchGet(b, ts.Client(), url)
+	b.SetParallelism((benchClients + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			benchGet(b, ts.Client(), url)
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+}

@@ -1,0 +1,30 @@
+// Package serve is the survey-as-a-service layer: a resident HTTP server
+// that holds a warm stats.Aggregate and answers every analysis/report
+// product at production rates, without the batch binaries' load-scan-exit
+// cycle.
+//
+// The read path is built on the aggregate's epoch snapshots
+// (stats.Snapshot): ingestion — lease commits from a live distributed
+// survey, or a one-time cold load from spill files or a saved log — keeps
+// mutating the lock-striped write side, while every HTTP request reads an
+// immutable snapshot reached by a single atomic load. Readers never take
+// the aggregate's locks, so thousands of in-flight queries cannot contend
+// with ingestion.
+//
+// On top of the snapshots sit two caches, both keyed by epoch so they
+// invalidate themselves the moment new data merges:
+//
+//   - an epoch view: the warm *analysis.Analysis (and Table 1 stats) built
+//     once per epoch and shared by every query of that epoch;
+//   - a query-result cache keyed by (epoch, normalized query): the
+//     rendered response bytes, so a repeated query is a map hit — query
+//     strings are normalized first (defaults filled, aliases resolved,
+//     params ordered), so /api/top-features?n=15&case=default and
+//     /api/top-features hit the same entry.
+//
+// Endpoints: /api/top-features, /api/feature-deltas, /api/standards,
+// /api/headlines, /api/complexity, /api/rounds (JSON), /report (the exact
+// text report cmd/report renders — byte-identical to a batch run over the
+// same data), and /healthz, /statusz for operators. cmd/serve is the
+// binary; docs/OPERATIONS.md the runbook.
+package serve

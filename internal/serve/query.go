@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/measure"
+)
+
+// maxRows caps the n= parameter: requests above it are clamped, which also
+// keeps cache keys canonical (n=501 and n=50000 are the same query).
+const maxRows = 500
+
+// queryParams is the canonical, normalized form of one API query. Two raw
+// query strings that mean the same thing normalize to identical params —
+// and therefore to identical cache keys.
+type queryParams struct {
+	// Case is the browser configuration a query reads (top-features) or
+	// compares against (standards' block rates).
+	Case measure.Case
+	// Blocked is the blocking-side case of a feature-deltas comparison,
+	// resolved from the profile= parameter.
+	Blocked measure.Case
+	// N is the row limit for table queries, in [1, maxRows].
+	N int
+}
+
+// endpointSpec says which parameters an endpoint takes and their defaults.
+type endpointSpec struct {
+	hasCase     bool
+	defaultCase measure.Case
+	hasProfile  bool
+	hasN        bool
+}
+
+// endpoints maps endpoint names (the path below /api/, plus "report") to
+// their parameter specs. Unknown query parameters are ignored: they are
+// not part of the canonical key.
+var endpoints = map[string]endpointSpec{
+	"top-features":   {hasCase: true, defaultCase: measure.CaseDefault, hasN: true},
+	"feature-deltas": {hasProfile: true, hasN: true},
+	"standards":      {hasCase: true, defaultCase: measure.CaseBlocking},
+	"headlines":      {},
+	"complexity":     {},
+	"rounds":         {},
+	"report":         {},
+}
+
+// parseCase resolves a case= value. Values are trimmed and lowercased, so
+// "Default" and " default " are the same case.
+func parseCase(v string) (measure.Case, error) {
+	switch c := measure.Case(strings.ToLower(strings.TrimSpace(v))); c {
+	case measure.CaseDefault, measure.CaseBlocking, measure.CaseAdBlock, measure.CaseGhostery:
+		return c, nil
+	default:
+		return "", fmt.Errorf("unknown case %q (want default, blocking, adblock, or ghostery)", v)
+	}
+}
+
+// parseProfile resolves a profile= value to its blocking-side case.
+// Aliases collapse: abp means the AdBlock Plus case however it is spelled.
+func parseProfile(v string) (measure.Case, error) {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "", "blocking", "combined", "both":
+		return measure.CaseBlocking, nil
+	case "abp", "adblock", "adblockplus":
+		return measure.CaseAdBlock, nil
+	case "ghostery", "tracker":
+		return measure.CaseGhostery, nil
+	default:
+		return "", fmt.Errorf("unknown profile %q (want abp, ghostery, or blocking)", v)
+	}
+}
+
+// normalizeQuery validates and normalizes one endpoint query: defaults are
+// filled in, aliases resolved, numbers clamped, unknown parameters
+// dropped. It returns the canonical cache key — normalizing the key's own
+// query string returns the same key, which is what makes (epoch, key)
+// cache entries collide exactly when two queries are equivalent.
+func normalizeQuery(endpoint string, raw url.Values) (key string, p queryParams, err error) {
+	spec, ok := endpoints[endpoint]
+	if !ok {
+		return "", p, fmt.Errorf("unknown endpoint %q", endpoint)
+	}
+	var parts []string
+	if spec.hasCase {
+		p.Case = spec.defaultCase
+		if v := raw.Get("case"); v != "" {
+			if p.Case, err = parseCase(v); err != nil {
+				return "", p, err
+			}
+		}
+		parts = append(parts, "case="+string(p.Case))
+	}
+	if spec.hasProfile {
+		if p.Blocked, err = parseProfile(raw.Get("profile")); err != nil {
+			return "", p, err
+		}
+		parts = append(parts, "profile="+string(p.Blocked))
+	}
+	if spec.hasN {
+		p.N = 15
+		if v := strings.TrimSpace(raw.Get("n")); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return "", p, fmt.Errorf("bad n %q (want a positive integer)", v)
+			}
+			p.N = n
+		}
+		if p.N > maxRows {
+			p.N = maxRows
+		}
+		parts = append(parts, "n="+strconv.Itoa(p.N))
+	}
+	sort.Strings(parts)
+	key = endpoint
+	if len(parts) > 0 {
+		key += "?" + strings.Join(parts, "&")
+	}
+	return key, p, nil
+}
+
+// cacheEntry is one rendered response.
+type cacheEntry struct {
+	body        []byte
+	contentType string
+}
+
+// queryCache memoizes rendered responses keyed by (epoch, canonical
+// query). It only ever holds entries for a single epoch: the first store
+// at a newer epoch drops everything older, which is the entire
+// invalidation story — epochs advance exactly when new data merges into
+// the aggregate.
+type queryCache struct {
+	mu      sync.RWMutex
+	epoch   uint64
+	entries map[string]cacheEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newQueryCache() *queryCache {
+	return &queryCache{entries: make(map[string]cacheEntry)}
+}
+
+func (c *queryCache) get(epoch uint64, key string) (cacheEntry, bool) {
+	c.mu.RLock()
+	e, ok := c.entries[key]
+	if c.epoch != epoch {
+		ok = false
+	}
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+func (c *queryCache) put(epoch uint64, key string, e cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch < c.epoch {
+		return // stale render raced a newer epoch; drop it
+	}
+	if epoch > c.epoch {
+		c.epoch = epoch
+		clear(c.entries)
+	}
+	c.entries[key] = e
+}
+
+// cacheStats is the /statusz view of the query cache.
+type cacheStats struct {
+	Hits    int64  `json:"hits"`
+	Misses  int64  `json:"misses"`
+	Entries int    `json:"entries"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+func (c *queryCache) stats() cacheStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return cacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: len(c.entries),
+		Epoch:   c.epoch,
+	}
+}

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/measure"
+)
+
+// TestNormalizeQuery pins the canonical-key contract: defaults fill in,
+// aliases and spellings collapse, unknown parameters drop out, and
+// equivalent raw queries produce identical keys.
+func TestNormalizeQuery(t *testing.T) {
+	cases := []struct {
+		name     string
+		endpoint string
+		raw      string
+		wantKey  string
+		wantErr  bool
+		check    func(t *testing.T, p queryParams)
+	}{
+		{
+			name: "defaults", endpoint: "top-features", raw: "",
+			wantKey: "top-features?case=default&n=15",
+			check: func(t *testing.T, p queryParams) {
+				if p.Case != measure.CaseDefault || p.N != 15 {
+					t.Errorf("defaults = %+v", p)
+				}
+			},
+		},
+		{
+			name: "explicit-equals-default", endpoint: "top-features", raw: "case=default&n=15",
+			wantKey: "top-features?case=default&n=15",
+		},
+		{
+			name: "case-folding-and-space", endpoint: "top-features", raw: "case=+Blocking+",
+			wantKey: "top-features?case=blocking&n=15",
+		},
+		{
+			name: "param-order-irrelevant", endpoint: "top-features", raw: "n=30&case=adblock",
+			wantKey: "top-features?case=adblock&n=30",
+		},
+		{
+			name: "unknown-params-dropped", endpoint: "top-features", raw: "utm_source=x&n=5",
+			wantKey: "top-features?case=default&n=5",
+		},
+		{
+			name: "n-clamped", endpoint: "top-features", raw: "n=100000",
+			wantKey: "top-features?case=default&n=500",
+			check: func(t *testing.T, p queryParams) {
+				if p.N != maxRows {
+					t.Errorf("N = %d, want clamp to %d", p.N, maxRows)
+				}
+			},
+		},
+		{name: "n-zero", endpoint: "top-features", raw: "n=0", wantErr: true},
+		{name: "n-negative", endpoint: "top-features", raw: "n=-2", wantErr: true},
+		{name: "n-garbage", endpoint: "top-features", raw: "n=ten", wantErr: true},
+		{name: "bad-case", endpoint: "top-features", raw: "case=nope", wantErr: true},
+		{
+			name: "profile-alias-abp", endpoint: "feature-deltas", raw: "profile=AdBlockPlus",
+			wantKey: "feature-deltas?n=15&profile=adblock",
+			check: func(t *testing.T, p queryParams) {
+				if p.Blocked != measure.CaseAdBlock {
+					t.Errorf("Blocked = %v", p.Blocked)
+				}
+			},
+		},
+		{
+			name: "profile-default", endpoint: "feature-deltas", raw: "",
+			wantKey: "feature-deltas?n=15&profile=blocking",
+		},
+		{name: "bad-profile", endpoint: "feature-deltas", raw: "profile=nope", wantErr: true},
+		{
+			name: "standards-defaults-blocking", endpoint: "standards", raw: "",
+			wantKey: "standards?case=blocking",
+		},
+		{name: "no-params", endpoint: "headlines", raw: "ignored=yes", wantKey: "headlines"},
+		{name: "report", endpoint: "report", raw: "", wantKey: "report"},
+		{name: "unknown-endpoint", endpoint: "nope", raw: "", wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw, err := url.ParseQuery(tc.raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key, p, err := normalizeQuery(tc.endpoint, raw)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("normalizeQuery accepted %q, key %q", tc.raw, key)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if key != tc.wantKey {
+				t.Errorf("key = %q, want %q", key, tc.wantKey)
+			}
+			if tc.check != nil {
+				tc.check(t, p)
+			}
+		})
+	}
+}
+
+// TestQueryCacheEpochs pins the single-epoch invalidation story: entries
+// live until the first store at a newer epoch, stale renders never land,
+// and hit/miss counters track lookups.
+func TestQueryCacheEpochs(t *testing.T) {
+	c := newQueryCache()
+	e1 := cacheEntry{body: []byte("one"), contentType: "text/plain"}
+
+	if _, ok := c.get(1, "k"); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	c.put(1, "k", e1)
+	if got, ok := c.get(1, "k"); !ok || string(got.body) != "one" {
+		t.Fatal("miss after put")
+	}
+	if _, ok := c.get(2, "k"); ok {
+		t.Fatal("epoch-1 entry served to an epoch-2 reader")
+	}
+
+	// A newer-epoch store drops every older entry.
+	c.put(2, "k2", cacheEntry{body: []byte("two")})
+	if _, ok := c.get(1, "k"); ok {
+		t.Fatal("stale entry survived the epoch advance")
+	}
+	if _, ok := c.get(2, "k2"); !ok {
+		t.Fatal("fresh entry missing after the epoch advance")
+	}
+
+	// A stale render arriving late must not clobber the fresh epoch.
+	c.put(1, "k", e1)
+	if _, ok := c.get(2, "k"); ok {
+		t.Fatal("stale render landed in a newer epoch")
+	}
+
+	st := c.stats()
+	if st.Epoch != 2 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want epoch 2 with 1 entry", st)
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("stats counters never moved: %+v", st)
+	}
+}
+
+// FuzzQueryParams throws arbitrary endpoint names and query strings at the
+// normalizer: it must never panic, and any accepted query's canonical key
+// must be a fixed point — normalizing the key's own query string returns
+// the identical key, the property that makes cache keys canonical.
+func FuzzQueryParams(f *testing.F) {
+	f.Add("top-features", "case=default&n=15")
+	f.Add("top-features", "n=999999&case=+GHOSTERY+")
+	f.Add("feature-deltas", "profile=AdBlockPlus")
+	f.Add("standards", "case=blocking&junk=1")
+	f.Add("headlines", "")
+	f.Add("report", "a=b&a=c")
+	f.Add("nope", "x=y")
+	f.Add("top-features", "n=+7+&case")
+	f.Fuzz(func(t *testing.T, endpoint, rawQuery string) {
+		raw, err := url.ParseQuery(rawQuery)
+		if err != nil {
+			return
+		}
+		key, _, err := normalizeQuery(endpoint, raw)
+		if err != nil {
+			return
+		}
+		ep, query, _ := strings.Cut(key, "?")
+		if ep != endpoint {
+			t.Fatalf("key %q does not start with its endpoint %q", key, endpoint)
+		}
+		reRaw, err := url.ParseQuery(query)
+		if err != nil {
+			t.Fatalf("canonical key %q has an unparsable query: %v", key, err)
+		}
+		again, _, err := normalizeQuery(endpoint, reRaw)
+		if err != nil {
+			t.Fatalf("canonical key %q was rejected on re-normalization: %v", key, err)
+		}
+		if again != key {
+			t.Fatalf("normalization is not a fixed point: %q → %q", key, again)
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/logstore"
+	"repro/internal/measure"
+	"repro/internal/standards"
+)
+
+// fuzzSpillBytes builds the seed corpus for FuzzFromSpillStream: a
+// well-formed stream, the same stream truncated mid-frame, and one with its
+// record frames duplicated (the shape a retried worker upload would
+// produce).
+func fuzzSpillBytes(f *testing.F) (full, headerOnly []byte) {
+	f.Helper()
+	domains := []string{"a.example", "b.example", "c.example"}
+
+	var hdr bytes.Buffer
+	w, err := logstore.NewWriter(&hdr, 64, domains)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	w, err = logstore.NewWriter(&buf, 64, domains)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sf := measure.NewBitset(64)
+	sf.Set(3)
+	sf.Set(17)
+	for site := 0; site < len(domains); site++ {
+		for round := 0; round < 2; round++ {
+			if err := w.Append(logstore.Observation{
+				Case: measure.CaseDefault, Round: round, Site: site,
+				Features: sf, Invocations: 5, Pages: 2,
+			}); err != nil {
+				f.Fatal(err)
+			}
+		}
+	}
+	w.Fail(1)
+	w.EndSite(0)
+	w.EndSite(1)
+	// site 2 is left open: EndOpenSites must fold it.
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes(), hdr.Bytes()
+}
+
+// FuzzFromSpillStream drives the lease-commit fold path — the bytes a
+// remote worker streams home — with arbitrary input: it must reject
+// corruption with an error, never panic, and never return an aggregate
+// with open sites.
+func FuzzFromSpillStream(f *testing.F) {
+	full, headerOnly := fuzzSpillBytes(f)
+	f.Add(full)
+	f.Add(headerOnly)
+	f.Add(full[:len(headerOnly)+3])                                        // truncated mid-frame
+	f.Add(full[:len(full)-2])                                              // truncated final frame
+	f.Add(append(append([]byte(nil), full...), full[len(headerOnly):]...)) // duplicated frames
+	f.Add([]byte{})
+
+	cases := []measure.Case{measure.CaseDefault, measure.CaseBlocking}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := logstore.OpenSpills(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting a corrupt header is fine; panicking is not
+		}
+		defer s.Close()
+		if s.NumFeatures() > 1<<12 || len(s.Domains()) > 1<<12 {
+			return // cap fuzz-inflated dimensions so allocations stay sane
+		}
+		stdOf := make([]standards.Abbrev, s.NumFeatures())
+		catalog := standards.Catalog()
+		for i := range stdOf {
+			stdOf[i] = catalog[i%len(catalog)].Abbrev
+		}
+		agg, err := FromSpillStream(stdOf, cases, s)
+		if err != nil {
+			return // rejecting corrupt frames is fine
+		}
+		if agg.OpenSites() != 0 {
+			t.Fatalf("FromSpillStream returned %d open sites", agg.OpenSites())
+		}
+		if agg.MeasuredCount() > len(s.Domains()) {
+			t.Fatalf("MeasuredCount %d exceeds the %d-site list", agg.MeasuredCount(), len(s.Domains()))
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/measure"
 	"repro/internal/standards"
@@ -57,6 +58,11 @@ type Config struct {
 	// aggregate into a full measure.Log. Costs O(cases × rounds × sites)
 	// memory; spill-only pipelines leave it off.
 	KeepLog bool
+	// PublishEvery, when positive, auto-publishes a fresh Snapshot after
+	// every N folded sites on the per-visit path (EndSite/Apply). Merge
+	// always publishes regardless; 0 leaves the per-visit path snapshot-
+	// free until someone calls Publish or Snapshot.
+	PublishEvery int
 	// Domains[siteIndex] is the site's domain; required with KeepLog
 	// (the log records domains), ignored otherwise.
 	Domains []string
@@ -140,6 +146,16 @@ type Aggregate struct {
 	features [][][]measure.Bitset
 	recorded []bool
 	failed   []bool
+
+	// Epoch-snapshot read path (snapshot.go). pubMu serializes snapshot
+	// publication with Merge, so every published snapshot reflects an
+	// integer number of completed merges; snap is the RCU pointer readers
+	// load lock-free; epochSeq (guarded by pubMu) numbers publications;
+	// endsSincePub (guarded by foldMu) drives Config.PublishEvery.
+	pubMu        sync.Mutex
+	snap         atomic.Pointer[Snapshot]
+	epochSeq     uint64
+	endsSincePub int
 }
 
 // New builds an aggregate for a study.
@@ -289,6 +305,7 @@ func (a *Aggregate) Apply(b Batch) error {
 		a.foldLocked(o)
 	}
 	a.foldMu.Unlock()
+	a.maybeAutoPublish(len(folds))
 	return nil
 }
 
@@ -341,6 +358,7 @@ func (a *Aggregate) EndOpenSites() {
 		a.foldLocked(o)
 	}
 	a.foldMu.Unlock()
+	a.maybeAutoPublish(len(folds))
 }
 
 func (a *Aggregate) applyVisitLocked(st *stripe, v Visit) {
@@ -652,13 +670,20 @@ func (a *Aggregate) Log() *measure.Log {
 }
 
 // Merge folds other into a: the mergeable-aggregate operation behind
-// spill-only shard merging and, eventually, distributed shards reporting
-// home. Both aggregates must describe the same study (features, sites,
-// cases, mode) and must have no open sites — end them first. Keep-log
-// merges additionally require the two grids to cover disjoint cells (the
+// spill-only shard merging and distributed shards reporting home. Both
+// aggregates must describe the same study (features, sites, cases, mode)
+// and must have no open sites — end them first. Keep-log merges
+// additionally require the two grids to cover disjoint cells (the
 // pipeline's site partitioning guarantees it); overlapping cells are
 // overwritten, not detected.
+//
+// Merges are serialized with each other and with snapshot publication, and
+// every successful merge publishes a fresh Snapshot — so concurrent readers
+// always observe the aggregate after a whole number of merges (a prefix of
+// the committed leases), never a torn intermediate state.
 func (a *Aggregate) Merge(other *Aggregate) error {
+	a.pubMu.Lock()
+	defer a.pubMu.Unlock()
 	if other.cfg.NumFeatures != a.cfg.NumFeatures || other.cfg.NumSites != a.cfg.NumSites {
 		return fmt.Errorf("stats: merging a %d-feature × %d-site aggregate into %d × %d",
 			other.cfg.NumFeatures, other.cfg.NumSites, a.cfg.NumFeatures, a.cfg.NumSites)
@@ -744,5 +769,6 @@ func (a *Aggregate) Merge(other *Aggregate) error {
 			a.failed[site] = a.failed[site] || other.failed[site]
 		}
 	}
+	a.publishLocked()
 	return nil
 }
