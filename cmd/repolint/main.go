@@ -1,0 +1,106 @@
+// Command repolint runs the repository's invariant analyzers
+// (internal/lint) over the tree and fails when any fire. It is the static
+// half of the determinism story: the end-to-end diff tests prove the logs
+// *were* byte-identical on the paths they exercised; repolint proves the
+// code *cannot* introduce the classic breakers — map-order output, wall
+// clock and global randomness in deterministic code, snapshot mutation,
+// leaked pooled pages, unchecked wire lengths — on any path, before a
+// single test runs.
+//
+// Usage:
+//
+//	repolint [packages...]             lint the given package patterns
+//	repolint                           lint ./...
+//	repolint -packages ./internal/dom  lint a subset (comma-separated;
+//	                                   combines with positional patterns)
+//	repolint -list                     print the analyzers and exit
+//
+// Exit status: 0 when clean, 1 when any analyzer fired, 2 when the tree
+// failed to load (parse or type error, go list failure).
+//
+// Suppress a finding with `//lint:allow <analyzer>` on, or on the line
+// above, the offending line — see internal/lint/doc.go for when that is
+// acceptable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// normalize lets `-packages internal/stats` mean the module's package
+// rather than a std-internal path: a bare pattern that names a directory
+// under the working tree gets the ./ prefix go list needs.
+func normalize(p string) string {
+	if strings.HasPrefix(p, ".") || strings.HasPrefix(p, "/") {
+		return p
+	}
+	dir := strings.TrimSuffix(strings.TrimSuffix(p, "..."), "/")
+	if dir == "" {
+		return "./" + p
+	}
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return "./" + p
+	}
+	return p
+}
+
+func main() {
+	var (
+		packages = flag.String("packages", "", "comma-separated package patterns to lint (incremental runs); combines with positional patterns; default ./...")
+		list     = flag.Bool("list", false, "list the analyzers in the suite and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if *packages != "" {
+		for _, p := range strings.Split(*packages, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				patterns = append(patterns, normalize(p))
+			}
+		}
+	}
+	for i, p := range patterns {
+		patterns[i] = normalize(p)
+	}
+
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	suite := lint.Suite()
+	for _, pkg := range pkgs {
+		for _, rule := range suite {
+			if !rule.Match(pkg.ImportPath) {
+				continue
+			}
+			diags, err := lint.RunAnalyzer(rule.Analyzer, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s) in %d package(s) checked\n", findings, len(pkgs))
+		os.Exit(1)
+	}
+}

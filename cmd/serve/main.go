@@ -20,6 +20,11 @@
 //	serve -addr :8080 -sites 1000 -seed 42 -load survey.log
 //	serve -addr :8080 -sites 1000 -seed 42 -coordinator :9000
 //
+// On SIGINT/SIGTERM the server stops accepting connections, drains
+// in-flight requests (bounded by -drain), cancels the coordinator so
+// workers see a clean close instead of a reset, and releases the study's
+// pooled runtimes before exiting.
+//
 // Endpoints: /api/top-features, /api/feature-deltas, /api/standards,
 // /api/headlines, /api/complexity, /api/rounds, /report, /healthz,
 // /statusz. See docs/OPERATIONS.md for the runbook.
@@ -27,10 +32,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/blocking"
@@ -40,6 +48,19 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run owns every resource the server acquires. It is the only function
+// allowed to return to main's os.Exit path, so each acquisition below is
+// paired with a defer (or handed to the drain sequence at the bottom) —
+// the unpaired-resource shape repolint's releasepair analyzer flags in
+// library code. The previous version called os.Exit from arbitrary
+// depths, skipping study.Close and leaving workers mid-lease on SIGTERM.
+func run() error {
 	var (
 		addr        = flag.String("addr", ":8080", "HTTP listen address")
 		sites       = flag.Int("sites", 1000, "ranking size (must match the data)")
@@ -51,6 +72,7 @@ func main() {
 		coordinator = flag.String("coordinator", "", "act as distributed-survey coordinator on this address; workers fill the served aggregate live")
 		leaseSites  = flag.Int("lease-sites", 64, "sites per lease in coordinator mode")
 		heartbeat   = flag.Duration("heartbeat", 10*time.Second, "worker heartbeat timeout in coordinator mode")
+		drain       = flag.Duration("drain", 10*time.Second, "how long to wait for in-flight requests on shutdown")
 	)
 	flag.Parse()
 
@@ -61,16 +83,19 @@ func main() {
 		}
 	}
 	if sources != 1 {
-		fatal(fmt.Errorf("serve: exactly one of -spills, -load, -coordinator is required"))
+		return fmt.Errorf("serve: exactly one of -spills, -load, -coordinator is required")
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	prof, err := blocking.ParseProfile(*profile)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	study, err := core.NewStudy(core.Config{Sites: *sites, Seed: *seed, Rounds: *rounds, Cases: prof.Cases()})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer study.Close()
 
@@ -82,47 +107,67 @@ func main() {
 	switch {
 	case *spillsGlob != "":
 		if agg, err = serve.LoadSpills(study, *spillsGlob); err != nil {
-			fatal(err)
+			return err
 		}
 		logf("loaded aggregate from spills %q: %d/%d sites measured", *spillsGlob, agg.MeasuredCount(), agg.NumSites())
 	case *loadPath != "":
 		if agg, err = serve.LoadLog(study, *loadPath); err != nil {
-			fatal(err)
+			return err
 		}
 		logf("loaded aggregate from log %q: %d/%d sites measured", *loadPath, agg.MeasuredCount(), agg.NumSites())
 	default:
 		if agg, err = serve.EmptyAggregate(study); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
 	srv, err := serve.New(serve.Config{Study: study, Agg: agg, Logf: logf})
 	if err != nil {
-		fatal(err)
+		return err
 	}
+
+	// errc collects the first fatal error from either long-running piece;
+	// buffered so neither goroutine blocks if the other loses the race.
+	errc := make(chan error, 2)
 
 	if *coordinator != "" {
 		coord, err := srv.Coordinator(*coordinator, *leaseSites, *heartbeat)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		logf("coordinator listening on %s (%d leases); serving fills in live", coord.Addr(), coord.Leases())
 		go func() {
-			if _, err := coord.Serve(context.Background()); err != nil {
-				logf("coordinator: %v", err)
-				os.Exit(1)
+			if _, err := coord.Serve(ctx); err != nil {
+				errc <- fmt.Errorf("coordinator: %w", err)
+				return
 			}
 			logf("survey complete: all leases merged")
 		}()
 	}
 
-	logf("query server listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		fatal(err)
-	}
-}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		logf("query server listening on %s", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	var runErr error
+	select {
+	case <-ctx.Done():
+		logf("shutdown signal received; draining for up to %s", *drain)
+	case runErr = <-errc:
+	}
+	stop() // cancels ctx: the coordinator's Serve unwinds its listener and leases
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		httpSrv.Close()
+		if runErr == nil {
+			runErr = fmt.Errorf("drain: %w", err)
+		}
+	}
+	return runErr
 }

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcBody is one analyzable function: a declaration or a function
+// literal. Analyzers that reason about control flow (releasepair) treat
+// each literal as its own function — an acquisition inside a closure must
+// be balanced inside that closure's dynamic extent, not its parent's.
+type funcBody struct {
+	node ast.Node // *ast.FuncDecl or *ast.FuncLit
+	body *ast.BlockStmt
+}
+
+// functions returns every function declaration and function literal in
+// the file, outermost first.
+func functions(f *ast.File) []funcBody {
+	var out []funcBody
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, funcBody{node: fn, body: fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcBody{node: fn, body: fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+// unwrap strips parens, type conversions to basic/named types, and type
+// assertions, returning the expression that produces the value.
+func unwrap(info *types.Info, e ast.Expr) ast.Expr {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.TypeAssertExpr:
+			e = v.X
+		case *ast.CallExpr:
+			// A conversion parses as a call with exactly one
+			// argument whose "function" is a type.
+			if len(v.Args) == 1 {
+				if tv, ok := info.Types[v.Fun]; ok && tv.IsType() {
+					e = v.Args[0]
+					continue
+				}
+			}
+			return e
+		default:
+			return e
+		}
+	}
+}
+
+// identObj resolves an identifier expression to its object, or nil.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package-level function or method), or nil for builtins, conversions,
+// and calls of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	fnObj, _ := info.Uses[id].(*types.Func)
+	return fnObj
+}
+
+// namedType returns the named type behind t, unwrapping pointers and
+// aliases, or nil.
+func namedType(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// containsIdentObj reports whether obj is referenced anywhere inside n.
+func containsIdentObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

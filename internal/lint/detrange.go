@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detrange flags `range` over a map in a deterministic package when the
+// iteration's results flow — in map order — into something
+// order-sensitive: an append to a slice that outlives the loop, or bytes
+// written to an output (fmt.Fprintf, Writer.WriteString, ...). Go
+// randomizes map iteration order per run, so such a loop is the classic
+// silent killer of byte-identical logs: it passes every test until two
+// runs happen to iterate differently.
+//
+// The sanctioned idioms are recognized and not flagged:
+//
+//   - drain-then-sort: append the keys (or values) to a slice inside the
+//     loop, then sort that slice later in the same function before use;
+//   - commutative folds: loops whose body only does order-insensitive
+//     writes (counter increments, map inserts, sum accumulation) have no
+//     order-sensitive sink and never trigger.
+//
+// A loop whose nondeterministic order is genuinely fine (e.g. the slice
+// is used as an unordered work pool) escapes with `//lint:allow detrange`.
+var Detrange = &Analyzer{
+	Name: "detrange",
+	Doc:  "flag map iteration whose order reaches logs, reports, or appends without an intervening sort",
+	Run:  runDetrange,
+}
+
+// detrangeWriterMethods are method names whose call inside a map-range
+// body means bytes are being emitted in iteration order.
+var detrangeWriterMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+// detrangeFmtSinks are fmt functions that emit directly to an output in
+// call order. (Sprintf and friends build values; those only matter if the
+// value is then appended or written, which the other sinks catch.)
+var detrangeFmtSinks = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runDetrange(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fn := range functions(f) {
+			checkDetrangeFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkDetrangeFunc(pass *Pass, fn funcBody) {
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != fn.node {
+			return false // literals are analyzed as their own functions
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok || !isMapType(tv.Type) {
+			return true
+		}
+		checkMapRange(pass, fn, rng)
+		return true
+	})
+}
+
+func checkMapRange(pass *Pass, fn funcBody, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			// A nested map range reports on its own; don't double up.
+			if tv, ok := info.Types[s.X]; ok && isMapType(tv.Type) && s != rng {
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(info, call) || i >= len(s.Lhs) {
+					continue
+				}
+				dest := identObj(info, ast.Unparen(s.Lhs[i]))
+				if dest == nil {
+					// Append into a field or element
+					// (x.f = append(x.f, ...)): outlives the loop
+					// and cannot be tracked to a later sort.
+					pass.Reportf(call.Pos(),
+						"append inside range over map %s: iteration order is random and the destination cannot be sorted here; drain into a local slice and sort it",
+						exprString(rng.X))
+					continue
+				}
+				if dest.Pos() >= rng.Body.Pos() && dest.Pos() <= rng.Body.End() {
+					continue // loop-local slice: order scoped to one iteration
+				}
+				if !sortedAfter(info, fn, rng, dest) {
+					pass.Reportf(call.Pos(),
+						"appending to %s while ranging over map %s without a later sort: iteration order is random and will break byte-identical output (sort %s before use, or //lint:allow detrange)",
+						dest.Name(), exprString(rng.X), dest.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if fnObj := calleeFunc(info, s); fnObj != nil && fnObj.Pkg() != nil {
+				if fnObj.Pkg().Path() == "fmt" && detrangeFmtSinks[fnObj.Name()] {
+					pass.Reportf(s.Pos(),
+						"fmt.%s inside range over map %s emits in random iteration order; sort the keys first",
+						fnObj.Name(), exprString(rng.X))
+					return true
+				}
+				if sig, ok := fnObj.Type().(*types.Signature); ok && sig.Recv() != nil && detrangeWriterMethods[fnObj.Name()] {
+					pass.Reportf(s.Pos(),
+						"%s call inside range over map %s writes bytes in random iteration order; sort the keys first",
+						fnObj.Name(), exprString(rng.X))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinAppend reports whether the call is the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether the slice object is passed to a sort —
+// sort.Strings, sort.Ints, sort.Slice, slices.Sort* — anywhere after the
+// range statement in the enclosing function. Lexical position is the
+// right notion here: the drain-then-sort idiom always sorts downstream of
+// the loop in straight-line code.
+func sortedAfter(info *types.Info, fn funcBody, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fnObj := calleeFunc(info, call)
+		if fnObj == nil || fnObj.Pkg() == nil {
+			return true
+		}
+		pkg := fnObj.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if containsIdentObj(info, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders a short expression for diagnostics.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	case *ast.ParenExpr:
+		return exprString(v.X)
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis.Analyzer (Name, Doc, Run over a Pass) so
+// the checks can migrate to the upstream driver wholesale if the x/tools
+// dependency ever lands; until then the driver in this package is a
+// self-contained stdlib-only reimplementation of the subset we need.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name>` suppression directives. Lower-case, no
+	// spaces.
+	Name string
+	// Doc is the one-paragraph description `repolint -help` prints.
+	Doc string
+	// Run inspects one type-checked package and reports findings via
+	// Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding: a position and a message, already attributed
+// to the analyzer that produced it.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzer runs one analyzer over one type-checked package and returns
+// its findings with `//lint:allow <name>` suppressions already filtered
+// out and the remainder sorted by position. This is the single entry point
+// both the repolint driver and the linttest fixture runner use, so the
+// suppression semantics can never diverge between CI and the analyzer's
+// own tests.
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	allowed := allowedLines(a.Name, fset, files)
+	var out []Diagnostic
+	for _, d := range pass.diags {
+		if allowed[lineKey{d.Pos.Filename, d.Pos.Line}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Pos.Column < out[j].Pos.Column
+	})
+	return out, nil
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// allowedLines collects the lines suppressed for the named analyzer: a
+// `//lint:allow <name>` comment silences findings on its own line and on
+// the line directly below it (so the directive can sit either at the end
+// of the offending line or on its own line above it). `//lint:allow all`
+// silences every analyzer — reserve it for generated code.
+func allowedLines(name string, fset *token.FileSet, files []*ast.File) map[lineKey]bool {
+	allowed := make(map[lineKey]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+				match := false
+				for _, n := range strings.Fields(rest) {
+					if n == name || n == "all" {
+						match = true
+					}
+				}
+				if !match {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				allowed[lineKey{pos.Filename, pos.Line}] = true
+				allowed[lineKey{pos.Filename, pos.Line + 1}] = true
+			}
+		}
+	}
+	return allowed
+}
+
+// DeterministicPackages lists the packages whose execution must be
+// byte-reproducible from the survey seed alone: everything on the path
+// from site generation through page load, script execution, monkey
+// testing, and measurement to the log record. detrange and nowrand only
+// fire inside these packages — a heartbeat in dist or an uptime counter
+// in serve is allowed to look at the clock.
+var DeterministicPackages = []string{
+	"blocking",
+	"browser",
+	"crawler",
+	"dom",
+	"extension",
+	"gremlins",
+	"measure",
+	"synthweb",
+	"webapi",
+	"webscript",
+}
+
+// Rule binds an analyzer to the set of packages it applies to. The
+// package filter lives here in the suite, not inside the analyzers:
+// an analyzer checks whatever package it is handed (which is what lets
+// the fixture tests drive them directly), and the suite decides where
+// each invariant holds.
+type Rule struct {
+	Analyzer *Analyzer
+	// Match reports whether the analyzer applies to the package with
+	// this import path.
+	Match func(pkgPath string) bool
+}
+
+func matchBase(bases ...string) func(string) bool {
+	set := make(map[string]bool, len(bases))
+	for _, b := range bases {
+		set[b] = true
+	}
+	return func(pkgPath string) bool { return set[path.Base(pkgPath)] }
+}
+
+func matchAll(string) bool { return true }
+
+// Suite returns the repository's analyzer suite: every analyzer paired
+// with the packages its invariant governs.
+func Suite() []Rule {
+	deterministic := matchBase(DeterministicPackages...)
+	return []Rule{
+		{Analyzer: Detrange, Match: deterministic},
+		{Analyzer: Nowrand, Match: deterministic},
+		// The snapshot type's home package is the one place allowed to
+		// build (and therefore write) snapshots.
+		{Analyzer: Snapmut, Match: func(p string) bool { return path.Base(p) != "stats" }},
+		{Analyzer: Releasepair, Match: matchAll},
+		{Analyzer: Framecap, Match: matchBase("logstore", "dist")},
+	}
+}
+
+// Analyzers returns every analyzer in the suite, for -help listings.
+func Analyzers() []*Analyzer {
+	var out []*Analyzer
+	seen := make(map[string]bool)
+	for _, r := range Suite() {
+		if !seen[r.Analyzer.Name] {
+			seen[r.Analyzer.Name] = true
+			out = append(out, r.Analyzer)
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// The fixture suites are the analyzers' specification: every `// want`
+// line must fire, every unannotated line must stay quiet, and the
+// allow.go files prove `//lint:allow` suppression end to end (the
+// directive path runs through lint.RunAnalyzer — the same code CI runs).
+
+func TestDetrange(t *testing.T) {
+	linttest.Run(t, lint.Detrange, "testdata/src", "detrange")
+}
+
+func TestNowrand(t *testing.T) {
+	linttest.Run(t, lint.Nowrand, "testdata/src", "nowrand")
+}
+
+func TestSnapmut(t *testing.T) {
+	linttest.Run(t, lint.Snapmut, "testdata/src", "snapmut")
+}
+
+func TestReleasepair(t *testing.T) {
+	linttest.Run(t, lint.Releasepair, "testdata/src", "releasepair")
+}
+
+func TestFramecap(t *testing.T) {
+	linttest.Run(t, lint.Framecap, "testdata/src", "framecap")
+}
+
+// TestSuiteRulesCoverDeterministicPackages pins the suite wiring: the
+// determinism analyzers fire exactly on the deterministic packages, the
+// snapshot analyzer everywhere but stats, the decoder analyzer on the
+// wire packages.
+func TestSuiteRulesCoverDeterministicPackages(t *testing.T) {
+	byName := make(map[string]lint.Rule)
+	for _, r := range lint.Suite() {
+		byName[r.Analyzer.Name] = r
+	}
+	if len(byName) != 5 {
+		t.Fatalf("suite has %d analyzers, want 5", len(byName))
+	}
+	cases := []struct {
+		analyzer string
+		pkg      string
+		want     bool
+	}{
+		{"detrange", "repro/internal/dom", true},
+		{"detrange", "repro/internal/crawler", true},
+		{"detrange", "repro/internal/serve", false},
+		{"detrange", "repro/internal/report", false},
+		{"nowrand", "repro/internal/synthweb", true},
+		{"nowrand", "repro/internal/dist", false},
+		{"snapmut", "repro/internal/serve", true},
+		{"snapmut", "repro/internal/stats", false},
+		{"releasepair", "repro/internal/crawler", true},
+		{"releasepair", "repro/cmd/serve", true},
+		{"framecap", "repro/internal/logstore", true},
+		{"framecap", "repro/internal/dist", true},
+		{"framecap", "repro/internal/browser", false},
+	}
+	for _, c := range cases {
+		r, ok := byName[c.analyzer]
+		if !ok {
+			t.Fatalf("suite is missing analyzer %q", c.analyzer)
+		}
+		if got := r.Match(c.pkg); got != c.want {
+			t.Errorf("%s.Match(%q) = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+}
+
+// TestLoadTypesRealPackage smokes the go-list/export-data loader against
+// a real module package.
+func TestLoadTypesRealPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loader invokes go list")
+	}
+	pkgs, err := lint.Load(".", "repro/internal/measure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "repro/internal/measure" {
+		t.Fatalf("loaded %v, want exactly repro/internal/measure", pkgs)
+	}
+	p := pkgs[0]
+	if p.Types == nil || p.Types.Scope().Lookup("Bitset") == nil {
+		t.Fatalf("measure.Bitset not in loaded package scope")
+	}
+	if len(p.Files) == 0 || len(p.TypesInfo.Types) == 0 {
+		t.Fatalf("loaded package has no parsed files or type info")
+	}
+}
+
+// TestTreeIsClean is the acceptance gate in test form: the full suite
+// over the whole module reports nothing. A regression that reintroduces
+// a map-range log path, a wall-clock read in deterministic code, a
+// snapshot mutation, a leaked page, or an unchecked wire length fails
+// this test even before the CI lint job runs repolint.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	pkgs, err := lint.Load(".", "repro/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; pattern repro/... should cover the tree", len(pkgs))
+	}
+	var sb strings.Builder
+	for _, pkg := range pkgs {
+		for _, rule := range lint.Suite() {
+			if !rule.Match(pkg.ImportPath) {
+				continue
+			}
+			diags, err := lint.RunAnalyzer(rule.Analyzer, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range diags {
+				sb.WriteString(d.Pos.String() + ": " + d.Analyzer + ": " + d.Message + "\n")
+			}
+		}
+	}
+	if sb.Len() > 0 {
+		t.Errorf("repolint suite found violations in the tree:\n%s", sb.String())
+	}
+}

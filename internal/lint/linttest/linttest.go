@@ -1,0 +1,305 @@
+// Package linttest drives a lint.Analyzer over an annotated fixture
+// package, in the style of golang.org/x/tools/go/analysis/analysistest:
+// fixture sources live under testdata/src/<pkg>, and every line where the
+// analyzer must fire carries a `// want "regexp"` comment (several
+// patterns per line are allowed). The runner fails the test when a
+// diagnostic appears on an unannotated line, when an annotation goes
+// unmatched, or when a message does not match its pattern.
+//
+// Because `//lint:allow` filtering happens inside lint.RunAnalyzer — the
+// same entry point cmd/repolint uses — a fixture line carrying both a
+// violation and an allow directive (and no want annotation) exercises the
+// suppression path exactly as CI would see it.
+//
+// Fixture packages may import the standard library (resolved through the
+// toolchain's export data) and sibling fixture packages under the same
+// testdata/src root (type-checked from source), so a fixture can mirror
+// real shapes like a stats.Snapshot without depending on the real tree.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Run checks the analyzer against the fixture package at srcRoot/pkg.
+func Run(t *testing.T, a *lint.Analyzer, srcRoot, pkg string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{root: srcRoot, fset: fset, pkgs: make(map[string]*types.Package)}
+	files, _, info, err := ld.check(pkg)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkg, err)
+	}
+	tpkg := ld.pkgs[pkg]
+
+	diags, err := lint.RunAnalyzer(a, fset, files, tpkg, info)
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, pkg, err)
+	}
+
+	wants, err := parseWants(fset, files)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", pkg, err)
+	}
+	compare(t, a.Name, diags, wants)
+}
+
+// want is one expectation: a pattern at a file:line.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts `// want "re" ["re" ...]` annotations.
+func parseWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				n := 0
+				for rest != "" {
+					if rest[0] != '"' && rest[0] != '`' {
+						return nil, fmt.Errorf("%s: malformed want annotation %q", pos, c.Text)
+					}
+					lit, remainder, err := cutQuoted(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s: %v", pos, err)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, lit, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+					rest = strings.TrimSpace(remainder)
+					n++
+				}
+				if n == 0 {
+					return nil, fmt.Errorf("%s: want annotation with no patterns", pos)
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// cutQuoted splits one Go string literal off the front of s.
+func cutQuoted(s string) (lit, rest string, err error) {
+	if s[0] == '`' {
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated raw string in want annotation")
+		}
+		return s[1 : 1+end], s[end+2:], nil
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			unq, err := strconv.Unquote(s[:i+1])
+			return unq, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string in want annotation")
+}
+
+func compare(t *testing.T, name string, diags []lint.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s: %s", name, d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: expected diagnostic matching %q at %s:%d, got none", name, w.pattern, w.file, w.line)
+		}
+	}
+}
+
+// fixtureLoader type-checks fixture packages, resolving sibling fixture
+// imports from source and everything else through the toolchain's export
+// data.
+type fixtureLoader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*types.Package
+	std  types.ImporterFrom
+}
+
+func (ld *fixtureLoader) Import(path string) (*types.Package, error) {
+	return ld.ImportFrom(path, "", 0)
+}
+
+func (ld *fixtureLoader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	if fi, err := os.Stat(filepath.Join(ld.root, path)); err == nil && fi.IsDir() {
+		_, _, _, err := ld.check(path)
+		return ld.pkgs[path], err
+	}
+	if ld.std == nil {
+		std, err := stdImporter(ld.fset, ld.root)
+		if err != nil {
+			return nil, err
+		}
+		ld.std = std
+	}
+	return ld.std.ImportFrom(path, dir, mode)
+}
+
+// check parses and type-checks one fixture package.
+func (ld *fixtureLoader) check(pkg string) ([]*ast.File, *types.Package, *types.Info, error) {
+	dir := filepath.Join(ld.root, pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	conf := types.Config{Importer: ld, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	info := lint.NewTypesInfo()
+	tpkg, err := conf.Check(pkg, ld.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking %s: %w", pkg, err)
+	}
+	ld.pkgs[pkg] = tpkg
+	return files, tpkg, info, nil
+}
+
+// stdImporter builds an export-data importer covering every non-fixture
+// import mentioned anywhere under the fixture root: one `go list -deps
+// -export` invocation compiles (or pulls from the build cache) export
+// data for the transitive closure.
+func stdImporter(fset *token.FileSet, root string) (types.ImporterFrom, error) {
+	need, err := externalImports(root)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	if len(need) > 0 {
+		args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, need...)
+		cmd := exec.Command("go", args...)
+		out, err := cmd.Output()
+		if err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(need, " "), err, ee.Stderr)
+			}
+			return nil, err
+		}
+		type listed struct {
+			ImportPath string
+			Export     string
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listed
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("linttest: no export data for %q (fixture imports must be std or sibling fixtures)", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom), nil
+}
+
+// externalImports scans every fixture file under root and returns the
+// sorted set of imports that are not sibling fixture packages.
+func externalImports(root string) ([]string, error) {
+	seen := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if fi, err := os.Stat(filepath.Join(root, p)); err == nil && fi.IsDir() {
+				continue // sibling fixture
+			}
+			seen[p] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nowrand bans ambient nondeterminism — the wall clock and the global
+// math/rand source — inside the deterministic packages. Every visit must
+// replay bit-for-bit from the survey seed, so randomness must flow through
+// an explicitly seeded *rand.Rand and time must be the simulated page
+// clock, never the host's.
+//
+// Allowed:
+//   - rand.New, rand.NewSource, rand.NewZipf — constructing a seeded
+//     generator is the sanctioned idiom (rng := rand.New(rand.NewSource(seed))).
+//   - Methods on a *rand.Rand value (rng.Intn, rng.Float64, ...): those
+//     draw from the seeded stream.
+//
+// Flagged:
+//   - time.Now, time.Since: wall-clock reads.
+//   - Package-level math/rand draws (rand.Intn, rand.Float64,
+//     rand.Shuffle, rand.Perm, rand.Seed, rand.Read, ...): those hit the
+//     process-global source, which is shared across goroutines and seeded
+//     once per process — two runs of the same survey diverge.
+//
+// Genuinely wall-clock code (a heartbeat, a progress log) escapes with
+// `//lint:allow nowrand` on or above the offending line.
+var Nowrand = &Analyzer{
+	Name: "nowrand",
+	Doc:  "flag time.Now/time.Since and global math/rand draws in deterministic packages",
+	Run:  runNowrand,
+}
+
+// nowrandAllowedRand are the math/rand package-level functions that do not
+// draw from the global source.
+var nowrandAllowedRand = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runNowrand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			// Methods (receiver != nil) are fine: rng.Intn draws from
+			// the seeded stream, not the global source.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" || fn.Name() == "Since" {
+					pass.Reportf(call.Pos(),
+						"call to time.%s in a deterministic package: visits must replay from the seed alone (thread a simulated clock, or //lint:allow nowrand for genuine wall-clock code)",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !nowrandAllowedRand[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"call to rand.%s draws from the process-global source: use a seeded *rand.Rand (rng := rand.New(rand.NewSource(seed)))",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Releasepair flags functions that obtain a pooled resource — a page from
+// Browser.Load, or a value from a sync.Pool's Get — and have a return
+// path on which the resource is never handed back. Since PR 4 pages and
+// runtimes are pool-recycled; a Load without a matching Release doesn't
+// crash, it silently degrades the fast path back to cold allocations (and
+// a runtime that never returns to the pool never gets its counters
+// recycled), so the leak only shows up as a perf regression long after
+// the commit that introduced it.
+//
+// For each acquisition `v := b.Load(...)` / `v := pool.Get()` the
+// function is clean when any of these hold:
+//
+//   - a deferred release covers every path: `defer b.Release(v)` (or a
+//     deferred closure that releases v);
+//   - ownership escapes: v is returned, stored into a field, global,
+//     map, or slice element, sent on a channel, or handed to a goroutine
+//     — some other code is now responsible for it;
+//   - every return after the acquisition is preceded by a release on the
+//     straight-line path (the analyzer checks lexically: a return between
+//     the acquisition and the first release is a leak, except returns
+//     inside an `if` guarding the acquisition's own error — on the error
+//     path Load returns no page to release).
+//
+// The lexical check is an approximation: it catches the
+// early-return-between-Load-and-Release class (the bug PR 4 made
+// possible) and accepts the two idioms the tree actually uses (defer, and
+// release-before-every-exit). A function with genuinely exotic flow can
+// `//lint:allow releasepair` with a comment saying who releases.
+var Releasepair = &Analyzer{
+	Name: "releasepair",
+	Doc:  "flag return paths that leak a pooled page/runtime obtained from Browser.Load or pool.Get",
+	Run:  runReleasepair,
+}
+
+// releaseFuncNames are callee names that hand a pooled resource back.
+var releaseFuncNames = map[string]bool{"Release": true, "Put": true}
+
+func runReleasepair(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fn := range functions(f) {
+			checkReleasepairFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// acquisition is one pooled-resource obtain site inside a function.
+type acquisition struct {
+	obj    types.Object // the variable bound to the resource
+	pos    token.Pos    // position of the acquiring call
+	what   string       // "Browser.Load" or "Pool.Get"
+	errObj types.Object // the error bound in the same assignment, if any
+}
+
+func checkReleasepairFunc(pass *Pass, fn funcBody) {
+	info := pass.TypesInfo
+	var acqs []acquisition
+
+	// Collect acquisitions belonging to this function (not to nested
+	// literals — those are their own functions).
+	inspectOwn(fn, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return
+		}
+		call, what := acquiringCall(info, as.Rhs[0])
+		if call == nil || len(as.Lhs) == 0 {
+			return
+		}
+		obj := identObj(info, ast.Unparen(as.Lhs[0]))
+		if obj == nil || obj.Name() == "_" {
+			return
+		}
+		acq := acquisition{obj: obj, pos: call.Pos(), what: what}
+		if len(as.Lhs) > 1 {
+			acq.errObj = identObj(info, ast.Unparen(as.Lhs[1]))
+		}
+		acqs = append(acqs, acq)
+	})
+	if len(acqs) == 0 {
+		return
+	}
+
+	for _, acq := range acqs {
+		checkAcquisition(pass, fn, acq)
+	}
+}
+
+// acquiringCall recognizes the acquire forms, unwrapping a type assertion
+// (`p, _ := pool.Get().(*Page)` is the pool idiom).
+func acquiringCall(info *types.Info, rhs ast.Expr) (*ast.CallExpr, string) {
+	e := rhs
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+			continue
+		case *ast.TypeAssertExpr:
+			e = v.X
+			continue
+		}
+		break
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	fnObj := calleeFunc(info, call)
+	if fnObj == nil {
+		return nil, ""
+	}
+	sig, ok := fnObj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, ""
+	}
+	recv := namedType(sig.Recv().Type())
+	if recv == nil {
+		return nil, ""
+	}
+	switch {
+	case fnObj.Name() == "Load" && recv.Obj().Name() == "Browser":
+		return call, "Browser.Load"
+	case fnObj.Name() == "Get" && recv.Obj().Name() == "Pool" && recv.Obj().Pkg() != nil && recv.Obj().Pkg().Path() == "sync":
+		return call, "Pool.Get"
+	}
+	return nil, ""
+}
+
+func checkAcquisition(pass *Pass, fn funcBody, acq acquisition) {
+	info := pass.TypesInfo
+
+	// 1. A deferred release (direct or in a deferred closure) covers
+	// every return path. Releases inside nested literals also count for
+	// the never-released check below: a closure that releases v is
+	// plausibly invoked on every path, and assuming so keeps the
+	// analyzer quiet on correct code (the early-return check still
+	// fires on the paths we can see).
+	deferred := false
+	var releases []token.Pos
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			if callReleases(info, s.Call, acq.obj) || closureReleases(info, s.Call, acq.obj) {
+				deferred = true
+			}
+		case *ast.CallExpr:
+			if callReleases(info, s, acq.obj) {
+				releases = append(releases, s.Pos())
+			}
+		}
+		return true
+	})
+	if deferred {
+		return
+	}
+
+	// 2. Ownership escapes: someone else releases.
+	if escapes(info, fn, acq.obj) {
+		return
+	}
+
+	// 3. No release anywhere: the resource always leaks.
+	if len(releases) == 0 {
+		pass.Reportf(acq.pos,
+			"%s result %q is never released in this function and does not escape: every path leaks the pooled resource (call Release/Put, or defer it)",
+			acq.what, acq.obj.Name())
+		return
+	}
+
+	// 4. Early return between the acquisition and the first release.
+	first := releases[0]
+	for _, r := range releases {
+		if r < first {
+			first = r
+		}
+	}
+	inspectOwn(fn, func(n ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() <= acq.pos || ret.Pos() >= first {
+			return
+		}
+		if errGuarded(info, fn, ret, acq.errObj) {
+			return
+		}
+		pass.Reportf(ret.Pos(),
+			"return leaks %q (%s at %s is released only later): release before returning or defer the release",
+			acq.obj.Name(), acq.what, pass.Fset.Position(acq.pos))
+	})
+}
+
+// callReleases reports whether the call is a Release/Put receiving obj as
+// an argument, or a method call on obj itself named like a release.
+func callReleases(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	fnObj := calleeFunc(info, call)
+	if fnObj == nil || !releaseFuncNames[fnObj.Name()] {
+		return false
+	}
+	for _, arg := range call.Args {
+		if identObj(info, ast.Unparen(arg)) == obj {
+			return true
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if identObj(info, ast.Unparen(sel.X)) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// closureReleases reports whether the deferred call is a func literal
+// whose body releases obj.
+func closureReleases(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && callReleases(info, c, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// escapes reports whether obj's value leaves the function's custody:
+// returned, stored into non-local storage, sent, captured by a goroutine,
+// or aliased into another variable (the alias may be the one released).
+func escapes(info *types.Info, fn funcBody, obj types.Object) bool {
+	esc := false
+	inspectOwn(fn, func(n ast.Node) {
+		if esc {
+			return
+		}
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			// Only the value itself escaping counts — returning
+			// len(v) or v.Field() is a read, not a transfer.
+			for _, r := range s.Results {
+				if identObj(info, unwrap(info, r)) == obj {
+					esc = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if identObj(info, ast.Unparen(rhs)) != obj {
+					continue
+				}
+				if i < len(s.Lhs) {
+					switch lhs := ast.Unparen(s.Lhs[i]).(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+						esc = true // field/element/pointer store
+					case *ast.Ident:
+						if lhs.Name != "_" { // discard is not an alias
+							esc = true // alias: the alias may be released
+						}
+					}
+				} else {
+					esc = true
+				}
+			}
+		case *ast.SendStmt:
+			if containsIdentObj(info, s.Value, obj) {
+				esc = true
+			}
+		case *ast.GoStmt:
+			if containsIdentObj(info, s.Call, obj) {
+				esc = true
+			}
+		case *ast.CompositeLit:
+			for _, el := range s.Elts {
+				if containsIdentObj(info, el, obj) {
+					esc = true
+				}
+			}
+		}
+	})
+	return esc
+}
+
+// errGuarded reports whether the return statement sits inside an if whose
+// condition tests the acquisition's own error — the path on which there
+// is no resource to release.
+func errGuarded(info *types.Info, fn funcBody, ret *ast.ReturnStmt, errObj types.Object) bool {
+	if errObj == nil || errObj.Name() == "_" {
+		return false
+	}
+	guarded := false
+	inspectOwn(fn, func(n ast.Node) {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || !containsIdentObj(info, ifs.Cond, errObj) {
+			return
+		}
+		if ret.Pos() >= ifs.Body.Pos() && ret.End() <= ifs.Body.End() {
+			guarded = true
+		}
+	})
+	return guarded
+}
+
+// inspectOwn walks the function body without descending into nested
+// function literals (which are analyzed as functions of their own).
+func inspectOwn(fn funcBody, visit func(ast.Node)) {
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		visit(n)
+		return true
+	})
+}

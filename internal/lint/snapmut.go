@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+)
+
+// Snapmut pins the snapshots-are-immutable invariant (ARCHITECTURE.md
+// §10): once `stats.Aggregate.Snapshot()` publishes a *stats.Snapshot,
+// nothing outside internal/stats may write through it. Readers share one
+// snapshot per epoch with zero synchronization — a single mutation is a
+// data race against every concurrent query and silently corrupts every
+// later read of the epoch.
+//
+// The analyzer flags any assignment, increment, delete, or clear whose
+// target expression is rooted at a value of type stats.Snapshot: direct
+// field writes, writes through indexed fields (snap.PerCase[i] = ...),
+// and writes into the result of a Snapshot method call
+// (snap.StandardSites(c)[k]++ — method results must be treated as
+// read-only views even when today's implementation copies).
+//
+// Mutating your own copy is fine and not flagged:
+//
+//	m := snap.StandardSites(c) // copies out
+//	m[k]++                     // local copy, not rooted at the snapshot
+//
+// There is deliberately no sanctioned escape here beyond working inside
+// internal/stats itself; `//lint:allow snapmut` exists for the framework's
+// sake but a use of it should fail review.
+var Snapmut = &Analyzer{
+	Name: "snapmut",
+	Doc:  "flag writes through a stats.Snapshot outside internal/stats",
+	Run:  runSnapmut,
+}
+
+func runSnapmut(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					reportSnapshotRooted(pass, lhs, "assignment")
+				}
+			case *ast.IncDecStmt:
+				reportSnapshotRooted(pass, s.X, "increment")
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok {
+					if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && (b.Name() == "delete" || b.Name() == "clear") && len(s.Args) > 0 {
+						reportSnapshotRooted(pass, s.Args[0], b.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportSnapshotRooted reports if the storage chain of target — the
+// sequence of selectors, indexes, derefs, and method receivers the write
+// lands through — passes through a value of type stats.Snapshot. Only the
+// chain is walked, not arbitrary subexpressions: a snapshot used to
+// *compute* an index or key (cache[snap.Epoch()] = v) roots the write in
+// the cache, not the snapshot, and is fine.
+func reportSnapshotRooted(pass *Pass, target ast.Expr, kind string) {
+	info := pass.TypesInfo
+	for e := target; e != nil; {
+		if tv, ok := info.Types[e]; ok && isStatsSnapshot(tv.Type) {
+			pass.Reportf(target.Pos(),
+				"%s writes through a stats.Snapshot: snapshots are immutable after publish and shared lock-free by every reader of the epoch (copy first, or move the mutation into internal/stats)",
+				kind)
+			return
+		}
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.TypeAssertExpr:
+			e = v.X
+		case *ast.CallExpr:
+			// Writing into a call's result: the storage belongs to
+			// whatever the method was invoked on.
+			if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok {
+				e = sel.X
+			} else {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// isStatsSnapshot reports whether t is (a pointer to) the named type
+// Snapshot from a package whose final path element is "stats". Matching
+// on the path suffix rather than the full module path keeps the analyzer
+// testable against fixture packages while being unambiguous in-tree.
+func isStatsSnapshot(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == "Snapshot" && path.Base(n.Obj().Pkg().Path()) == "stats"
+}

@@ -1,0 +1,97 @@
+// Fixture for the detrange analyzer: map iteration whose order reaches
+// order-sensitive sinks must be flagged; the sanctioned idioms must not.
+package detrange
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bad: keys drain into a slice that outlives the loop and is never
+// sorted — the slice's order changes run to run.
+func drainNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `appending to out while ranging over map m without a later sort`
+	}
+	return out
+}
+
+// Bad: emitting during iteration writes bytes in map order.
+func printDuringRange(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside range over map m`
+	}
+}
+
+// Bad: building output through a writer during iteration.
+func buildDuringRange(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString call inside range over map m`
+	}
+	return b.String()
+}
+
+// Bad: append into a field cannot be tracked to a later sort.
+type holder struct{ names []string }
+
+func fieldAppend(h *holder, m map[string]bool) {
+	for k := range m {
+		h.names = append(h.names, k) // want `append inside range over map m`
+	}
+}
+
+// Good: the drain-then-sort idiom — exactly what the deterministic
+// packages do before any map contents reach a log or report.
+func drainThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Good: sort.Slice also counts as the intervening sort.
+func drainThenSortSlice(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// Good: commutative folds have no order-sensitive sink.
+func commutativeFold(m map[int]int64) (int64, map[int]int64) {
+	var sum int64
+	counts := make(map[int]int64)
+	for id, n := range m {
+		sum += n
+		counts[id] += n
+	}
+	return sum, counts
+}
+
+// Good: a slice scoped to one iteration carries no cross-iteration
+// order.
+func loopLocalAppend(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// Good: ranging over a slice is always ordered.
+func sliceRange(s []string) []string {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+package framecap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+)
+
+// The //lint:allow escape hatch: a decode path that only ever reads a
+// stream this same process just wrote (a test helper round-tripping an
+// in-memory buffer). The directive names the bound so a reviewer can
+// judge it. No want annotations here — the runner fails if the analyzer
+// still reports through the directive.
+
+func allowTrustedRoundTrip(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n) //lint:allow framecap — round-trips a buffer this process wrote; length is our own encoder's
+	_, err = io.ReadFull(br, buf)
+	return buf, err
+}

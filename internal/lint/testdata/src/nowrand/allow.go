@@ -1,0 +1,11 @@
+package nowrand
+
+import "time"
+
+// Genuine wall-clock code — a heartbeat deadline — escapes with the
+// directive. No want annotations: the runner fails if the analyzer still
+// reports here.
+
+func heartbeatDeadline(timeout time.Duration) time.Time {
+	return time.Now().Add(timeout) //lint:allow nowrand — heartbeats are wall-clock by definition
+}

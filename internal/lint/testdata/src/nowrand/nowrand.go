@@ -1,0 +1,55 @@
+// Fixture for the nowrand analyzer: ambient nondeterminism (wall clock,
+// global math/rand source) must be flagged; the seeded-generator idiom
+// the deterministic packages actually use must not.
+package nowrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad: wall-clock reads.
+func wallClock() time.Duration {
+	start := time.Now()      // want `call to time\.Now in a deterministic package`
+	return time.Since(start) // want `call to time\.Since in a deterministic package`
+}
+
+// Bad: draws from the process-global source.
+func globalDraws() {
+	_ = rand.Intn(10)                  // want `rand\.Intn draws from the process-global source`
+	_ = rand.Float64()                 // want `rand\.Float64 draws from the process-global source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global source`
+	_ = rand.Perm(5)                   // want `rand\.Perm draws from the process-global source`
+}
+
+// site mirrors the synthweb shape so the seeded idiom below is verbatim.
+type site struct{ Index int }
+
+type cfg struct{ Seed int64 }
+
+// Good: the exact seeded-rand idiom synthweb and gremlins use — a
+// per-visitor *rand.Rand built from the survey seed, drawn from via
+// methods.
+func seededIdiom(c cfg, s site) int {
+	rng := rand.New(rand.NewSource(c.Seed ^ (int64(s.Index)+1)*2654435761))
+	if rng.Float64() < 0.5 {
+		return rng.Intn(10)
+	}
+	return rng.Perm(4)[0]
+}
+
+// Good: a seeded generator handed in as a parameter (gremlins.Unleash
+// style) is drawn from via methods, never the global source.
+func unleash(rng *rand.Rand, n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, rng.Intn(n))
+	}
+	return out
+}
+
+// Good: rand.NewZipf takes the seeded generator.
+func zipf(rng *rand.Rand) uint64 {
+	z := rand.NewZipf(rng, 1.1, 1, 100)
+	return z.Uint64()
+}

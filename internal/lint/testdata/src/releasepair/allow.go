@@ -1,0 +1,18 @@
+package releasepair
+
+// Ownership transfer the lexical analyzer cannot see: passing to a call
+// is normally a borrow (measurers and monkey-testers borrow pages all the
+// time), so handing the page to a reaper that releases it later looks
+// like a leak. The directive documents who releases. No want annotations
+// here — the runner fails if the analyzer still reports through it.
+
+func reap(p *Page) {}
+
+func allowReaperOwnership(b *Browser, url string) error {
+	page, err := b.Load(url) //lint:allow releasepair — the reaper releases at end of visit
+	if err != nil {
+		return err
+	}
+	reap(page)
+	return nil
+}

@@ -1,0 +1,112 @@
+// Fixture for the releasepair analyzer. The Browser/Page pair mirrors
+// repro/internal/browser's pooled-page lifecycle (the analyzer matches
+// the method shape, Load on a type named Browser, not the import path);
+// the sync.Pool cases cover the raw pool idiom.
+package releasepair
+
+import (
+	"errors"
+	"sync"
+)
+
+type Page struct{ open bool }
+
+type Browser struct{ pool sync.Pool }
+
+func (b *Browser) Load(url string) (*Page, error) { return &Page{open: true}, nil }
+
+func (b *Browser) Release(p *Page) {}
+
+// Bad: no release on any path.
+func leakAlways(b *Browser, url string) error {
+	page, err := b.Load(url) // want `Browser\.Load result "page" is never released`
+	if err != nil {
+		return err
+	}
+	_ = page
+	return nil
+}
+
+// Bad: the early return between Load and Release leaks the page.
+func leakEarlyReturn(b *Browser, url string, bad bool) error {
+	page, err := b.Load(url)
+	if err != nil {
+		return err
+	}
+	if bad {
+		return errors.New("bad input") // want `return leaks "page"`
+	}
+	b.Release(page)
+	return nil
+}
+
+// Good: a deferred release covers every path.
+func cleanDefer(b *Browser, url string, bad bool) error {
+	page, err := b.Load(url)
+	if err != nil {
+		return err
+	}
+	defer b.Release(page)
+	if bad {
+		return errors.New("bad input")
+	}
+	return nil
+}
+
+// Good: a deferred closure that releases also covers every path.
+func cleanDeferClosure(b *Browser, url string) error {
+	page, err := b.Load(url)
+	if err != nil {
+		return err
+	}
+	defer func() { b.Release(page) }()
+	return nil
+}
+
+// Good: released on the straight-line path before every later return.
+func cleanReleaseBeforeReturn(b *Browser, url string, parseErr bool) error {
+	page, err := b.Load(url)
+	if err != nil {
+		return err
+	}
+	if parseErr {
+		b.Release(page)
+		return errors.New("parse errors")
+	}
+	b.Release(page)
+	return nil
+}
+
+// Good: ownership escapes to the caller, who releases.
+func cleanEscapeReturn(b *Browser, url string) (*Page, error) {
+	page, err := b.Load(url)
+	if err != nil {
+		return nil, err
+	}
+	return page, nil
+}
+
+// Good: ownership escapes into a struct; the holder releases later.
+type session struct{ current *Page }
+
+func cleanEscapeField(b *Browser, s *session, url string) error {
+	page, err := b.Load(url)
+	if err != nil {
+		return err
+	}
+	s.current = page
+	return nil
+}
+
+// Bad: a raw pool Get with no Put and no escape.
+func leakPoolGet(p *sync.Pool) int {
+	buf, _ := p.Get().([]byte) // want `Pool\.Get result "buf" is never released`
+	return len(buf)
+}
+
+// Good: pool Get paired with a deferred Put.
+func cleanPoolGet(p *sync.Pool) int {
+	buf, _ := p.Get().([]byte)
+	defer p.Put(buf)
+	return len(buf)
+}

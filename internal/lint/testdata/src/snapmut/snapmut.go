@@ -1,0 +1,49 @@
+// Fixture for the snapmut analyzer: any write rooted at a stats.Snapshot
+// outside package stats must be flagged; mutating your own copy, or using
+// the snapshot only to compute a key, must not.
+package snapmut
+
+import "stats"
+
+// Bad: direct field writes.
+func fieldWrites(snap *stats.Snapshot) {
+	snap.Epoch = 7      // want `assignment writes through a stats\.Snapshot`
+	snap.PerCase[0] = 1 // want `assignment writes through a stats\.Snapshot`
+	snap.PerCase[2]++   // want `increment writes through a stats\.Snapshot`
+	snap.Std["dom"] = 3 // want `assignment writes through a stats\.Snapshot`
+}
+
+// Bad: writing into a method result — views are read-only even when the
+// implementation happens to copy today.
+func methodResultWrites(snap *stats.Snapshot) {
+	snap.FeatureSites()[0] = 9    // want `assignment writes through a stats\.Snapshot`
+	snap.StandardSites()["css"]++ // want `increment writes through a stats\.Snapshot`
+}
+
+// Bad: delete and clear are writes too.
+func builtinWrites(snap *stats.Snapshot) {
+	delete(snap.Std, "dom") // want `delete writes through a stats\.Snapshot`
+	clear(snap.PerCase)     // want `clear writes through a stats\.Snapshot`
+}
+
+// Good: mutate your own copy.
+func mutateCopy(snap *stats.Snapshot) map[string]int {
+	m := snap.CopyStd()
+	m["dom"]++
+	delete(m, "css")
+	return m
+}
+
+// Good: the snapshot computes the key; the write lands in the cache.
+func epochKeyedCache(cache map[uint64]int, snap *stats.Snapshot) {
+	cache[snap.Epoch] = len(snap.PerCase)
+}
+
+// Good: reads are reads.
+func reads(snap *stats.Snapshot) int {
+	total := 0
+	for _, n := range snap.FeatureSites() {
+		total += n
+	}
+	return total + snap.StandardSites()["dom"]
+}

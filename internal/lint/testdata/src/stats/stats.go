@@ -1,0 +1,36 @@
+// Package stats is a fixture mirror of repro/internal/stats: the snapmut
+// analyzer matches the type by (package path suffix "stats", type name
+// "Snapshot"), so this miniature exposes the same shape with exported
+// fields — letting the fixture exercise every write form the real
+// package's unexported fields would reject at compile time anyway.
+package stats
+
+// Snapshot mirrors the immutable epoch snapshot.
+type Snapshot struct {
+	Epoch   uint64
+	PerCase []int
+	Std     map[string]int
+}
+
+// FeatureSites mirrors a method returning a reference-typed view.
+func (s *Snapshot) FeatureSites() []int { return s.PerCase }
+
+// StandardSites mirrors a method returning a map view.
+func (s *Snapshot) StandardSites() map[string]int { return s.Std }
+
+// CopyStd is the sanctioned read path: callers mutate their own copy.
+func (s *Snapshot) CopyStd() map[string]int {
+	out := make(map[string]int, len(s.Std))
+	for k, v := range s.Std {
+		out[k] = v
+	}
+	return out
+}
+
+// Publish is the in-package write side; package stats itself is exempt
+// from the analyzer by the suite's package filter.
+func Publish(epoch uint64) *Snapshot {
+	s := &Snapshot{Epoch: epoch, Std: make(map[string]int)}
+	s.PerCase = append(s.PerCase, 0)
+	return s
+}

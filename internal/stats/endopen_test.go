@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestEndOpenSitesOrderIndependent pins the one map-order dependence the
+// repolint sweep surfaced (detrange on EndOpenSites' drain of st.open,
+// outside the analyzer's deterministic-package scope): the fold of
+// still-open sites happens in map iteration order, so it MUST be
+// commutative — every Source query has to come out identical no matter
+// which order sites were ingested and therefore drained. If a future
+// change makes folds order-sensitive (say, a running "first N sites"
+// tally), this test fails before any spill-replay diff test would.
+func TestEndOpenSitesOrderIndependent(t *testing.T) {
+	events := tSurvey(42)
+
+	build := func(order []int) *Aggregate {
+		t.Helper()
+		agg, err := New(tConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, idx := range order {
+			ev := events[idx]
+			for _, v := range ev.visits {
+				if err := agg.AddVisit(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, site := range ev.fails {
+				if err := agg.AddFailure(site); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// No EndSite calls: every touched site is still open, so the
+		// drain covers the whole survey.
+		agg.EndOpenSites()
+		return agg
+	}
+
+	forward := make([]int, len(events))
+	reverse := make([]int, len(events))
+	for i := range events {
+		forward[i] = i
+		reverse[i] = len(events) - 1 - i
+	}
+
+	a, b := build(forward), build(reverse)
+	if got, want := sourceSnap(a), sourceSnap(b); !reflect.DeepEqual(got, want) {
+		t.Errorf("EndOpenSites fold is order-sensitive:\nforward %+v\nreverse %+v", want, got)
+	}
+	if got, want := sourceSnap(a.Snapshot()), sourceSnap(b.Snapshot()); !reflect.DeepEqual(got, want) {
+		t.Errorf("published snapshots diverge by ingest order:\nforward %+v\nreverse %+v", want, got)
+	}
+}
