@@ -87,6 +87,9 @@ func main() {
 		workerAddr = flag.String("worker", "", "run as survey worker, connecting to this coordinator host:port")
 		leaseSites = flag.Int("lease", 0, "coordinator: sites per worker lease (0 = default 64)")
 		heartbeat  = flag.Duration("heartbeat", 0, "coordinator: declare a worker dead after this much silence and re-issue its lease (0 = default 10s)")
+		noReuse    = flag.Bool("no-browser-reuse", false, "ablation: disable the browser revisit fast path (results identical)")
+		noCompile  = flag.Bool("no-script-compile", false, "ablation: run scripts on the AST interpreter instead of compiled ops (results identical)")
+		noIndex    = flag.Bool("no-matcher-index", false, "ablation: use the linear ABP rule scan instead of the tokenized index (results identical)")
 	)
 	flag.Parse()
 
@@ -112,11 +115,14 @@ func main() {
 
 	if *workerAddr != "" {
 		if err := runWorker(ctxRoot, *workerAddr, *spillDir, core.Config{
-			Shards:        *shards,
-			ShardWorkers:  *workers,
-			BatchSize:     *batch,
-			CacheDir:      *cacheDir,
-			CacheMaxBytes: *cacheLimit,
+			Shards:               *shards,
+			ShardWorkers:         *workers,
+			BatchSize:            *batch,
+			CacheDir:             *cacheDir,
+			CacheMaxBytes:        *cacheLimit,
+			DisableBrowserReuse:  *noReuse,
+			DisableScriptCompile: *noCompile,
+			DisableMatcherIndex:  *noIndex,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -131,18 +137,21 @@ func main() {
 	}
 
 	study, err := core.NewStudy(core.Config{
-		Sites:         *sites,
-		Seed:          *seed,
-		Rounds:        *rounds,
-		Cases:         prof.Cases(),
-		Shards:        *shards,
-		ShardWorkers:  *workers,
-		BatchSize:     *batch,
-		LogFormat:     *format,
-		CacheDir:      *cacheDir,
-		CacheMaxBytes: *cacheLimit,
-		SpillDir:      *spillDir,
-		SpillOnly:     *spillOnly,
+		Sites:                *sites,
+		Seed:                 *seed,
+		Rounds:               *rounds,
+		Cases:                prof.Cases(),
+		Shards:               *shards,
+		ShardWorkers:         *workers,
+		BatchSize:            *batch,
+		LogFormat:            *format,
+		CacheDir:             *cacheDir,
+		CacheMaxBytes:        *cacheLimit,
+		SpillDir:             *spillDir,
+		SpillOnly:            *spillOnly,
+		DisableBrowserReuse:  *noReuse,
+		DisableScriptCompile: *noCompile,
+		DisableMatcherIndex:  *noIndex,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

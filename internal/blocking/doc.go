@@ -13,4 +13,19 @@
 // immutable once parsed and safe to share across concurrent browser
 // workers, which is how the sharded pipeline amortizes one parse over every
 // worker in every shard.
+//
+// Engine.ShouldBlock answers through a tokenized rule index built once at
+// construction instead of scanning every rule of every list: rules whose
+// "||" anchor opens with a well-formed host run bucket by that run's last
+// two labels, rules with a bounded literal token (a [a-z0-9] run pinned on
+// both sides by literal pattern text) bucket by their longest such token,
+// and the small unbucketable remainder scans linearly. Query keys derive
+// from the request's raw URL — authority label pairs and alphanumeric runs
+// — never from net/url's parse, because "||" anchoring can legitimately
+// land inside userinfo that a structured parse would strip. Exception
+// buckets are consulted before block buckets, mirroring ABP's
+// scan-order-independent semantics. DisableIndex routes decisions through
+// the retained linear scan — an ablation knob; index and scan agree on
+// every request (fuzz- and oracle-test-enforced, byte-identical survey
+// logs either way).
 package blocking

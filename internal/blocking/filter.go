@@ -35,10 +35,40 @@ type Request struct {
 	PageHost string
 	// Type is the resource class.
 	Type ResourceType
+
+	// host and thirdParty memoize Host and ThirdParty. Every blocker in an
+	// extension stack re-derives both (URL parse plus registrable-domain
+	// comparison), so MakeRequest computes them once per request instead
+	// of once per blocker per rule. A zero-value Request still works —
+	// the accessors fall back to deriving on the fly.
+	host         string
+	hostOK       bool
+	thirdParty   bool
+	thirdPartyOK bool
+}
+
+// MakeRequest builds a Request with its host and third-party derivations
+// precomputed. The browser's webRequest layer uses this for every
+// subresource so the whole blocking stack (ABP engine, tracker database,
+// their combination) shares one derivation.
+func MakeRequest(rawURL, pageHost string, t ResourceType) Request {
+	r := Request{URL: rawURL, PageHost: pageHost, Type: t}
+	r.host = r.hostSlow()
+	r.hostOK = true
+	r.thirdParty = !sameRegistrableDomain(r.host, strings.ToLower(pageHost))
+	r.thirdPartyOK = true
+	return r
 }
 
 // Host returns the request URL's host (lower-cased, without port).
 func (r Request) Host() string {
+	if r.hostOK {
+		return r.host
+	}
+	return r.hostSlow()
+}
+
+func (r Request) hostSlow() string {
 	u, err := url.Parse(r.URL)
 	if err != nil {
 		return ""
@@ -49,6 +79,9 @@ func (r Request) Host() string {
 // ThirdParty reports whether the request crosses registrable-domain
 // boundaries relative to the initiating page.
 func (r Request) ThirdParty() bool {
+	if r.thirdPartyOK {
+		return r.thirdParty
+	}
 	return !sameRegistrableDomain(r.Host(), strings.ToLower(r.PageHost))
 }
 
@@ -66,12 +99,20 @@ func sameRegistrableDomain(a, b string) bool {
 	return ra == rb
 }
 
+// lastLabels returns the suffix of host holding its final n labels (the
+// whole host when it has n or fewer). It slices instead of splitting — this
+// runs once per request per blocker, and Split/Join cost two allocations.
 func lastLabels(host string, n int) string {
-	parts := strings.Split(host, ".")
-	if len(parts) <= n {
-		return host
+	i := len(host)
+	for dots := 0; i > 0; i-- {
+		if host[i-1] == '.' {
+			dots++
+			if dots == n {
+				return host[i:]
+			}
+		}
 	}
-	return strings.Join(parts[len(parts)-n:], ".")
+	return host
 }
 
 // Rule is one parsed ABP filter rule.
@@ -98,6 +139,20 @@ type Rule struct {
 	// initiating page host.
 	IncludeDomains []string
 	ExcludeDomains []string
+
+	// patLower caches strings.ToLower(Pattern). Matching is case-blind, and
+	// lowering the pattern on every candidate (rules × requests) dominated
+	// the old scan's allocations; parseRule fills this once.
+	patLower string
+}
+
+// patternLower returns the cached lower-cased pattern, lowering on the fly
+// for hand-built rules that never went through parseRule.
+func (r *Rule) patternLower() string {
+	if r.patLower != "" || r.Pattern == "" {
+		return r.patLower
+	}
+	return strings.ToLower(r.Pattern)
 }
 
 // HidingRule is one element-hiding ("##") rule.
@@ -205,29 +260,52 @@ func parseRule(line string) (Rule, error) {
 		return r, fmt.Errorf("empty rule pattern")
 	}
 	r.Pattern = body
+	r.patLower = strings.ToLower(body)
 	return r, nil
 }
 
 // Matches reports whether the rule matches the request (ignoring
 // exception-ness, which the engine layers on top).
 func (r *Rule) Matches(req Request) bool {
-	if r.Types != nil && !r.Types[req.Type] {
+	m := newMatchCtx(&req)
+	return r.matches(&m)
+}
+
+// matchCtx carries the per-request derivations every candidate rule needs —
+// the lowered URL and page host — so a scan computes them once instead of
+// once per rule.
+type matchCtx struct {
+	req      *Request
+	urlLower string
+	pageHost string // lower-cased
+}
+
+func newMatchCtx(req *Request) matchCtx {
+	return matchCtx{
+		req:      req,
+		urlLower: strings.ToLower(req.URL),
+		pageHost: strings.ToLower(req.PageHost),
+	}
+}
+
+func (r *Rule) matches(m *matchCtx) bool {
+	if r.Types != nil && !r.Types[m.req.Type] {
 		return false
 	}
-	if r.ThirdPartyOnly && !req.ThirdParty() {
+	if r.ThirdPartyOnly && !m.req.ThirdParty() {
 		return false
 	}
-	if r.FirstPartyOnly && req.ThirdParty() {
+	if r.FirstPartyOnly && m.req.ThirdParty() {
 		return false
 	}
-	if len(r.IncludeDomains) > 0 && !hostInDomains(req.PageHost, r.IncludeDomains) {
+	if len(r.IncludeDomains) > 0 && !lowerHostInDomains(m.pageHost, r.IncludeDomains) {
 		return false
 	}
-	if hostInDomains(req.PageHost, r.ExcludeDomains) {
+	if lowerHostInDomains(m.pageHost, r.ExcludeDomains) {
 		return false
 	}
-	u := strings.ToLower(req.URL)
-	pat := strings.ToLower(r.Pattern)
+	u := m.urlLower
+	pat := r.patternLower()
 	switch {
 	case r.DomainAnchor:
 		return domainAnchorMatch(u, pat, r.EndAnchor)
@@ -239,9 +317,13 @@ func (r *Rule) Matches(req Request) bool {
 }
 
 func hostInDomains(host string, domains []string) bool {
-	host = strings.ToLower(host)
+	return lowerHostInDomains(strings.ToLower(host), domains)
+}
+
+// lowerHostInDomains is hostInDomains for a host the caller already lowered.
+func lowerHostInDomains(host string, domains []string) bool {
 	for _, d := range domains {
-		if host == d || strings.HasSuffix(host, "."+d) {
+		if host == d || len(host) > len(d) && host[len(host)-len(d)-1] == '.' && strings.HasSuffix(host, d) {
 			return true
 		}
 	}
@@ -343,25 +425,59 @@ func isSeparator(c byte) bool {
 }
 
 // Engine evaluates one or more filter lists, exceptions first, as AdBlock
-// Plus does.
+// Plus does. Lists must not be mutated after they are handed to the engine:
+// the token index built at AddList time points into their rule slices.
 type Engine struct {
 	lists []*List
+	idx   ruleIndex
+
+	// DisableIndex routes ShouldBlock through the pre-index all-lists ×
+	// all-rules linear scan. The scan is the differential oracle the index
+	// is tested against (FuzzShouldBlockIndexMatchesLinear, the pipeline
+	// ablation tests); it is not a supported production path.
+	DisableIndex bool
 }
 
 // NewEngine builds an engine over the given lists.
-func NewEngine(lists ...*List) *Engine { return &Engine{lists: lists} }
+func NewEngine(lists ...*List) *Engine {
+	e := &Engine{}
+	e.idx.init()
+	for _, l := range lists {
+		e.AddList(l)
+	}
+	return e
+}
 
-// AddList appends another list to the engine.
-func (e *Engine) AddList(l *List) { e.lists = append(e.lists, l) }
+// AddList appends another list to the engine and indexes its rules.
+func (e *Engine) AddList(l *List) {
+	if e.idx.exc.byDomain == nil {
+		e.idx.init() // zero-value Engine
+	}
+	e.lists = append(e.lists, l)
+	e.idx.addList(l)
+}
 
 // ShouldBlock reports whether the request is blocked: some block rule
-// matches and no exception rule does.
+// matches and no exception rule does. The result is scan-order independent —
+// any matching exception wins outright — which is what lets the indexed path
+// consult exception buckets first and block buckets second while agreeing
+// with the linear scan on every request.
 func (e *Engine) ShouldBlock(req Request) bool {
+	m := newMatchCtx(&req)
+	if e.DisableIndex {
+		return e.shouldBlockLinear(&m)
+	}
+	return e.idx.shouldBlock(&m)
+}
+
+// shouldBlockLinear is the original full scan, kept as the oracle for
+// DisableIndex differential runs.
+func (e *Engine) shouldBlockLinear(m *matchCtx) bool {
 	blocked := false
 	for _, l := range e.lists {
 		for i := range l.Rules {
 			r := &l.Rules[i]
-			if !r.Matches(req) {
+			if !r.matches(m) {
 				continue
 			}
 			if r.Exception {
@@ -376,10 +492,17 @@ func (e *Engine) ShouldBlock(req Request) bool {
 // HideSelectors returns the element-hiding selectors applicable to a page
 // host, in list order.
 func (e *Engine) HideSelectors(pageHost string) []string {
-	var out []string
+	return e.AppendHideSelectors(pageHost, nil)
+}
+
+// AppendHideSelectors appends the applicable selectors to out and returns the
+// extended slice, letting per-page callers reuse one scratch buffer instead
+// of allocating a fresh result for every page.
+func (e *Engine) AppendHideSelectors(pageHost string, out []string) []string {
+	host := strings.ToLower(pageHost)
 	for _, l := range e.lists {
 		for _, h := range l.Hiding {
-			if len(h.Domains) == 0 || hostInDomains(pageHost, h.Domains) {
+			if len(h.Domains) == 0 || lowerHostInDomains(host, h.Domains) {
 				out = append(out, h.Selector)
 			}
 		}

@@ -1,0 +1,251 @@
+package blocking
+
+import "strings"
+
+// Rule index: the pre-PR engine answered ShouldBlock by scanning every rule
+// of every list per request — fine for a toy list, quadratic pain for a
+// survey that issues one ShouldBlock per subresource per blocker. The index
+// buckets rules once, at AddList time, so a query consults only rules that
+// could possibly match:
+//
+//   - byDomain: "||domain^"-style rules whose pattern provably pins the
+//     matched host, keyed by the anchor domain's registrable domain (its
+//     last two labels). A query derives the same keys from the raw URL's
+//     authority — NOT from url.Parse, whose notion of "the host" diverges
+//     from the raw-string matcher on authorities with userinfo — and probes.
+//   - byToken: remaining rules containing a bounded literal token (a maximal
+//     alphanumeric run any matching URL must contain as a whole token),
+//     keyed by the rule's longest such token. A query tokenizes the lowered
+//     URL the same way and probes each token.
+//   - rest: everything unbucketable; always scanned.
+//
+// Exception rules and block rules get separate bucket sets, consulted in
+// that order: ShouldBlock's result is scan-order independent (any matching
+// exception wins), so exceptions-first agrees with the linear oracle.
+type ruleIndex struct {
+	exc bucketSet
+	blk bucketSet
+}
+
+type bucketSet struct {
+	byDomain map[string][]*Rule
+	byToken  map[string][]*Rule
+	rest     []*Rule
+}
+
+func (x *ruleIndex) init() {
+	x.exc = bucketSet{byDomain: map[string][]*Rule{}, byToken: map[string][]*Rule{}}
+	x.blk = bucketSet{byDomain: map[string][]*Rule{}, byToken: map[string][]*Rule{}}
+}
+
+func (x *ruleIndex) addList(l *List) {
+	for i := range l.Rules {
+		r := &l.Rules[i]
+		if r.Exception {
+			x.exc.add(r)
+		} else {
+			x.blk.add(r)
+		}
+	}
+}
+
+func (s *bucketSet) add(r *Rule) {
+	if key, ok := domainKey(r); ok {
+		s.byDomain[key] = append(s.byDomain[key], r)
+		return
+	}
+	if tok, ok := patternToken(r); ok {
+		s.byToken[tok] = append(s.byToken[tok], r)
+		return
+	}
+	s.rest = append(s.rest, r)
+}
+
+func (x *ruleIndex) shouldBlock(m *matchCtx) bool {
+	// Key scratch lives on the stack; authority keys and URL tokens are
+	// shared by the exception pass and the block pass.
+	var kbuf [8]string
+	var tbuf [24]string
+	keys := appendAuthorityKeys(m.urlLower, kbuf[:0])
+	toks := appendURLTokens(m.urlLower, tbuf[:0])
+	if x.exc.anyMatch(m, keys, toks) {
+		return false
+	}
+	return x.blk.anyMatch(m, keys, toks)
+}
+
+func (s *bucketSet) anyMatch(m *matchCtx, keys, toks []string) bool {
+	for _, r := range s.rest {
+		if r.matches(m) {
+			return true
+		}
+	}
+	if len(s.byDomain) > 0 {
+		for _, k := range keys {
+			for _, r := range s.byDomain[k] {
+				if r.matches(m) {
+					return true
+				}
+			}
+		}
+	}
+	if len(s.byToken) > 0 {
+		for _, t := range toks {
+			for _, r := range s.byToken[t] {
+				if r.matches(m) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isLabelByte reports whether c can appear inside one lowered host label.
+func isLabelByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-'
+}
+
+// isHostByte additionally admits the label separator.
+func isHostByte(c byte) bool { return isLabelByte(c) || c == '.' }
+
+// domainKey returns the byDomain bucket key for a "||" rule whose pattern
+// provably pins the matched URL's host, and ok=false when the rule is not
+// domain-bucketable. The proof obligation: whenever the rule matches a URL,
+// appendAuthorityKeys on that URL must yield the key. That holds when the
+// pattern opens with a hostname run of at least two well-formed labels and
+// the run is terminated — by a '^' (which only ever consumes a separator or
+// the URL end, both non-host), by a literal non-hostname byte, or by the
+// pattern ending under an end anchor. Then any match places the anchor
+// domain in the URL's authority starting at a label boundary and ending at a
+// non-host byte, so the key (the run's last two labels) is one of the
+// authority's terminated label pairs. A run followed by '*' or by a bare
+// pattern end proves nothing about where the host ends, and a single-label
+// or malformed run never equals a label pair; those rules fall through to
+// the token bucket.
+func domainKey(r *Rule) (string, bool) {
+	if !r.DomainAnchor {
+		return "", false
+	}
+	pat := r.patternLower()
+	i := 0
+	dots := 0
+	for i < len(pat) && isHostByte(pat[i]) {
+		if pat[i] == '.' {
+			dots++
+		}
+		i++
+	}
+	if i == 0 || dots == 0 {
+		return "", false
+	}
+	dom := pat[:i]
+	if dom[0] == '.' || dom[i-1] == '.' || strings.Contains(dom, "..") {
+		return "", false // empty labels never appear in authority key pairs
+	}
+	switch {
+	case i == len(pat):
+		if !r.EndAnchor {
+			return "", false // host may continue past the pattern
+		}
+	case pat[i] == '*':
+		return "", false // wildcard may extend the host
+	}
+	return lastLabels(dom, 2), true
+}
+
+// appendAuthorityKeys appends the terminated label pairs of u's authority:
+// every "a.b" where a starts at a label boundary and b ends at a non-host
+// byte or at the authority's end. It mirrors domainAnchorMatch's scan — same
+// "://" skip, same "/?" authority cutoff — because these keys must cover
+// every position that matcher can anchor at, even for authorities (userinfo,
+// stray separators) where url.Parse would report a different host.
+func appendAuthorityKeys(u string, keys []string) []string {
+	rest := u
+	if idx := strings.Index(rest, "://"); idx >= 0 {
+		rest = rest[idx+3:]
+	}
+	end := strings.IndexAny(rest, "/?")
+	if end < 0 {
+		end = len(rest)
+	}
+	auth := rest[:end]
+	for q := 0; q < len(auth); {
+		if !isLabelByte(auth[q]) {
+			q++
+			continue
+		}
+		// q is a label start: auth[q-1] is absent or a non-label byte.
+		e1 := q
+		for e1 < len(auth) && isLabelByte(auth[e1]) {
+			e1++
+		}
+		if e1 < len(auth) && auth[e1] == '.' {
+			e2 := e1 + 1
+			for e2 < len(auth) && isLabelByte(auth[e2]) {
+				e2++
+			}
+			if e2 > e1+1 && (e2 == len(auth) || !isHostByte(auth[e2])) {
+				keys = append(keys, auth[q:e2])
+			}
+		}
+		q = e1 + 1 // auth[e1] is non-label, so e1+1 is the next candidate
+	}
+	return keys
+}
+
+// isTokenByte reports whether c is part of a literal URL token.
+func isTokenByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= '0' && c <= '9'
+}
+
+// patternToken returns the longest literal token of the rule's pattern that
+// any matching URL must contain as a whole URL token, and ok=false when no
+// run qualifies. A maximal alphanumeric run of the pattern qualifies when
+// both of its sides are pinned: by an adjacent literal non-alphanumeric
+// pattern byte (including '^', which only matches non-alphanumerics or the
+// URL end), or by an anchor at the pattern edge (start/domain anchor on the
+// left, end anchor on the right). A run adjacent to '*', or sitting at an
+// unanchored pattern edge, can be extended by URL bytes into a longer token
+// and is unusable.
+func patternToken(r *Rule) (string, bool) {
+	pat := r.patternLower()
+	best := ""
+	for i := 0; i < len(pat); {
+		if !isTokenByte(pat[i]) {
+			i++
+			continue
+		}
+		j := i
+		for j < len(pat) && isTokenByte(pat[j]) {
+			j++
+		}
+		leftOK := i == 0 && (r.StartAnchor || r.DomainAnchor) ||
+			i > 0 && pat[i-1] != '*'
+		rightOK := j == len(pat) && r.EndAnchor ||
+			j < len(pat) && pat[j] != '*'
+		if leftOK && rightOK && j-i > len(best) {
+			best = pat[i:j]
+		}
+		i = j
+	}
+	return best, best != ""
+}
+
+// appendURLTokens appends u's maximal alphanumeric runs — the whole-token
+// universe patternToken keys against.
+func appendURLTokens(u string, toks []string) []string {
+	for i := 0; i < len(u); {
+		if !isTokenByte(u[i]) {
+			i++
+			continue
+		}
+		j := i
+		for j < len(u) && isTokenByte(u[j]) {
+			j++
+		}
+		toks = append(toks, u[i:j])
+		i = j
+	}
+	return toks
+}

@@ -85,6 +85,9 @@ func (db *TrackerDB) ShouldBlock(req Request) bool {
 // no element hiding.
 func (db *TrackerDB) HideSelectors(string) []string { return nil }
 
+// AppendHideSelectors returns out unchanged: no element hiding.
+func (db *TrackerDB) AppendHideSelectors(_ string, out []string) []string { return out }
+
 // Size returns the number of tracker entries.
 func (db *TrackerDB) Size() int { return len(db.trackers) }
 
@@ -153,6 +156,9 @@ type Blocker interface {
 	ShouldBlock(req Request) bool
 	// HideSelectors returns element-hiding selectors for a page host.
 	HideSelectors(pageHost string) []string
+	// AppendHideSelectors appends the selectors to out and returns the
+	// extended slice; per-page callers pass a reused scratch buffer.
+	AppendHideSelectors(pageHost string, out []string) []string
 }
 
 // Combined runs several blockers as one (the paper's "blocking" browser
@@ -179,9 +185,13 @@ func (c *Combined) ShouldBlock(req Request) bool {
 
 // HideSelectors concatenates the constituents' hiding selectors.
 func (c *Combined) HideSelectors(pageHost string) []string {
-	var out []string
+	return c.AppendHideSelectors(pageHost, nil)
+}
+
+// AppendHideSelectors appends each constituent's selectors in order.
+func (c *Combined) AppendHideSelectors(pageHost string, out []string) []string {
 	for _, b := range c.Blockers {
-		out = append(out, b.HideSelectors(pageHost)...)
+		out = b.AppendHideSelectors(pageHost, out)
 	}
 	return out
 }
@@ -194,3 +204,6 @@ func (None) ShouldBlock(Request) bool { return false }
 
 // HideSelectors always returns nil.
 func (None) HideSelectors(string) []string { return nil }
+
+// AppendHideSelectors returns out unchanged.
+func (None) AppendHideSelectors(_ string, out []string) []string { return out }

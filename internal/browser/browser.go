@@ -40,9 +40,25 @@ type Browser struct {
 	// identical either way (test-enforced).
 	DisableReuse bool
 
+	// DisableScriptCompile keeps scripts on the AST interpreter: parse-cache
+	// entries skip compilation and every execution walks []Stmt through
+	// webscript.Execute. Like DisableReuse it is an ablation/differential
+	// knob — set it before the first Load and leave it — and survey results
+	// are identical either way (test-enforced).
+	DisableScriptCompile bool
+
+	// dispatch interns the feature references of every script this browser
+	// compiles; executionHost indexes its published slice per op.
+	dispatch *webapi.DispatchTable
+
 	cacheMu   sync.Mutex
 	scripts   *lruCache[*cachedScript]
 	templates *lruCache[*domTemplate]
+	// resolved memoizes resolveURL outcomes (key: page URL + ref) and
+	// navClean the parse+clean of recorded navigation attempts — the two
+	// url.Parse hot spots the revisit workload repeats endlessly.
+	resolved *lruCache[string]
+	navClean *lruCache[navResolved]
 
 	pagePool    sync.Pool // *Page
 	runtimePool sync.Pool // *webapi.Runtime, instrumented by this browser's extensions
@@ -54,8 +70,11 @@ func New(b *webapi.Bindings, f webserver.Fetcher, exts ...Extension) *Browser {
 		Bindings:   b,
 		Fetcher:    f,
 		Extensions: exts,
+		dispatch:   b.NewDispatchTable(),
 		scripts:    newLRUCache[*cachedScript](scriptCacheCap),
 		templates:  newLRUCache[*domTemplate](templateCacheCap),
+		resolved:   newLRUCache[string](resolveCacheCap),
+		navClean:   newLRUCache[navResolved](resolveCacheCap),
 	}
 }
 
@@ -72,9 +91,10 @@ func (e ScriptError) Error() string { return fmt.Sprintf("script %s: %v", e.URL,
 // selector compiled exactly once at bind time.
 type boundHandler struct {
 	h       *webscript.Handler
-	sel     dom.Selector // compiled h.Selector; meaningful when selOK
-	selOK   bool         // h.Selector parsed successfully
-	origin  string       // script URL, diagnostics only
+	ops     []webscript.Op // compiled body; nil runs the interpreter
+	sel     dom.Selector   // compiled h.Selector; meaningful when selOK
+	selOK   bool           // h.Selector parsed successfully
+	origin  string         // script URL, diagnostics only
 	lastRun float64
 }
 
@@ -104,6 +124,9 @@ type Page struct {
 	BlockedRequests []string
 
 	browser  *Browser
+	urlStr   string            // the raw URL Load received; memo key for resolveURL
+	resolved map[string]string // visit-local resolveURL memo; cleared on reset
+	host     executionHost     // reusable script host; avoids boxing per block
 	handlers []boundHandler
 
 	// interactive caches the DOM's visible interactive elements (and the
@@ -117,10 +140,13 @@ type Page struct {
 }
 
 // executionHost adapts a page (and the executing script's origin) to the
-// webscript.Host interface.
+// webscript.Host and webscript.OpHost interfaces. For the compiled path,
+// refs is the browser dispatch table's published slice, loaded once per
+// statement block.
 type executionHost struct {
 	page   *Page
 	origin string
+	refs   []webapi.Dispatch
 }
 
 func (h executionHost) Invoke(iface, member string, count int) error {
@@ -131,13 +157,75 @@ func (h executionHost) SetProperty(iface, member string) error {
 	return h.page.Runtime.SetProperty(iface, member)
 }
 
+func (h executionHost) InvokeRef(ref, count int) error {
+	return h.page.Runtime.CallDispatch(&h.refs[ref], count)
+}
+
+func (h executionHost) SetRef(ref int) error {
+	return h.page.Runtime.SetDispatch(&h.refs[ref])
+}
+
 func (h executionHost) Navigate(path string) {
 	h.page.NavAttempts = append(h.page.NavAttempts, h.page.resolveURL(path))
 }
 
-// resolveURL resolves a possibly relative reference against the page URL.
+// runBody executes one statement block — compiled when ops is non-nil,
+// interpreted otherwise — recording any error against origin.
+func (p *Page) runBody(ops []webscript.Op, stmts []webscript.Stmt, origin string, refs []webapi.Dispatch) {
+	// Execution is strictly sequential (handlers never nest), so the page's
+	// embedded host is reused across blocks instead of boxing a fresh value
+	// into the interface per call.
+	p.host = executionHost{page: p, origin: origin, refs: refs}
+	var err error
+	if ops != nil {
+		err = webscript.ExecuteOps(ops, &p.host)
+	} else {
+		err = webscript.Execute(stmts, &p.host)
+	}
+	if err != nil {
+		p.ScriptErrors = append(p.ScriptErrors, ScriptError{URL: origin, Err: err})
+	}
+}
+
+// resolveURL resolves a possibly relative reference against the page URL,
+// memoized at two levels: a visit-local map on the page (gremlin hordes and
+// timer handlers resolve the same few references thousands of times per
+// visit, lock-free after the first) and the browser's LRU keyed by
+// (page URL, ref), which survives page recycling across the cases × rounds
+// revisits of the same URL.
 func (p *Page) resolveURL(ref string) string {
-	return resolveAgainst(p.URL, ref)
+	if s, ok := p.resolved[ref]; ok {
+		return s
+	}
+	s := p.resolveURLSlow(ref)
+	if p.resolved == nil {
+		p.resolved = make(map[string]string, 8)
+	}
+	p.resolved[ref] = s
+	return s
+}
+
+func (p *Page) resolveURLSlow(ref string) string {
+	b := p.browser
+	if b == nil {
+		return resolveAgainst(p.URL, ref)
+	}
+	if s, ok := fastResolve(p.URL, ref); ok {
+		// Cheaper than the LRU would be; don't spend entries on it.
+		return s
+	}
+	key := p.urlStr + "\x00" + ref
+	b.cacheMu.Lock()
+	s, ok := b.resolved.get(key)
+	b.cacheMu.Unlock()
+	if ok {
+		return s
+	}
+	s = slowResolveAgainst(p.URL, ref)
+	b.cacheMu.Lock()
+	b.resolved.put(key, s)
+	b.cacheMu.Unlock()
+	return s
 }
 
 // Host returns the page's hostname.
@@ -164,6 +252,7 @@ func (b *Browser) Load(rawURL string) (*Page, error) {
 	page.DOM = t.tpl.Instantiate()
 	page.Runtime = b.newRuntime()
 	page.browser = b
+	page.urlStr = rawURL
 	b.finishLoad(page, t.scripts)
 	return page, nil
 }
@@ -185,6 +274,7 @@ func (b *Browser) loadSlow(rawURL string) (*Page, error) {
 		DOM:     doc,
 		Runtime: b.Bindings.NewRuntime(),
 		browser: b,
+		urlStr:  rawURL,
 	}
 	b.finishLoad(page, collectScripts(doc, u))
 	return page, nil
@@ -199,6 +289,7 @@ func (b *Browser) finishLoad(page *Page, scripts []templateScript) {
 		ext.OnDOMReady(page)
 	}
 
+	pageHost := page.Host()
 	for _, ref := range scripts {
 		if ref.url == "" {
 			cs := b.inlineScript(ref.inline)
@@ -209,7 +300,9 @@ func (b *Browser) finishLoad(page *Page, scripts []templateScript) {
 			page.installScript("inline:"+page.URL.String(), cs)
 			continue
 		}
-		req := blocking.Request{URL: ref.url, PageHost: page.Host(), Type: blocking.ResourceScript}
+		// MakeRequest precomputes the host/third-party derivations every
+		// blocker in the extension stack needs, once per request.
+		req := blocking.MakeRequest(ref.url, pageHost, blocking.ResourceScript)
 		vetoed := false
 		for _, ext := range b.Extensions {
 			if ext.OnBeforeRequest(req) {
@@ -285,6 +378,9 @@ func (p *Page) reset() {
 	p.ScriptErrors = p.ScriptErrors[:0]
 	p.BlockedRequests = p.BlockedRequests[:0]
 	p.browser = nil
+	p.urlStr = ""
+	clear(p.resolved)
+	p.host = executionHost{}
 	for i := range p.handlers {
 		p.handlers[i] = boundHandler{}
 	}
@@ -303,13 +399,21 @@ func (p *Page) reset() {
 }
 
 // installScript executes a script's immediate statements and registers its
-// handlers, reusing the cache's precompiled selectors.
+// handlers, reusing the cache's precompiled selectors and — when the script
+// was compiled at cache-insert time — its compiled op blocks.
 func (p *Page) installScript(origin string, cs *cachedScript) {
-	if err := webscript.Execute(cs.script.Immediate, executionHost{page: p, origin: origin}); err != nil {
-		p.ScriptErrors = append(p.ScriptErrors, ScriptError{URL: origin, Err: err})
+	var refs []webapi.Dispatch
+	if cs.compiled != nil {
+		refs = p.browser.dispatch.Refs()
+		p.runBody(cs.compiled.Immediate, nil, origin, refs)
+	} else {
+		p.runBody(nil, cs.script.Immediate, origin, nil)
 	}
 	for i, h := range cs.script.Handlers {
 		bh := boundHandler{h: h, origin: origin}
+		if cs.compiled != nil {
+			bh.ops = cs.compiled.Bodies[i]
+		}
 		if h.Selector != "" {
 			bh.sel, bh.selOK = cs.sels[i].sel, cs.sels[i].ok
 		}
@@ -324,6 +428,7 @@ func (p *Page) installScript(origin string, cs *cachedScript) {
 // handlers: nil means "no specific element" (load/scroll/move), in which
 // case only selector-less handlers fire.
 func (p *Page) fire(ev webscript.EventType, target *dom.Node) {
+	var refs []webapi.Dispatch
 	for i := range p.handlers {
 		bh := &p.handlers[i]
 		if bh.h.Event != ev {
@@ -334,9 +439,10 @@ func (p *Page) fire(ev webscript.EventType, target *dom.Node) {
 				continue
 			}
 		}
-		if err := webscript.Execute(bh.h.Body, executionHost{page: p, origin: bh.origin}); err != nil {
-			p.ScriptErrors = append(p.ScriptErrors, ScriptError{URL: bh.origin, Err: err})
+		if bh.ops != nil && refs == nil {
+			refs = p.browser.dispatch.Refs()
 		}
+		p.runBody(bh.ops, bh.h.Body, bh.origin, refs)
 	}
 }
 
@@ -374,16 +480,18 @@ func (p *Page) MouseMove() { p.fire(webscript.EventMove, nil) }
 // due (each timer fires once per elapsed interval).
 func (p *Page) AdvanceClock(dt float64) {
 	target := p.Clock + dt
+	var refs []webapi.Dispatch
 	for i := range p.handlers {
 		bh := &p.handlers[i]
 		if bh.h.Event != webscript.EventTimer || bh.h.Interval <= 0 {
 			continue
 		}
+		if bh.ops != nil && refs == nil {
+			refs = p.browser.dispatch.Refs()
+		}
 		interval := float64(bh.h.Interval)
 		for next := bh.lastRun + interval; next <= target; next += interval {
-			if err := webscript.Execute(bh.h.Body, executionHost{page: p, origin: bh.origin}); err != nil {
-				p.ScriptErrors = append(p.ScriptErrors, ScriptError{URL: bh.origin, Err: err})
-			}
+			p.runBody(bh.ops, bh.h.Body, bh.origin, refs)
 			bh.lastRun = next
 		}
 	}
@@ -430,30 +538,57 @@ func (p *Page) FormFields() []*dom.Node {
 // LocalNavAttempts filters the recorded navigation attempts to those
 // sameSite judges local, deduplicated in first-seen order.
 func (p *Page) LocalNavAttempts(sameSite func(host string) bool) []string {
-	return p.LocalNavAttemptsInto(sameSite, make(map[string]bool), nil)
+	return p.LocalNavAttemptsInto(sameSite, make(map[string]bool), make(map[string]bool), nil)
+}
+
+// navResolved caches what LocalNavAttemptsInto derives from one raw
+// navigation attempt. clean is empty when the raw string does not parse.
+type navResolved struct {
+	clean string
+	host  string
 }
 
 // LocalNavAttemptsInto is LocalNavAttempts with caller-owned scratch: seen
-// is cleared and reused for deduplication, and the result is appended to
-// out (pass out[:0] to reuse its backing array). The crawler calls this
-// once per page with per-Visitor scratch instead of allocating a fresh map
-// and slice every page.
-func (p *Page) LocalNavAttemptsInto(sameSite func(host string) bool, seen map[string]bool, out []string) []string {
+// and rawSeen are cleared and reused for deduplication, and the result is
+// appended to out (pass out[:0] to reuse its backing array). The crawler
+// calls this once per page with per-Visitor scratch instead of allocating
+// fresh maps and a slice every page. Raw attempts repeat heavily (timer
+// handlers re-navigate the same path every tick), so identical raws are
+// dropped before parsing and parse results are memoized in the browser.
+func (p *Page) LocalNavAttemptsInto(sameSite func(host string) bool, seen, rawSeen map[string]bool, out []string) []string {
 	clear(seen)
+	clear(rawSeen)
+	b := p.browser
 	for _, raw := range p.NavAttempts {
-		u, err := url.Parse(raw)
-		if err != nil {
+		if rawSeen[raw] {
 			continue
 		}
-		if !sameSite(u.Hostname()) {
+		rawSeen[raw] = true
+		var nr navResolved
+		ok := false
+		if b != nil {
+			b.cacheMu.Lock()
+			nr, ok = b.navClean.get(raw)
+			b.cacheMu.Unlock()
+		}
+		if !ok {
+			if u, err := url.Parse(raw); err == nil {
+				nr = navResolved{clean: u.Scheme + "://" + u.Host + u.Path, host: u.Hostname()}
+			}
+			if b != nil {
+				b.cacheMu.Lock()
+				b.navClean.put(raw, nr)
+				b.cacheMu.Unlock()
+			}
+		}
+		if nr.clean == "" || !sameSite(nr.host) {
 			continue
 		}
-		clean := u.Scheme + "://" + u.Host + u.Path
-		if seen[clean] {
+		if seen[nr.clean] {
 			continue
 		}
-		seen[clean] = true
-		out = append(out, clean)
+		seen[nr.clean] = true
+		out = append(out, nr.clean)
 	}
 	return out
 }
@@ -480,9 +615,10 @@ type BlockingExtension struct {
 	// Blocker decides request vetoes and hiding selectors.
 	Blocker blocking.Blocker
 
-	selMu    sync.Mutex
-	selCache map[string]compiledSel
-	matches  []*dom.Node
+	selMu      sync.Mutex
+	selCache   map[string]compiledSel
+	selScratch []string
+	matches    []*dom.Node
 }
 
 // Name implements Extension.
@@ -493,11 +629,14 @@ func (b *BlockingExtension) OnBeforeRequest(req blocking.Request) bool {
 	return b.Blocker.ShouldBlock(req)
 }
 
-// OnDOMReady applies element-hiding rules.
+// OnDOMReady applies element-hiding rules. The selector list is gathered
+// into a per-extension scratch slice (the same selectors apply to page after
+// page) rather than freshly allocated each load.
 func (b *BlockingExtension) OnDOMReady(p *Page) {
 	b.selMu.Lock()
 	defer b.selMu.Unlock()
-	for _, raw := range b.Blocker.HideSelectors(p.Host()) {
+	b.selScratch = b.Blocker.AppendHideSelectors(p.Host(), b.selScratch[:0])
+	for _, raw := range b.selScratch {
 		cs, ok := b.selCache[raw]
 		if !ok {
 			sel, err := dom.ParseSelector(raw)

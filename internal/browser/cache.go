@@ -20,6 +20,11 @@ const scriptCacheCap = 4096
 // site→site transition.
 const templateCacheCap = 256
 
+// resolveCacheCap bounds the URL-resolution memo caches (resolveURL results
+// and navigation-attempt cleanups). Entries are small strings; the working
+// set is the distinct references the current site's scripts mention.
+const resolveCacheCap = 8192
+
 // inlineKeyPrefix namespaces inline-script cache keys (keyed by source
 // text) away from URL keys. The byte cannot appear in a fetched URL.
 const inlineKeyPrefix = "\x00inline\x00"
@@ -80,21 +85,29 @@ type compiledSel struct {
 }
 
 // cachedScript is one parse outcome in the script cache, with every handler
-// selector precompiled (aligned with script.Handlers).
+// selector precompiled (aligned with script.Handlers) and — unless the
+// browser has DisableScriptCompile set — the script lowered once to compiled
+// ops whose feature references are interned in the browser's dispatch table.
 type cachedScript struct {
-	script *webscript.Script
-	sels   []compiledSel
-	err    error
+	script   *webscript.Script
+	compiled *webscript.Compiled // nil = execute via the interpreter
+	sels     []compiledSel
+	err      error
 }
 
-// newCachedScript parses source text and precompiles handler selectors.
-func newCachedScript(src string) *cachedScript {
+// newCachedScript parses source text, precompiles handler selectors, and
+// compiles the script against the browser's dispatch table. Everything
+// per-execution code needs is derived here, once per cache insert.
+func (b *Browser) newCachedScript(src string) *cachedScript {
 	cs := &cachedScript{}
 	cs.script, cs.err = webscript.Parse(src)
 	if cs.err != nil {
 		return cs
 	}
 	cs.sels = compileSelectors(cs.script)
+	if !b.DisableScriptCompile {
+		cs.compiled = webscript.Compile(cs.script, b.dispatch)
+	}
 	return cs
 }
 
@@ -192,12 +205,60 @@ func collectScripts(doc *dom.Node, base *url.URL) []templateScript {
 }
 
 // resolveAgainst resolves a possibly relative reference against base.
+// Absolute-path references made of unambiguous bytes — the overwhelming
+// majority of the synthetic web's hrefs and script sources — concatenate
+// onto base's origin directly; everything else takes net/url's full parse,
+// resolve, and re-serialize. TestResolveAgainstFastPath pins the two paths
+// to identical output.
 func resolveAgainst(base *url.URL, ref string) string {
+	if s, ok := fastResolve(base, ref); ok {
+		return s
+	}
+	return slowResolveAgainst(base, ref)
+}
+
+// fastResolve is resolveAgainst's concatenating path, exposed separately so
+// resolveURL can skip the memo LRU entirely when it applies: the concat is
+// cheaper than an LRU hit, let alone the insert churn of a miss.
+func fastResolve(base *url.URL, ref string) (string, bool) {
+	if fastRefPath(ref) && base.Scheme != "" && base.Host != "" && base.Opaque == "" && base.User == nil {
+		return base.Scheme + "://" + base.Host + ref, true
+	}
+	return "", false
+}
+
+func slowResolveAgainst(base *url.URL, ref string) string {
 	u, err := url.Parse(ref)
 	if err != nil {
 		return ref
 	}
 	return base.ResolveReference(u).String()
+}
+
+// fastRefPath reports whether ref is an absolute-path reference that
+// resolves to base's "scheme://host" + ref verbatim: not protocol-relative,
+// no dot segments (resolution rewrites those), and only bytes net/url
+// neither percent-escapes in a path or query nor reinterprets (no '%',
+// '#', '+', ';', ':', '@', no spaces or controls).
+func fastRefPath(ref string) bool {
+	if len(ref) == 0 || ref[0] != '/' || len(ref) > 1 && ref[1] == '/' {
+		return false
+	}
+	for i := 1; i < len(ref); i++ {
+		switch c := ref[i]; {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '/', c == '-', c == '_', c == '~', c == '=', c == '&', c == '?':
+		case c == '.':
+			// Conservatively reject any '.' touching a segment boundary —
+			// that covers "." and ".." segments, which resolve away.
+			if ref[i-1] == '/' || i+1 == len(ref) || ref[i+1] == '/' {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // cachedScriptFor returns the script-cache entry for key, building and
@@ -225,7 +286,7 @@ func (b *Browser) fetchScript(scriptURL string) *cachedScript {
 		if err != nil {
 			return &cachedScript{err: err}
 		}
-		return newCachedScript(res.Body)
+		return b.newCachedScript(res.Body)
 	})
 }
 
@@ -234,6 +295,6 @@ func (b *Browser) fetchScript(scriptURL string) *cachedScript {
 // visit of its page.
 func (b *Browser) inlineScript(src string) *cachedScript {
 	return b.cachedScriptFor(inlineKeyPrefix+src, func() *cachedScript {
-		return newCachedScript(src)
+		return b.newCachedScript(src)
 	})
 }

@@ -1,0 +1,137 @@
+package browser
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCompiledScriptMatchesInterpreter drives two browsers over the same
+// synthetic sites — one executing compiled op lists, one with the compiler
+// ablated — through loads, repeat visits, and every event source, and
+// requires identical observable behavior: native-call totals, instrumented
+// feature counts, nav attempts in order, script errors, and blocked
+// requests. This is the differential oracle that lets the compiled path
+// replace the interpreter in the survey hot loop.
+func TestCompiledScriptMatchesInterpreter(t *testing.T) {
+	e := env(t)
+	cm := &benchMeasurer{counts: make(map[int]int64)}
+	im := &benchMeasurer{counts: make(map[int]int64)}
+	compiled := e.browser(cm)
+	interp := e.browser(im)
+	interp.DisableScriptCompile = true
+
+	drive := func(b *Browser, url string) (*Page, error) {
+		p, err := b.Load(url)
+		if err != nil {
+			return nil, err
+		}
+		// Exercise every handler source: timers via the clock, plus each
+		// user-style event. Interactive() is derived from the DOM, which
+		// must itself be identical, so clicking by index is deterministic.
+		p.AdvanceClock(30)
+		p.Scroll()
+		p.MouseMove()
+		for i, el := range p.Interactive() {
+			if i >= 3 {
+				break
+			}
+			p.Click(el)
+		}
+		if fields := p.FormFields(); len(fields) > 0 {
+			p.Input(fields[0], "abc")
+		}
+		p.AdvanceClock(45)
+		return p, nil
+	}
+
+	for _, s := range e.web.Sites[:12] {
+		url := "http://" + s.Domain + "/"
+		cp, cerr := drive(compiled, url)
+		ip, ierr := drive(interp, url)
+		if (cerr == nil) != (ierr == nil) {
+			t.Fatalf("%s: compiled err=%v interpreted err=%v", url, cerr, ierr)
+		}
+		if cerr != nil {
+			continue
+		}
+		// Repeat visit: the compiled body is bound from the template cache
+		// the second time around, so compare that path too.
+		compiled.Release(cp)
+		interp.Release(ip)
+		cp, cerr = drive(compiled, url)
+		ip, ierr = drive(interp, url)
+		if cerr != nil || ierr != nil {
+			t.Fatalf("%s: repeat visit compiled err=%v interpreted err=%v", url, cerr, ierr)
+		}
+		comparePages(t, url, cp, ip)
+		compiled.Release(cp)
+		interp.Release(ip)
+	}
+
+	if len(cm.counts) != len(im.counts) {
+		t.Fatalf("measurer saw %d features compiled, %d interpreted", len(cm.counts), len(im.counts))
+	}
+	for id, n := range cm.counts {
+		if im.counts[id] != n {
+			t.Errorf("feature %d: compiled count %d, interpreted count %d", id, n, im.counts[id])
+		}
+	}
+}
+
+func comparePages(t *testing.T, url string, cp, ip *Page) {
+	t.Helper()
+	if got, want := cp.Runtime.TotalNativeCalls(), ip.Runtime.TotalNativeCalls(); got != want {
+		t.Errorf("%s: compiled %d native calls, interpreted %d", url, got, want)
+	}
+	if got, want := fmt.Sprint(cp.NavAttempts), fmt.Sprint(ip.NavAttempts); got != want {
+		t.Errorf("%s: nav attempts diverge\ncompiled:    %s\ninterpreted: %s", url, got, want)
+	}
+	if got, want := len(cp.ScriptErrors), len(ip.ScriptErrors); got != want {
+		t.Errorf("%s: compiled %d script errors, interpreted %d", url, got, want)
+	} else {
+		for i := range cp.ScriptErrors {
+			ce, ie := cp.ScriptErrors[i], ip.ScriptErrors[i]
+			if ce.URL != ie.URL || fmt.Sprint(ce.Err) != fmt.Sprint(ie.Err) {
+				t.Errorf("%s: script error %d diverges: compiled %v / interpreted %v", url, i, ce, ie)
+			}
+		}
+	}
+	if got, want := fmt.Sprint(cp.BlockedRequests), fmt.Sprint(ip.BlockedRequests); got != want {
+		t.Errorf("%s: blocked requests diverge\ncompiled:    %s\ninterpreted: %s", url, got, want)
+	}
+}
+
+// BenchmarkScriptDispatch isolates the script-execution cost of a warm
+// repeat visit plus an event storm: the compiled variant dispatches through
+// interned op lists, the interpreted variant walks the AST and resolves
+// interface/member strings through the runtime maps on every statement.
+func BenchmarkScriptDispatch(b *testing.B) {
+	e := env(b)
+	url := "http://" + e.site.Domain + "/"
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"compiled", false}, {"interpreted", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			br := e.browser(&benchMeasurer{counts: make(map[int]int64)})
+			br.DisableScriptCompile = mode.disable
+			p, err := br.Load(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			br.Release(p)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err := br.Load(url)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.Scroll()
+				p.MouseMove()
+				p.AdvanceClock(60)
+				br.Release(p)
+			}
+		})
+	}
+}

@@ -43,6 +43,22 @@
 //     caches its Interactive/FormFields lists, invalidated by the DOM's
 //     mutation generation (dom.Node.Gen).
 //
+//   - Compiled script dispatch. Script-cache entries carry the compiled
+//     form of the parsed script (webscript.Compile): every statement's
+//     "Interface.member" reference is interned once into the browser's
+//     webapi.DispatchTable, so executing a statement indexes a published
+//     []webapi.Dispatch — with the feature pointer and any error outcome
+//     precomputed — instead of resolving two map-keyed strings per call.
+//     Immediate code and handler bodies run through webscript.ExecuteOps.
+//     DisableScriptCompile keeps execution on the AST interpreter, the
+//     differential oracle (TestCompiledScriptMatchesInterpreter).
+//
+//   - URL-resolution memos. resolveURL is memoized visit-locally on the
+//     page and across revisits in a browser LRU, and unambiguous
+//     absolute-path references concatenate onto the page origin without
+//     touching net/url at all (TestResolveAgainstFastPath pins the fast
+//     and slow paths byte for byte).
+//
 // Correctness contract for the fast path: extensions must not structurally
 // add or remove script elements at DOMReady (hiding is fine — script
 // execution ignores visibility), and an extension that instruments

@@ -1,0 +1,75 @@
+package browser
+
+import (
+	"net/url"
+	"testing"
+)
+
+// slowResolve is the reference resolution resolveAgainst's fast path must
+// reproduce byte for byte.
+func slowResolve(base *url.URL, ref string) string {
+	u, err := url.Parse(ref)
+	if err != nil {
+		return ref
+	}
+	return base.ResolveReference(u).String()
+}
+
+var resolveBases = []string{
+	"http://site-04.example/",
+	"http://site-04.example/deep/page?x=1",
+	"https://sub.tracker.example:8080/a/b",
+	"http://user:pw@host.example/p", // userinfo forces the slow path
+}
+
+var resolveRefs = []string{
+	"/", "/ads/banner", "/path/to/page", "/p?q=1&r=2", "/UPPER/Case_~x",
+	"/trailing/", "/a?b?c", "/a=b&c",
+	// Slow-path shapes: relative, dot segments, protocol-relative,
+	// absolute, escapes, fragments, spaces, empties.
+	"page", "../up", "/a/../b", "/a/./b", "/a/.", "/..", "//cdn.example/x",
+	"http://other.example/y", "/%41", "/a#frag", "/a b", "", "/a+b", "/a;b",
+	"/a:b", "/eñe", "?:", "https://x@y/z",
+}
+
+// TestResolveAgainstFastPath pins the concatenating fast path to net/url's
+// full resolution across bases and references spanning both paths.
+func TestResolveAgainstFastPath(t *testing.T) {
+	for _, b := range resolveBases {
+		base, err := url.Parse(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ref := range resolveRefs {
+			got := resolveAgainst(base, ref)
+			want := slowResolve(base, ref)
+			if got != want {
+				t.Errorf("resolveAgainst(%q, %q) = %q, want %q (fastRefPath=%v)",
+					b, ref, got, want, fastRefPath(ref))
+			}
+		}
+	}
+}
+
+// FuzzResolveAgainstFastPath hammers the same agreement with arbitrary
+// reference strings.
+func FuzzResolveAgainstFastPath(f *testing.F) {
+	for _, ref := range resolveRefs {
+		f.Add(ref)
+	}
+	bases := make([]*url.URL, len(resolveBases))
+	for i, b := range resolveBases {
+		u, err := url.Parse(b)
+		if err != nil {
+			f.Fatal(err)
+		}
+		bases[i] = u
+	}
+	f.Fuzz(func(t *testing.T, ref string) {
+		for i, base := range bases {
+			if got, want := resolveAgainst(base, ref), slowResolve(base, ref); got != want {
+				t.Errorf("base %q ref %q: fast %q, slow %q", resolveBases[i], ref, got, want)
+			}
+		}
+	})
+}

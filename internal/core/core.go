@@ -82,6 +82,15 @@ type Config struct {
 	// cache directory tracks recency without directory scans). 0 means
 	// unbounded.
 	CacheMaxBytes int64
+	// DisableBrowserReuse, DisableScriptCompile, and DisableMatcherIndex
+	// are ablation/debugging knobs forwarding to the matching
+	// crawler.Config fields: respectively they disable the browser's
+	// revisit fast path, the compiled-WebScript execution path, and the
+	// ABP matcher's rule index. Survey logs are byte-identical with any
+	// combination (test-enforced).
+	DisableBrowserReuse  bool
+	DisableScriptCompile bool
+	DisableMatcherIndex  bool
 }
 
 // Study is a fully constructed experiment environment.
@@ -201,6 +210,9 @@ func (s *Study) crawlConfig() crawler.Config {
 	ccfg.Rounds = s.Cfg.Rounds
 	ccfg.Cases = s.Cfg.Cases
 	ccfg.Parallelism = s.Cfg.Parallelism
+	ccfg.DisableBrowserReuse = s.Cfg.DisableBrowserReuse
+	ccfg.DisableScriptCompile = s.Cfg.DisableScriptCompile
+	ccfg.DisableMatcherIndex = s.Cfg.DisableMatcherIndex
 	return ccfg
 }
 

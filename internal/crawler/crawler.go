@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"net/url"
-	"sort"
 	"strings"
 	"sync"
 
@@ -51,6 +50,16 @@ type Config struct {
 	// allocates from scratch — an ablation/debugging knob; survey logs
 	// are byte-identical either way (test-enforced).
 	DisableBrowserReuse bool
+	// DisableScriptCompile keeps page scripts on the webscript AST
+	// interpreter instead of the compiled-op fast path — an
+	// ablation/debugging knob; survey logs are byte-identical either way
+	// (test-enforced).
+	DisableScriptCompile bool
+	// DisableMatcherIndex routes ABP ShouldBlock decisions through the
+	// linear all-rules scan instead of the tokenized rule index — an
+	// ablation/debugging knob; survey logs are byte-identical either way
+	// (test-enforced).
+	DisableMatcherIndex bool
 }
 
 // DefaultConfig mirrors the paper's methodology.
@@ -119,6 +128,7 @@ func (c *Crawler) blockers() (*blocking.Engine, *blocking.TrackerDB, error) {
 			return
 		}
 		c.abpEngine = blocking.NewEngine(list)
+		c.abpEngine.DisableIndex = c.Cfg.DisableMatcherIndex
 		db, err := blocking.ParseTrackerDB(c.Web.TrackerLibText)
 		if err != nil {
 			c.blockersErr = fmt.Errorf("crawler: parsing tracker library: %w", err)
@@ -276,13 +286,17 @@ type Visitor struct {
 	// these maps (and the gremlin horde) every visit dominated the
 	// scheduler-side allocation profile (see internal/pipeline
 	// benchmarks). Reuse is safe because a Visitor is single-goroutine.
-	horde    *gremlins.Horde
-	counts   map[int]int64
-	visited  map[string]bool
-	seenDirs map[string]bool
-	pool     []string
-	navSeen  map[string]bool
-	navOut   []string
+	horde      *gremlins.Horde
+	counts     map[int]int64
+	visited    map[string]bool
+	seenDirs   map[string]bool
+	pool       []string
+	navSeen    map[string]bool
+	navRawSeen map[string]bool
+	navOut     []string
+	dirPat     map[string]string // memoized dirPattern per candidate URL
+	dirUnseen  []string          // selectURLs partition scratch
+	dirSeen    []string
 }
 
 // NewVisitor builds a single-goroutine visitor for one browser
@@ -303,6 +317,7 @@ func (c *Crawler) newVisitor(cs measure.Case, cfg Config) (*Visitor, error) {
 	}
 	b := browser.New(c.Bindings, fetcher, exts...)
 	b.DisableReuse = cfg.DisableBrowserReuse
+	b.DisableScriptCompile = cfg.DisableScriptCompile
 	return &Visitor{
 		crawler:  c,
 		cfg:      cfg,
@@ -328,6 +343,8 @@ func (w *Visitor) ensureScratch() {
 		w.visited = make(map[string]bool)
 		w.seenDirs = make(map[string]bool)
 		w.navSeen = make(map[string]bool)
+		w.navRawSeen = make(map[string]bool)
+		w.dirPat = make(map[string]string)
 	}
 }
 
@@ -389,7 +406,7 @@ func (w *Visitor) CrawlOnce(site *synthweb.Site, seed int64) (map[int]int64, int
 		merge(w.measurer.Take())
 		pages++
 		visited[rawURL] = true
-		w.navOut = page.LocalNavAttemptsInto(sameSite, w.navSeen, w.navOut[:0])
+		w.navOut = page.LocalNavAttemptsInto(sameSite, w.navSeen, w.navRawSeen, w.navOut[:0])
 		w.browser.Release(page)
 		return w.navOut, nil
 	}
@@ -457,11 +474,20 @@ func (w *Visitor) selectURLs(candidates []string, visited, seenDirs map[string]b
 	}
 	rng.Shuffle(len(fresh), func(i, j int) { fresh[i], fresh[j] = fresh[j], fresh[i] })
 	if w.cfg.PathNoveltyPreference {
-		sort.SliceStable(fresh, func(i, j int) bool {
-			ni := seenDirs[dirPattern(fresh[i])]
-			nj := seenDirs[dirPattern(fresh[j])]
-			return !ni && nj // unseen patterns first
-		})
+		// Stable partition, unseen directory patterns first — the same
+		// order sort.SliceStable on the boolean key produced, at one
+		// memoized pattern lookup per candidate instead of a URL parse
+		// per comparison.
+		unseen, seen := w.dirUnseen[:0], w.dirSeen[:0]
+		for _, c := range fresh {
+			if seenDirs[w.dirPattern(c)] {
+				seen = append(seen, c)
+			} else {
+				unseen = append(unseen, c)
+			}
+		}
+		fresh = append(unseen, seen...)
+		w.dirUnseen, w.dirSeen = unseen[:0], seen[:0]
 	}
 	out := make([]string, 0, w.cfg.Branch)
 	for _, c := range fresh {
@@ -469,10 +495,29 @@ func (w *Visitor) selectURLs(candidates []string, visited, seenDirs map[string]b
 			break
 		}
 		out = append(out, c)
-		seenDirs[dirPattern(c)] = true
+		seenDirs[w.dirPattern(c)] = true
 		visited[c] = true
 	}
 	return out
+}
+
+// dirPattern memoizes the package-level dirPattern: the same candidate URLs
+// recur across a site's cases × rounds revisits.
+func (w *Visitor) dirPattern(rawURL string) string {
+	if p, ok := w.dirPat[rawURL]; ok {
+		return p
+	}
+	if w.dirPat == nil {
+		w.dirPat = make(map[string]string)
+	}
+	if len(w.dirPat) > 8192 {
+		// Entries belong to sites long finished; start over rather than
+		// grow without bound across a multi-thousand-site survey.
+		clear(w.dirPat)
+	}
+	p := dirPattern(rawURL)
+	w.dirPat[rawURL] = p
+	return p
 }
 
 // authenticate appends the members-area session token to closed-web URLs

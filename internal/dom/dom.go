@@ -32,11 +32,14 @@ type Node struct {
 	// works but bypasses invalidation.
 	Hidden bool
 
-	attrs     map[string]string
-	attrOrder []string
+	// attrs holds the attributes in first-set order. Elements carry a
+	// handful at most, so a linear slice beats a map on both lookup time
+	// and allocation count (the parser creates hundreds of thousands of
+	// attributed elements per crawl).
+	attrs []attrPair
 
-	// sharedAttrs marks attrs/attrOrder as borrowed from a Template (or
-	// another clone); SetAttr copies them before the first write so
+	// sharedAttrs marks attrs as borrowed from a Template (or another
+	// clone); SetAttr copies the slice before the first write so
 	// mutations never leak across clones.
 	sharedAttrs bool
 
@@ -44,6 +47,9 @@ type Node struct {
 	// maintained on the root node only; see Gen.
 	gen uint64
 }
+
+// attrPair is one attribute; the Node keeps them in first-set order.
+type attrPair struct{ name, value string }
 
 // NewDocument returns an empty document root.
 func NewDocument() *Node { return &Node{Type: DocumentNode} }
@@ -64,22 +70,19 @@ func (n *Node) SetAttr(name, value string) {
 	name = strings.ToLower(name)
 	if n.sharedAttrs {
 		// Copy-on-write: the attribute storage is shared with a template
-		// (and its other clones), so the first write takes a private copy.
-		m := make(map[string]string, len(n.attrs)+1)
-		for k, v := range n.attrs {
-			m[k] = v
-		}
-		n.attrs = m
-		n.attrOrder = append(make([]string, 0, len(n.attrOrder)+1), n.attrOrder...)
+		// (and its other clones), so the first write — update or append —
+		// takes a private copy.
+		n.attrs = append(make([]attrPair, 0, len(n.attrs)+1), n.attrs...)
 		n.sharedAttrs = false
 	}
-	if n.attrs == nil {
-		n.attrs = make(map[string]string)
+	for i := range n.attrs {
+		if n.attrs[i].name == name {
+			n.attrs[i].value = value
+			n.bumpGen()
+			return
+		}
 	}
-	if _, ok := n.attrs[name]; !ok {
-		n.attrOrder = append(n.attrOrder, name)
-	}
-	n.attrs[name] = value
+	n.attrs = append(n.attrs, attrPair{name, value})
 	// Attributes feed cached views too (data-action drives Interactive),
 	// so attribute writes move the generation. Cheap in the common case:
 	// the parser sets attributes on still-detached elements (root = self).
@@ -88,8 +91,16 @@ func (n *Node) SetAttr(name, value string) {
 
 // Attr returns the attribute value and whether it is present.
 func (n *Node) Attr(name string) (string, bool) {
-	v, ok := n.attrs[strings.ToLower(name)]
-	return v, ok
+	if len(n.attrs) == 0 {
+		return "", false
+	}
+	name = strings.ToLower(name)
+	for i := range n.attrs {
+		if n.attrs[i].name == name {
+			return n.attrs[i].value, true
+		}
+	}
+	return "", false
 }
 
 // AttrOr returns the attribute value or a default.
@@ -102,8 +113,10 @@ func (n *Node) AttrOr(name, def string) string {
 
 // AttrNames returns the attribute names in first-set order.
 func (n *Node) AttrNames() []string {
-	out := make([]string, len(n.attrOrder))
-	copy(out, n.attrOrder)
+	out := make([]string, len(n.attrs))
+	for i := range n.attrs {
+		out[i] = n.attrs[i].name
+	}
 	return out
 }
 
@@ -160,6 +173,11 @@ func (n *Node) AppendChild(child *Node) {
 		child.Parent.RemoveChild(child)
 	}
 	child.Parent = n
+	if n.Children == nil {
+		// Most parents hold several children; skip the 1→2→4 growth
+		// reallocations the parser would otherwise pay per node.
+		n.Children = make([]*Node, 0, 4)
+	}
 	n.Children = append(n.Children, child)
 	n.bumpGen()
 }
@@ -210,12 +228,8 @@ func (n *Node) RemoveChild(child *Node) {
 // cost to a couple of slab allocations per clone.
 func (n *Node) Clone() *Node {
 	cp := &Node{Type: n.Type, Tag: n.Tag, Text: n.Text, Hidden: n.Hidden}
-	if n.attrs != nil {
-		cp.attrs = make(map[string]string, len(n.attrs))
-		cp.attrOrder = append([]string(nil), n.attrOrder...)
-		for k, v := range n.attrs {
-			cp.attrs[k] = v
-		}
+	if len(n.attrs) > 0 {
+		cp.attrs = append([]attrPair(nil), n.attrs...)
 	}
 	for _, c := range n.Children {
 		cc := c.Clone()
@@ -249,7 +263,7 @@ func NewTemplate(n *Node) *Template {
 	n.Walk(func(c *Node) bool {
 		// Mark attribute storage shared now, once, so instantiation
 		// never writes to template nodes (concurrent clones only read).
-		c.sharedAttrs = c.attrs != nil
+		c.sharedAttrs = len(c.attrs) > 0
 		t.nodes++
 		t.kids += len(c.Children)
 		return true
@@ -283,9 +297,8 @@ func (t *Template) Instantiate() *Node {
 		cp.Text = src.Text
 		cp.Hidden = src.Hidden
 		cp.Parent = parent
-		if src.attrs != nil {
+		if len(src.attrs) > 0 {
 			cp.attrs = src.attrs
-			cp.attrOrder = src.attrOrder
 			cp.sharedAttrs = true
 		}
 		if len(src.Children) > 0 {
@@ -614,7 +627,7 @@ func (n *Node) String() string {
 		names := n.AttrNames()
 		sort.Strings(names)
 		for _, a := range names {
-			fmt.Fprintf(&b, " %s=%q", a, n.attrs[a])
+			fmt.Fprintf(&b, " %s=%q", a, n.AttrOr(a, ""))
 		}
 		b.WriteString(">")
 		return b.String()

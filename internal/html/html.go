@@ -34,7 +34,7 @@ func (e *ParseError) Error() string {
 // text outside html/body is kept in place.
 func Parse(src string) (*dom.Node, error) {
 	p := &parser{src: src}
-	doc := dom.NewDocument()
+	doc := p.arena.NewDocument()
 	p.stack = []*dom.Node{doc}
 	for p.pos < len(p.src) {
 		if err := p.step(); err != nil {
@@ -48,6 +48,10 @@ type parser struct {
 	src   string
 	pos   int
 	stack []*dom.Node
+
+	// arena batches this document's node allocations; the parser is the
+	// only writer and dies with the parse, so lifetimes match exactly.
+	arena dom.Arena
 }
 
 func (p *parser) top() *dom.Node { return p.stack[len(p.stack)-1] }
@@ -79,7 +83,7 @@ func (p *parser) parseText() error {
 	}
 	text := Unescape(p.src[start:p.pos])
 	if strings.TrimSpace(text) != "" {
-		p.top().AppendChild(dom.NewText(text))
+		p.top().AppendChild(p.arena.NewText(text))
 	}
 	return nil
 }
@@ -89,7 +93,7 @@ func (p *parser) parseComment() error {
 	if end < 0 {
 		return p.errorf("unterminated comment")
 	}
-	p.top().AppendChild(dom.NewComment(p.src[p.pos+4 : p.pos+4+end]))
+	p.top().AppendChild(p.arena.NewComment(p.src[p.pos+4 : p.pos+4+end]))
 	p.pos += 4 + end + 3
 	return nil
 }
@@ -130,11 +134,11 @@ func (p *parser) parseOpenTag() error {
 	name := strings.ToLower(p.src[nameStart:p.pos])
 	if name == "" {
 		// A bare '<' in text; treat literally.
-		p.top().AppendChild(dom.NewText("<"))
+		p.top().AppendChild(p.arena.NewText("<"))
 		p.pos = start + 1
 		return nil
 	}
-	el := dom.NewElement(name)
+	el := p.arena.NewElement(name)
 
 	// Attributes.
 	for {
@@ -185,7 +189,7 @@ func (p *parser) parseOpenTag() error {
 		}
 		raw := p.src[p.pos : p.pos+end]
 		if raw != "" {
-			el.AppendChild(dom.NewText(raw))
+			el.AppendChild(p.arena.NewText(raw))
 		}
 		p.pos += end
 		return p.parseCloseTag()
@@ -242,10 +246,20 @@ var unescaper = strings.NewReplacer(
 )
 
 // Escape escapes text for safe embedding in HTML content or attributes.
-func Escape(s string) string { return escaper.Replace(s) }
+func Escape(s string) string {
+	if !strings.ContainsAny(s, `&<>"'`) {
+		return s // nothing to escape; skip the replacer's output buffer
+	}
+	return escaper.Replace(s)
+}
 
 // Unescape resolves the supported character references.
-func Unescape(s string) string { return unescaper.Replace(s) }
+func Unescape(s string) string {
+	if strings.IndexByte(s, '&') < 0 {
+		return s // no references; skip the replacer's output buffer
+	}
+	return unescaper.Replace(s)
+}
 
 // Render serializes a dom tree back to HTML. Raw-text element content is
 // emitted verbatim; other text is escaped.

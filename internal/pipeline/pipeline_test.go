@@ -140,6 +140,64 @@ func TestFastPathMatchesSlowPath(t *testing.T) {
 	}
 }
 
+// TestExecutionAblationsMatchBaseline pins the two execution-engine
+// rewrites — compiled WebScript dispatch and the tokenized ABP matcher
+// index — to the interpreted/linear reference: disabling either (or both)
+// must reproduce the byte-identical log and stats, sequentially and under a
+// sharded geometry. Together with TestFastPathMatchesSlowPath this keeps
+// every perf path a pure rearrangement of the same computation.
+func TestExecutionAblationsMatchBaseline(t *testing.T) {
+	setup(t)
+	want := csvBytes(t, baseLog)
+	modes := []struct {
+		name               string
+		noCompile, noIndex bool
+	}{
+		{"no-script-compile", true, false},
+		{"no-matcher-index", false, true},
+		{"both-disabled", true, true},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			cfg := sequentialConfig()
+			cfg.DisableScriptCompile = m.noCompile
+			cfg.DisableMatcherIndex = m.noIndex
+			log, stats, err := crawler.New(testWeb, testBind, cfg).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := csvBytes(t, log); !bytes.Equal(got, want) {
+				t.Errorf("ablated log differs from baseline (%d vs %d bytes)", len(got), len(want))
+			}
+			if *stats != *baseStats {
+				t.Errorf("ablated stats = %+v, want %+v", *stats, *baseStats)
+			}
+		})
+	}
+	t.Run("both-disabled-sharded", func(t *testing.T) {
+		cfg := sequentialConfig()
+		cfg.DisableScriptCompile = true
+		cfg.DisableMatcherIndex = true
+		eng := New(testWeb, testBind, Config{
+			Shards:          4,
+			WorkersPerShard: 2,
+			BatchSize:       8,
+			Stripes:         8,
+			Crawl:           cfg,
+		})
+		res, err := eng.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := csvBytes(t, res.Log); !bytes.Equal(got, want) {
+			t.Errorf("sharded ablated log differs from baseline (%d vs %d bytes)", len(got), len(want))
+		}
+		if *res.Stats != *baseStats {
+			t.Errorf("sharded ablated stats = %+v, want %+v", *res.Stats, *baseStats)
+		}
+	})
+}
+
 // TestPipelineConcurrent exercises the multi-shard engine under the race
 // detector: many shards, many workers, tiny batches, few stripes — the
 // maximum-contention geometry.

@@ -7,7 +7,11 @@ import (
 )
 
 // CallContext carries one logical method invocation (or batch thereof)
-// through the dispatch chain.
+// through the dispatch chain. The context passed to a MethodFunc is only
+// valid for the duration of the call: the runtime reuses one context across
+// dispatches (pages invoke features millions of times per survey), so
+// implementations must not retain it or call back into the same runtime's
+// dispatch while holding it.
 type CallContext struct {
 	// Feature is the resolved corpus feature being invoked.
 	Feature *webidl.Feature
@@ -135,6 +139,10 @@ type Runtime struct {
 	// instrumented lists the owners (extensions) that have installed
 	// their shims on this runtime; see MarkInstrumented.
 	instrumented []any
+	// scratch is the reusable CallContext handed to method slots; see the
+	// CallContext docs for the non-retention contract that makes one
+	// context per runtime safe.
+	scratch CallContext
 }
 
 // NewRuntime creates a fresh page runtime with pristine (unpatched) slots.
@@ -206,13 +214,20 @@ func (rt *Runtime) Call(iface, member string, count int) error {
 	if !ok || f.Kind != webidl.Method {
 		return &ReferenceError{Interface: iface, Member: member}
 	}
-	ctx := &CallContext{Feature: f, Count: count}
+	rt.dispatch(f, count)
+	return nil
+}
+
+// dispatch invokes a resolved method feature through its current slot using
+// the runtime's scratch context.
+func (rt *Runtime) dispatch(f *webidl.Feature, count int) {
+	ctx := &rt.scratch
+	ctx.Feature, ctx.Count = f, count
 	if fn := rt.methods[f.ID]; fn != nil {
 		fn(ctx)
-		return nil
+		return
 	}
 	rt.nativeImpl(ctx)
-	return nil
 }
 
 // SetProperty dispatches one write to Interface.member. Writes to readonly

@@ -27,12 +27,22 @@ var eventNames = map[string]EventType{
 	"timer":  EventTimer,
 }
 
+// eventNameList is the inverse of eventNames, indexed by EventType. String
+// used to range over the map hunting for its value — nondeterministic
+// iteration on every call plus a map walk per event registration.
+var eventNameList = [...]string{
+	EventLoad:   "load",
+	EventClick:  "click",
+	EventScroll: "scroll",
+	EventInput:  "input",
+	EventMove:   "move",
+	EventTimer:  "timer",
+}
+
 // String returns the source-level event name.
 func (e EventType) String() string {
-	for name, ev := range eventNames {
-		if ev == e {
-			return name
-		}
+	if int(e) >= 0 && int(e) < len(eventNameList) {
+		return eventNameList[e]
 	}
 	return fmt.Sprintf("EventType(%d)", int(e))
 }
