@@ -47,6 +47,21 @@
 // byte for byte. Workers take their survey methodology from the
 // coordinator, so only engine-geometry flags (-shards, -workers, -batch,
 // -cache…) matter on the worker command line.
+//
+// # Crash recovery
+//
+// Every run can be killed and resumed without losing committed work or
+// double-counting any visit (docs/OPERATIONS.md § Crash recovery):
+//
+//   - Single machine: a -spill-only -spill run re-run with -resume replays
+//     the sites whose spill records committed durably and crawls only the
+//     rest; the tables are byte-identical to an uninterrupted run.
+//   - Coordinator: -checkpoint journals every committed lease, fsynced;
+//     restarting the same command over the same file re-issues only the
+//     unfinished leases. -seed-spills promotes a crashed single-machine
+//     run's spill directory into already-merged leases.
+//   - Worker: -reconnect N redials a restarted coordinator with backoff
+//     instead of exiting on the first broken connection.
 package main
 
 import (
@@ -83,10 +98,14 @@ func main() {
 		cacheLimit = flag.Int64("cache-limit", 0, "visit cache size cap in bytes; least-recently-used entries are pruned (0 = unbounded)")
 		spillDir   = flag.String("spill", "", "stream per-shard spill files to this directory")
 		spillOnly  = flag.Bool("spill-only", false, "drop the in-memory log; fold visits into mergeable per-shard aggregates (bounded memory)")
+		resume     = flag.Bool("resume", false, "resume a crashed -spill-only run: replay committed sites from -spill and crawl only the rest")
 		coord      = flag.String("coordinator", "", "run as survey coordinator, listening on this host:port for workers")
 		workerAddr = flag.String("worker", "", "run as survey worker, connecting to this coordinator host:port")
 		leaseSites = flag.Int("lease", 0, "coordinator: sites per worker lease (0 = default 64)")
 		heartbeat  = flag.Duration("heartbeat", 0, "coordinator: declare a worker dead after this much silence and re-issue its lease (0 = default 10s)")
+		checkpoint = flag.String("checkpoint", "", "coordinator: journal committed leases to this file; restarting over it re-issues only unfinished leases")
+		seedSpills = flag.String("seed-spills", "", "coordinator: spill-file glob from a crashed single-machine run of the same study; fully covered leases merge without re-crawling")
+		reconnect  = flag.Int("reconnect", 0, "worker: survive coordinator restarts, redialing with backoff up to this many consecutive failed attempts (0 = exit on disconnect)")
 		noReuse    = flag.Bool("no-browser-reuse", false, "ablation: disable the browser revisit fast path (results identical)")
 		noCompile  = flag.Bool("no-script-compile", false, "ablation: run scripts on the AST interpreter instead of compiled ops (results identical)")
 		noIndex    = flag.Bool("no-matcher-index", false, "ablation: use the linear ABP rule scan instead of the tokenized index (results identical)")
@@ -109,12 +128,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pipeline: workers take the survey from the coordinator; -out and -spill-only do not apply in worker mode (-spill keeps local copies of streamed leases)")
 		os.Exit(2)
 	}
+	if *resume && (*spillDir == "" || !*spillOnly) {
+		fmt.Fprintln(os.Stderr, "pipeline: -resume replays the spill directory of a crashed run; it requires -spill-only and -spill")
+		os.Exit(2)
+	}
+	if *resume && (*coord != "" || *workerAddr != "") {
+		fmt.Fprintln(os.Stderr, "pipeline: -resume is single-machine; coordinators resume from -checkpoint, and -seed-spills promotes a crashed local run")
+		os.Exit(2)
+	}
+	if (*checkpoint != "" || *seedSpills != "") && *coord == "" {
+		fmt.Fprintln(os.Stderr, "pipeline: -checkpoint and -seed-spills apply only in -coordinator mode")
+		os.Exit(2)
+	}
 
 	ctxRoot, stopRoot := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stopRoot()
 
 	if *workerAddr != "" {
-		if err := runWorker(ctxRoot, *workerAddr, *spillDir, core.Config{
+		if err := runWorker(ctxRoot, *workerAddr, *spillDir, *reconnect, core.Config{
 			Shards:               *shards,
 			ShardWorkers:         *workers,
 			BatchSize:            *batch,
@@ -149,6 +180,7 @@ func main() {
 		CacheMaxBytes:        *cacheLimit,
 		SpillDir:             *spillDir,
 		SpillOnly:            *spillOnly,
+		Resume:               *resume,
 		DisableBrowserReuse:  *noReuse,
 		DisableScriptCompile: *noCompile,
 		DisableMatcherIndex:  *noIndex,
@@ -169,7 +201,7 @@ func main() {
 	start := time.Now()
 	var results *core.Results
 	if *coord != "" {
-		agg, err := runCoordinator(ctx, *coord, study, *leaseSites, *heartbeat)
+		agg, err := runCoordinator(ctx, *coord, study, *leaseSites, *heartbeat, *checkpoint, *seedSpills)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -185,6 +217,10 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "%d sites × %d cases × %d rounds in %s (%d shards × %d workers)\n",
 			*sites, len(prof.Cases()), *rounds, time.Since(start).Round(time.Millisecond), *shards, *workers)
+		if *resume {
+			fmt.Fprintf(os.Stderr, "resume: %d sites replayed from committed spills, %d crawled fresh\n",
+				results.Resumed, *sites-results.Resumed)
+		}
 	}
 	if study.Cache != nil {
 		st := study.Cache.Stats()
@@ -227,13 +263,16 @@ func main() {
 
 // runCoordinator serves the survey to remote workers and returns the merged
 // aggregate. Survey methodology comes from the local study's flags; workers
-// receive it in the study spec and never need matching flags.
-func runCoordinator(ctx context.Context, addr string, study *core.Study, leaseSites int, heartbeat time.Duration) (*stats.Aggregate, error) {
+// receive it in the study spec and never need matching flags. With a
+// checkpoint path, committed leases are journaled durably and a restart
+// over the same file re-issues only unfinished leases; seedSpills promotes
+// a crashed single-machine run's spill files into already-merged leases.
+func runCoordinator(ctx context.Context, addr string, study *core.Study, leaseSites int, heartbeat time.Duration, checkpoint, seedSpills string) (*stats.Aggregate, error) {
 	spec, err := study.Spec()
 	if err != nil {
 		return nil, err
 	}
-	c, err := dist.Listen(addr, dist.CoordinatorConfig{
+	cfg := dist.CoordinatorConfig{
 		Spec:             spec,
 		NumSites:         len(study.Web.Sites),
 		NumFeatures:      len(study.Registry.Features),
@@ -241,10 +280,20 @@ func runCoordinator(ctx context.Context, addr string, study *core.Study, leaseSi
 		Cases:            study.Cfg.Cases,
 		LeaseSites:       leaseSites,
 		HeartbeatTimeout: heartbeat,
+		CheckpointPath:   checkpoint,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
-	})
+	}
+	if seedSpills != "" {
+		paths, err := core.SpillGlob(seedSpills)
+		if err != nil {
+			return nil, err
+		}
+		cfg.SeedSpills = paths
+		cfg.Domains = study.Domains()
+	}
+	c, err := dist.Listen(addr, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -256,8 +305,10 @@ func runCoordinator(ctx context.Context, addr string, study *core.Study, leaseSi
 // runWorker joins a coordinator and crawls leases until the survey ends.
 // opts carries only worker-local engine geometry; the survey methodology
 // arrives in the coordinator's study spec. spillDir, when set, keeps local
-// lease-NNN.spill copies of everything streamed home.
-func runWorker(ctx context.Context, addr, spillDir string, opts core.Config) error {
+// lease-NNN.spill copies of everything streamed home. reconnect > 0 makes
+// the worker survive coordinator restarts instead of exiting on the first
+// broken connection.
+func runWorker(ctx context.Context, addr, spillDir string, reconnect int, opts core.Config) error {
 	var study *core.Study
 	defer func() {
 		if study != nil {
@@ -265,8 +316,9 @@ func runWorker(ctx context.Context, addr, spillDir string, opts core.Config) err
 		}
 	}()
 	return dist.Run(ctx, dist.WorkerConfig{
-		Addr:     addr,
-		SpillDir: spillDir,
+		Addr:                 addr,
+		SpillDir:             spillDir,
+		MaxReconnectAttempts: reconnect,
 		Build: func(spec []byte) (dist.CrawlFunc, error) {
 			s, err := core.StudyFromSpec(spec, opts)
 			if err != nil {

@@ -72,6 +72,7 @@ func run() error {
 		coordinator = flag.String("coordinator", "", "act as distributed-survey coordinator on this address; workers fill the served aggregate live")
 		leaseSites  = flag.Int("lease-sites", 64, "sites per lease in coordinator mode")
 		heartbeat   = flag.Duration("heartbeat", 10*time.Second, "worker heartbeat timeout in coordinator mode")
+		checkpoint  = flag.String("checkpoint", "", "coordinator mode: journal committed leases to this file; a restart over it resumes the survey")
 		drain       = flag.Duration("drain", 10*time.Second, "how long to wait for in-flight requests on shutdown")
 	)
 	flag.Parse()
@@ -84,6 +85,9 @@ func run() error {
 	}
 	if sources != 1 {
 		return fmt.Errorf("serve: exactly one of -spills, -load, -coordinator is required")
+	}
+	if *checkpoint != "" && *coordinator == "" {
+		return fmt.Errorf("serve: -checkpoint applies only in -coordinator mode")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -131,11 +135,12 @@ func run() error {
 	errc := make(chan error, 2)
 
 	if *coordinator != "" {
-		coord, err := srv.Coordinator(*coordinator, *leaseSites, *heartbeat)
+		coord, err := srv.Coordinator(*coordinator, *leaseSites, *heartbeat, *checkpoint)
 		if err != nil {
 			return err
 		}
-		logf("coordinator listening on %s (%d leases); serving fills in live", coord.Addr(), coord.Leases())
+		logf("coordinator listening on %s (%d leases, %d already merged); serving fills in live",
+			coord.Addr(), coord.Leases(), coord.Completed())
 		go func() {
 			if _, err := coord.Serve(ctx); err != nil {
 				errc <- fmt.Errorf("coordinator: %w", err)

@@ -82,6 +82,19 @@ type Config struct {
 	// cache directory tracks recency without directory scans). 0 means
 	// unbounded.
 	CacheMaxBytes int64
+	// Resume, when set with SpillDir, makes RunSurvey crash-safe: before
+	// crawling, the spill directory's files (including torn .partial
+	// files a killed run left behind) are compacted into one stream of
+	// durably committed sites, those sites are replayed into the
+	// aggregate, and only the remainder is crawled. The resumed run's
+	// report is byte-identical to an uninterrupted one. A fresh
+	// directory resumes trivially (nothing committed, everything
+	// crawled), so the flag is safe to leave on.
+	Resume bool
+	// SpillTap is a test seam forwarded to pipeline.Config.SpillTap:
+	// fault-injection tests wrap each shard's spill file writer to tear
+	// writes at deterministic points. Production runs leave it nil.
+	SpillTap func(shard int, w io.Writer) io.Writer
 	// DisableBrowserReuse, DisableScriptCompile, and DisableMatcherIndex
 	// are ablation/debugging knobs forwarding to the matching
 	// crawler.Config fields: respectively they disable the browser's
@@ -120,6 +133,9 @@ type Results struct {
 	// nil for the sequential engine, which records straight into the log.
 	Agg      stats.Source
 	Analysis *analysis.Analysis
+	// Resumed counts the sites replayed from a previous crashed life's
+	// spill files rather than crawled; 0 for a fresh run.
+	Resumed int
 }
 
 // NewStudy generates the study environment: WebIDL corpus, synthetic web,
@@ -142,6 +158,9 @@ func NewStudy(cfg Config) (*Study, error) {
 	}
 	if cfg.SpillOnly && cfg.Shards <= 0 {
 		return nil, fmt.Errorf("core: spill-only mode requires the pipeline engine (Shards > 0)")
+	}
+	if cfg.Resume && (cfg.SpillDir == "" || cfg.Shards <= 0) {
+		return nil, fmt.Errorf("core: resume requires a spill directory and the pipeline engine (Shards > 0)")
 	}
 
 	if cfg.LogFormat == "" {
@@ -239,7 +258,33 @@ func (s *Study) RunSurvey() (*Results, error) {
 // to the pipeline path (the sequential crawler has no cancellation points).
 func (s *Study) RunSurveyContext(ctx context.Context) (*Results, error) {
 	if s.Cfg.Shards > 0 {
-		res, err := s.pipeline().Run(ctx)
+		eng := s.pipeline()
+		resumed := 0
+		if s.Cfg.Resume {
+			// Fold whatever the previous life durably committed — whole
+			// shard files and the valid prefixes of torn .partial ones —
+			// into one clean stream, replay it, and crawl the rest.
+			comp, err := logstore.CompactSpillDir(s.Cfg.SpillDir, len(s.Registry.Features), s.domains())
+			if err != nil {
+				return nil, fmt.Errorf("core: scanning spill dir for resume: %w", err)
+			}
+			if len(comp.Committed) > 0 {
+				committed := make(map[int]bool, len(comp.Committed))
+				for _, site := range comp.Committed {
+					committed[site] = true
+				}
+				remainder := make([]int, 0, len(s.Web.Sites)-len(comp.Committed))
+				for i := range s.Web.Sites {
+					if !committed[i] {
+						remainder = append(remainder, i)
+					}
+				}
+				eng.Cfg.ResumeSpills = []string{comp.Path}
+				eng.Cfg.Sites = remainder
+				resumed = len(comp.Committed)
+			}
+		}
+		res, err := eng.Run(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -252,7 +297,7 @@ func (s *Study) RunSurveyContext(ctx context.Context) (*Results, error) {
 		} else {
 			a = analysis.FromStats(res.Agg, s.Registry)
 		}
-		return &Results{Log: res.Log, Stats: res.Stats, Agg: res.Agg, Analysis: a}, nil
+		return &Results{Log: res.Log, Stats: res.Stats, Agg: res.Agg, Analysis: a, Resumed: resumed}, nil
 	}
 	log, stats, err := s.crawler().Run()
 	if err != nil {
@@ -285,6 +330,7 @@ func (s *Study) pipeline() *pipeline.Engine {
 		Cache:           s.Cache,
 		SpillDir:        s.Cfg.SpillDir,
 		SpillOnly:       s.Cfg.SpillOnly,
+		SpillTap:        s.Cfg.SpillTap,
 		Crawl:           s.crawlConfig(),
 	})
 	if s.server != nil {
@@ -357,6 +403,12 @@ func (s *Study) domains() []string {
 	}
 	return out
 }
+
+// Domains returns the survey's ranked site list as domain strings,
+// index-aligned with the site indices spill streams and leases carry —
+// what a distributed coordinator needs to validate seed spills against
+// this exact study.
+func (s *Study) Domains() []string { return s.domains() }
 
 // CrawlSites crawls exactly the given site indices — a distributed lease —
 // through a spill-only pipeline run, streaming the visits into spill as one

@@ -1,0 +1,283 @@
+package dist
+
+// White-box tests for the coordinator checkpoint journal: creation,
+// torn-tail truncation, survey pinning, and seed-from-spills promotion.
+// The end-to-end crash-and-restart equivalence proof lives in
+// crash_test.go.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/measure"
+)
+
+func wbConfig() CoordinatorConfig {
+	return CoordinatorConfig{
+		Spec:        []byte("spec"),
+		NumSites:    wbSites,
+		NumFeatures: wbFeatures,
+		Standards:   wbStandards(),
+		Cases:       []measure.Case{measure.CaseDefault, measure.CaseBlocking},
+		LeaseSites:  wbLease,
+	}.normalized()
+}
+
+// TestCheckpointRoundTrip pins the journal cycle: create, commit, reload,
+// replay — and that reloading an empty checkpoint commits nothing.
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := wbConfig()
+	path := filepath.Join(t.TempDir(), "survey.ckpt")
+
+	ck, commits, err := loadCheckpoint(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(commits) != 0 {
+		t.Fatalf("fresh checkpoint reports %d commits, want 0", len(commits))
+	}
+	stream0 := []byte("lease zero stream")
+	stream1 := []byte("lease one stream")
+	if err := ck.commit(0, stream0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.commit(1, stream1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ck2, commits, err := loadCheckpoint(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.close()
+	if len(commits) != 2 || string(commits[0]) != string(stream0) || string(commits[1]) != string(stream1) {
+		t.Fatalf("replayed commits = %q, want the two journaled streams", commits)
+	}
+}
+
+// TestCheckpointTruncatesTornTail appends garbage past the last intact
+// commit — the shape a kill mid-append leaves — and asserts reload keeps
+// every intact commit, truncates the tail, and appends cleanly afterward.
+func TestCheckpointTruncatesTornTail(t *testing.T) {
+	cfg := wbConfig()
+	path := filepath.Join(t.TempDir(), "survey.ckpt")
+	ck, _, err := loadCheckpoint(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.commit(0, []byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.close(); err != nil {
+		t.Fatal(err)
+	}
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-journal a second commit, then tear it at every possible byte —
+	// every torn tail an interrupted append can produce.
+	ck2, _, err := loadCheckpoint(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck2.commit(1, []byte("will be torn")); err != nil {
+		t.Fatal(err)
+	}
+	ck2.close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(intact); cut < len(full); cut++ {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ck3, commits, err := loadCheckpoint(path, cfg)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if len(commits) != 1 || string(commits[0]) != "intact" {
+			ck3.close()
+			t.Fatalf("cut=%d: commits = %q, want only the intact lease", cut, commits)
+		}
+		// The torn tail must be gone and the journal appendable: a new
+		// commit must survive its own reload.
+		if err := ck3.commit(2, []byte("after repair")); err != nil {
+			t.Fatalf("cut=%d: append after repair: %v", cut, err)
+		}
+		ck3.close()
+		ck4, commits, err := loadCheckpoint(path, cfg)
+		if err != nil {
+			t.Fatalf("cut=%d: reload after repair: %v", cut, err)
+		}
+		ck4.close()
+		if len(commits) != 2 || string(commits[2]) != "after repair" {
+			t.Fatalf("cut=%d: post-repair commits = %q", cut, commits)
+		}
+	}
+}
+
+// TestCheckpointPinsSurvey: a checkpoint reopened with a different study
+// shape or spec is refused rather than silently merging foreign results.
+func TestCheckpointPinsSurvey(t *testing.T) {
+	cfg := wbConfig()
+	path := filepath.Join(t.TempDir(), "survey.ckpt")
+	ck, _, err := loadCheckpoint(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.close()
+
+	for name, mutate := range map[string]func(*CoordinatorConfig){
+		"sites":    func(c *CoordinatorConfig) { c.NumSites++ },
+		"features": func(c *CoordinatorConfig) { c.NumFeatures++ },
+		"lease":    func(c *CoordinatorConfig) { c.LeaseSites++ },
+		"spec":     func(c *CoordinatorConfig) { c.Spec = []byte("other") },
+	} {
+		other := wbConfig()
+		mutate(&other)
+		if ck, _, err := loadCheckpoint(path, other); err == nil {
+			ck.close()
+			t.Errorf("%s: checkpoint accepted a different survey", name)
+		}
+	}
+
+	// A file that is not a checkpoint at all.
+	junk := filepath.Join(t.TempDir(), "junk.ckpt")
+	if err := os.WriteFile(junk, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if ck, _, err := loadCheckpoint(junk, cfg); err == nil {
+		ck.close()
+		t.Error("loadCheckpoint accepted junk")
+	}
+}
+
+// TestCheckpointFirstCommitWins: duplicate commit frames for one lease —
+// possible when a re-issued lease commits twice across coordinator lives —
+// replay the first, matching the in-memory dedup rule.
+func TestCheckpointFirstCommitWins(t *testing.T) {
+	cfg := wbConfig()
+	path := filepath.Join(t.TempDir(), "survey.ckpt")
+	ck, _, err := loadCheckpoint(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.commit(0, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.commit(0, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	ck.close()
+	ck2, commits, err := loadCheckpoint(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck2.close()
+	if string(commits[0]) != "first" {
+		t.Fatalf("commits[0] = %q, want the first journaled stream", commits[0])
+	}
+}
+
+// TestListenReplaysCheckpoint drives the replay path through Listen: a
+// coordinator restarted over a checkpoint holding one committed lease
+// starts with that lease merged and only the other pending.
+func TestListenReplaysCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "survey.ckpt")
+
+	mk := func() *Coordinator {
+		t.Helper()
+		cfg := wbConfig()
+		cfg.CheckpointPath = path
+		c, err := Listen("127.0.0.1:0", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.ln.Close(); c.ckpt.close() })
+		return c
+	}
+
+	c1 := mk()
+	if err := c1.mergeLease(0, wbLeaseStream(t, c1.leases[0])); err != nil {
+		t.Fatal(err)
+	}
+	c1.ln.Close()
+	c1.mu.Lock()
+	c1.ckpt.close()
+	c1.ckpt = nil
+	c1.mu.Unlock()
+
+	c2 := mk()
+	if got := c2.Completed(); got != 1 {
+		t.Fatalf("restarted coordinator Completed() = %d, want 1", got)
+	}
+	if !c2.completed[0] || c2.completed[1] {
+		t.Fatalf("restarted completion set = %v, want only lease 0", c2.completed)
+	}
+	if got := c2.agg.MeasuredCount(); got != wbLease {
+		t.Fatalf("restarted MeasuredCount = %d, want %d", got, wbLease)
+	}
+	// Only the unfinished lease is pending.
+	if got := len(c2.pending); got != 1 {
+		t.Fatalf("pending queue holds %d leases, want 1", got)
+	}
+	if id := <-c2.pending; id != 1 {
+		t.Fatalf("pending lease = %d, want 1", id)
+	}
+}
+
+// TestSeedFromSpills promotes a crashed single-machine run: a spill file
+// durably covering all of lease 0 and only part of lease 1 seeds exactly
+// lease 0; lease 1 stays pending for workers to re-crawl whole.
+func TestSeedFromSpills(t *testing.T) {
+	dir := t.TempDir()
+	spill := filepath.Join(dir, "shard-000.spill")
+	f, err := os.Create(spill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sites 0..5 committed: lease 0 (sites 0-3) fully covered, lease 1
+	// (sites 4-7) only partially.
+	if _, err := f.Write(wbLeaseStream(t, []int{0, 1, 2, 3, 4, 5})); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := wbConfig()
+	cfg.SeedSpills = []string{spill}
+	cfg.Domains = make([]string, wbSites)
+	c, err := Listen("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.ln.Close()
+	if got := c.Completed(); got != 1 {
+		t.Fatalf("Completed() after seeding = %d, want 1", got)
+	}
+	if !c.completed[0] || c.completed[1] {
+		t.Fatalf("seeded completion set = %v, want only lease 0", c.completed)
+	}
+	if got := c.agg.MeasuredCount(); got != wbLease {
+		t.Fatalf("seeded MeasuredCount = %d, want %d (partial lease must not leak sites)", got, wbLease)
+	}
+	if id := <-c.pending; id != 1 {
+		t.Fatalf("pending lease = %d, want 1", id)
+	}
+
+	// Seeding without the domain list is an error, not silent no-op.
+	bad := wbConfig()
+	bad.SeedSpills = []string{spill}
+	if c, err := Listen("127.0.0.1:0", bad); err == nil {
+		c.ln.Close()
+		t.Error("Listen accepted SeedSpills without Domains")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -58,6 +59,27 @@ type CoordinatorConfig struct {
 	// describe the same study (NumFeatures, NumSites, Cases) and start
 	// with no open sites.
 	Agg *stats.Aggregate
+	// CheckpointPath, when non-empty, journals every committed lease —
+	// ID plus its complete spill stream — to an append-only checkpoint
+	// file, fsynced per commit. A coordinator restarted over the same
+	// checkpoint re-merges the journaled leases and re-issues only the
+	// rest, so a coordinator kill loses at most the leases in flight.
+	// The checkpoint pins the survey (sites, corpus, lease size, spec);
+	// reusing it with a different study is an error.
+	CheckpointPath string
+	// SeedSpills, when non-empty, names spill files from a crashed
+	// single-machine run of the same study (typically its spill
+	// directory's shard and .partial files). Every lease whose sites all
+	// committed durably in them is merged — and journaled, when
+	// checkpointing — before any worker connects, so a local run
+	// promotes to a distributed one without redoing finished work.
+	// Leases only partially covered are re-crawled whole. Requires
+	// Domains.
+	SeedSpills []string
+	// Domains is the survey's site list, index-aligned with the site
+	// indices leases carry. Required when SeedSpills is set (seed
+	// streams must prove they describe this exact study).
+	Domains []string
 	// OnLeaseMerged, when non-nil, is called after each lease commit
 	// merges, with the number of merged leases so far and the total lease
 	// count. Called under the coordinator's lock; keep it quick.
@@ -96,6 +118,7 @@ type Coordinator struct {
 
 	mu        sync.Mutex
 	agg       *stats.Aggregate
+	ckpt      *checkpoint  // nil when not checkpointing
 	completed map[int]bool // lease ID → merged
 	attempts  []int        // lease ID → times issued
 	conns     map[net.Conn]bool
@@ -137,13 +160,8 @@ func Listen(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
 			return nil, fmt.Errorf("dist: external aggregate has %d open sites", n)
 		}
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("dist: %w", err)
-	}
 	c := &Coordinator{
 		cfg:       cfg,
-		ln:        ln,
 		agg:       agg,
 		completed: make(map[int]bool),
 		conns:     make(map[net.Conn]bool),
@@ -163,13 +181,111 @@ func Listen(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
 		c.leases = append(c.leases, sites)
 	}
 	c.attempts = make([]int, len(c.leases))
+
+	// A previous life's checkpoint replays first: its journaled leases
+	// merge exactly as they did before the crash. Then, optionally, a
+	// crashed single-machine run's spills seed every lease they fully
+	// cover. Both happen before the listener opens, so the first worker
+	// already sees only the remaining work.
+	if cfg.CheckpointPath != "" {
+		ck, commits, err := loadCheckpoint(cfg.CheckpointPath, cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.ckpt = ck
+		ids := make([]int, 0, len(commits))
+		for id := range commits {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			if id >= len(c.leases) {
+				ck.close()
+				return nil, fmt.Errorf("dist: checkpoint commits lease %d, survey has %d leases", id, len(c.leases))
+			}
+			if err := c.adopt(id, commits[id], false); err != nil {
+				ck.close()
+				return nil, fmt.Errorf("dist: replaying checkpoint: %w", err)
+			}
+		}
+		if len(commits) > 0 {
+			cfg.Logf("dist: checkpoint replayed %d/%d committed leases", len(commits), len(c.leases))
+		}
+	}
+	if len(cfg.SeedSpills) > 0 {
+		if err := c.seedFromSpills(); err != nil {
+			c.ckpt.close()
+			return nil, err
+		}
+	}
+
 	// Each lease ID lives either in the channel or in exactly one
 	// handler, so the channel never overflows on requeue.
 	c.pending = make(chan int, len(c.leases))
 	for id := range c.leases {
-		c.pending <- id
+		if !c.completed[id] {
+			c.pending <- id
+		}
 	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		c.ckpt.close()
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	c.ln = ln
 	return c, nil
+}
+
+// seedFromSpills promotes a crashed single-machine run: every lease
+// whose sites all committed durably in the seed spill files merges (and
+// journals) as if a worker had crawled it.
+func (c *Coordinator) seedFromSpills() error {
+	cfg := c.cfg
+	if len(cfg.Domains) != cfg.NumSites {
+		return fmt.Errorf("dist: seeding from spills needs the %d-site domain list, got %d", cfg.NumSites, len(cfg.Domains))
+	}
+	scan, err := logstore.ScanCommittedFiles(cfg.NumFeatures, cfg.Domains, cfg.SeedSpills...)
+	if err != nil {
+		return fmt.Errorf("dist: scanning seed spills: %w", err)
+	}
+	seeded := 0
+	for id, sites := range c.leases {
+		if c.completed[id] {
+			continue
+		}
+		covered := true
+		for _, site := range sites {
+			if !scan.Has(site) {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		var buf bytes.Buffer
+		w, err := logstore.NewWriter(&buf, cfg.NumFeatures, cfg.Domains)
+		if err != nil {
+			return fmt.Errorf("dist: seeding lease %d: %w", id, err)
+		}
+		for _, site := range sites {
+			if err := scan.AppendSite(w, site); err != nil {
+				return fmt.Errorf("dist: seeding lease %d: %w", id, err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return fmt.Errorf("dist: seeding lease %d: %w", id, err)
+		}
+		if err := c.adopt(id, buf.Bytes(), true); err != nil {
+			return fmt.Errorf("dist: seeding lease %d: %w", id, err)
+		}
+		seeded++
+	}
+	if seeded > 0 {
+		cfg.Logf("dist: seeded %d/%d leases from local spills", seeded, len(c.leases))
+	}
+	return nil
 }
 
 // Addr returns the coordinator's bound listen address.
@@ -217,6 +333,10 @@ func (c *Coordinator) shutdown(force bool) {
 	}
 	c.mu.Unlock()
 	c.wg.Wait()
+	c.mu.Lock()
+	c.ckpt.close()
+	c.ckpt = nil
+	c.mu.Unlock()
 }
 
 func (c *Coordinator) accept() {
@@ -343,6 +463,18 @@ func (c *Coordinator) runLease(cn *conn, id int) error {
 // makes a lease that was re-issued after a slow — not dead — worker
 // finally commits harmless.
 func (c *Coordinator) mergeLease(id int, stream []byte) error {
+	return c.adopt(id, stream, true)
+}
+
+// adopt is the single commit path for a lease stream, whatever its
+// source: a live worker (journal=true), a checkpoint replay
+// (journal=false — the stream is already durable), or a seed spill
+// promotion (journal=true). When checkpointing, the journal append —
+// fsynced — happens under the lock before the merge and before the
+// lease is marked complete, so a crash at any instant leaves the
+// checkpoint describing either the pre-commit or post-commit world,
+// never a merged-but-unjournaled lease that a restart would lose.
+func (c *Coordinator) adopt(id int, stream []byte, journal bool) error {
 	c.mu.Lock()
 	already := c.completed[id]
 	c.mu.Unlock()
@@ -369,6 +501,11 @@ func (c *Coordinator) mergeLease(id int, stream []byte) error {
 		c.cfg.Logf("dist: lease %d committed twice; dropping duplicate", id)
 		return nil
 	}
+	if journal && c.ckpt != nil {
+		if err := c.ckpt.commit(id, stream); err != nil {
+			return err
+		}
+	}
 	if err := c.agg.Merge(leaseAgg); err != nil {
 		return fmt.Errorf("dist: merging lease %d: %w", id, err)
 	}
@@ -381,6 +518,13 @@ func (c *Coordinator) mergeLease(id int, stream []byte) error {
 		close(c.allDone)
 	}
 	return nil
+}
+
+// Completed reports how many leases have merged so far.
+func (c *Coordinator) Completed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.completed)
 }
 
 // requeue returns a failed lease to the pending queue — unless it has been

@@ -1,0 +1,94 @@
+package dist
+
+// White-box test for the worker's heartbeat sender: a transient send
+// failure — the shape a coordinator stalled for one heartbeat interval
+// produces — must not end the heartbeat goroutine, because the retried
+// send still lands well inside the coordinator's timeout (workers send at
+// a third of it). Only a persistently dead connection may stop it.
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stallConn is a net.Conn whose first failWrites writes fail — a stalled
+// or briefly unreachable peer — and which counts the writes that land.
+type stallConn struct {
+	net.Conn // nil: only Write is exercised by the heartbeat path
+
+	mu         sync.Mutex
+	failWrites int
+	landed     int
+}
+
+func (c *stallConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failWrites > 0 {
+		c.failWrites--
+		return 0, errors.New("stalled peer")
+	}
+	c.landed++
+	return len(p), nil
+}
+
+func (c *stallConn) landedWrites() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.landed
+}
+
+func TestHeartbeatRidesOutTransientSendFailures(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		failWrites int
+		survives   bool
+	}{
+		{"healthy", 0, true},
+		{"one_failure", 1, true},
+		{"two_failures", 2, true}, // the retry budget exactly
+		{"dead_conn", 100, false}, // every retry fails: give up
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := &stallConn{failWrites: tc.failWrites}
+			cn := newConn(sc)
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				heartbeat(cn, 10*time.Millisecond, stop)
+				close(done)
+			}()
+
+			if tc.survives {
+				// The heartbeat must absorb the failures and land a send.
+				deadline := time.After(5 * time.Second)
+				for sc.landedWrites() == 0 {
+					select {
+					case <-done:
+						t.Fatal("heartbeat gave up on a transient failure")
+					case <-deadline:
+						t.Fatal("no heartbeat landed after the stall cleared")
+					case <-time.After(time.Millisecond):
+					}
+				}
+				close(stop)
+				<-done
+			} else {
+				select {
+				case <-done:
+					// Gave up, as a dead connection deserves; the session
+					// loop notices via its own read error.
+				case <-time.After(5 * time.Second):
+					t.Fatal("heartbeat kept retrying a dead connection")
+				}
+				close(stop)
+				if sc.landedWrites() != 0 {
+					t.Errorf("%d writes landed on a dead connection", sc.landedWrites())
+				}
+			}
+		})
+	}
+}

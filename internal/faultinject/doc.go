@@ -1,0 +1,7 @@
+// Package faultinject provides deterministic fault injection for
+// crash-safety tests: named kill-points counted per process, torn-write
+// wrappers around spill writers, and flaky wrappers around network
+// connections. Every fault is driven by an explicit seed and an armed
+// hit count, so a failing crash-matrix run reproduces exactly from its
+// logged (seed, point, hit) triple.
+package faultinject

@@ -1,0 +1,201 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+)
+
+// ErrInjected is the sentinel returned by every wrapper when an armed
+// fault fires. Callers distinguish induced crashes from real I/O errors
+// with errors.Is(err, ErrInjected).
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Injector counts how often each named point is hit and fires a fault
+// when a point reaches its armed hit number. A nil *Injector is valid
+// and never fires, so production code can thread one through
+// unconditionally.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	seed  int64
+	armed map[string]int
+	count map[string]int
+}
+
+// New returns an injector whose torn-write prefixes are drawn from a
+// generator seeded with seed. The same seed and the same sequence of
+// Fire calls reproduce the same faults byte for byte.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		seed:  seed,
+		armed: make(map[string]int),
+		count: make(map[string]int),
+	}
+}
+
+// Seed reports the seed the injector was built with, for logging in
+// failure messages.
+func (in *Injector) Seed() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// Arm schedules point to fire on its hit-th pass (1-based). Arming a
+// point replaces any previous schedule and resets its counter.
+func (in *Injector) Arm(point string, hit int) {
+	if hit < 1 {
+		panic(fmt.Sprintf("faultinject: Arm(%q, %d): hit must be >= 1", point, hit))
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.armed[point] = hit
+	in.count[point] = 0
+}
+
+// Disarm removes any schedule for point. Its counter keeps advancing.
+func (in *Injector) Disarm(point string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.armed, point)
+}
+
+// Fire records one pass through point and reports whether the armed
+// fault triggers on this pass. Call it at every kill-point; the
+// counter advances whether or not the point is armed, so hit numbers
+// are stable across runs.
+func (in *Injector) Fire(point string) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.count[point]++
+	hit, ok := in.armed[point]
+	return ok && in.count[point] == hit
+}
+
+// Count reports how many times point has fired so far. A disarmed dry
+// run exposes the total number of kill-point passes, which crash-matrix
+// tests use to size their sweep.
+func (in *Injector) Count(point string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.count[point]
+}
+
+// prefixLen draws a deterministic torn-write length in [0, n).
+func (in *Injector) prefixLen(n int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if n <= 0 {
+		return 0
+	}
+	return in.rng.Intn(n)
+}
+
+// TornWriter wraps w so the armed hit of point writes only a seeded
+// random prefix of its payload and returns ErrInjected; every write
+// after the tear also fails, modelling a process that died mid-write.
+// With a nil injector it returns w unchanged.
+func (in *Injector) TornWriter(point string, w io.Writer) io.Writer {
+	if in == nil {
+		return w
+	}
+	return &tornWriter{in: in, point: point, w: w}
+}
+
+type tornWriter struct {
+	in    *Injector
+	point string
+	w     io.Writer
+	dead  bool
+}
+
+func (t *tornWriter) Write(p []byte) (int, error) {
+	if t.dead {
+		return 0, ErrInjected
+	}
+	if !t.in.Fire(t.point) {
+		return t.w.Write(p)
+	}
+	t.dead = true
+	n := t.in.prefixLen(len(p))
+	if n > 0 {
+		if _, err := t.w.Write(p[:n]); err != nil {
+			return 0, err
+		}
+	}
+	return n, ErrInjected
+}
+
+// FlakyConn wraps c so the armed hit of readPoint kills a Read and the
+// armed hit of writePoint tears a Write (a seeded prefix reaches the
+// peer, then the connection closes), modelling a network partition or a
+// peer that died mid-frame. With a nil injector it returns c unchanged.
+func (in *Injector) FlakyConn(readPoint, writePoint string, c net.Conn) net.Conn {
+	if in == nil {
+		return c
+	}
+	return &flakyConn{Conn: c, in: in, readPoint: readPoint, writePoint: writePoint}
+}
+
+type flakyConn struct {
+	net.Conn
+	in         *Injector
+	readPoint  string
+	writePoint string
+
+	mu   sync.Mutex
+	dead bool
+}
+
+func (f *flakyConn) kill() error {
+	f.mu.Lock()
+	already := f.dead
+	f.dead = true
+	f.mu.Unlock()
+	if !already {
+		f.Conn.Close()
+	}
+	return ErrInjected
+}
+
+func (f *flakyConn) alive() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.dead
+}
+
+func (f *flakyConn) Read(p []byte) (int, error) {
+	if !f.alive() {
+		return 0, ErrInjected
+	}
+	if f.in.Fire(f.readPoint) {
+		return 0, f.kill()
+	}
+	return f.Conn.Read(p)
+}
+
+func (f *flakyConn) Write(p []byte) (int, error) {
+	if !f.alive() {
+		return 0, ErrInjected
+	}
+	if !f.in.Fire(f.writePoint) {
+		return f.Conn.Write(p)
+	}
+	n := f.in.prefixLen(len(p))
+	if n > 0 {
+		f.Conn.Write(p[:n])
+	}
+	return n, f.kill()
+}

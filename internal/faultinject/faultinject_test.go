@@ -1,0 +1,131 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+)
+
+func TestFireCountsAndArming(t *testing.T) {
+	in := New(1)
+	if in.Fire("p") {
+		t.Fatal("unarmed point fired")
+	}
+	in.Arm("p", 2)
+	if in.Fire("p") {
+		t.Fatal("fired on hit 1 when armed for hit 2")
+	}
+	if !in.Fire("p") {
+		t.Fatal("did not fire on hit 2")
+	}
+	if in.Fire("p") {
+		t.Fatal("fired again after the armed hit")
+	}
+	if got := in.Count("p"); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Fire("p") {
+		t.Fatal("nil injector fired")
+	}
+	var buf bytes.Buffer
+	w := in.TornWriter("p", &buf)
+	if _, err := w.Write([]byte("ok")); err != nil {
+		t.Fatalf("nil TornWriter write: %v", err)
+	}
+	if buf.String() != "ok" {
+		t.Fatalf("payload = %q", buf.String())
+	}
+}
+
+func TestTornWriterTearsOnceThenStaysDead(t *testing.T) {
+	in := New(7)
+	var buf bytes.Buffer
+	w := in.TornWriter("spill", &buf)
+	in.Arm("spill", 2)
+
+	if _, err := w.Write([]byte("first-")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	payload := []byte("second-record")
+	n, err := w.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2 err = %v, want ErrInjected", err)
+	}
+	if n >= len(payload) {
+		t.Fatalf("torn write reported %d of %d bytes", n, len(payload))
+	}
+	want := append([]byte("first-"), payload[:n]...)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("on-disk bytes = %q, want %q", buf.Bytes(), want)
+	}
+	if _, err := w.Write([]byte("after")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-tear write err = %v, want ErrInjected", err)
+	}
+	if buf.Len() != len(want) {
+		t.Fatal("bytes written after the tear")
+	}
+}
+
+func TestTornWriterDeterministicPerSeed(t *testing.T) {
+	tear := func(seed int64) []byte {
+		in := New(seed)
+		var buf bytes.Buffer
+		w := in.TornWriter("p", &buf)
+		in.Arm("p", 1)
+		w.Write(bytes.Repeat([]byte("abcdefgh"), 16))
+		return buf.Bytes()
+	}
+	if !bytes.Equal(tear(42), tear(42)) {
+		t.Fatal("same seed produced different torn prefixes")
+	}
+}
+
+func TestFlakyConnReadAndWrite(t *testing.T) {
+	in := New(3)
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := in.FlakyConn("r", "w", a)
+	in.Arm("w", 2)
+
+	go io.Copy(io.Discard, b)
+	if _, err := fc.Write([]byte("frame-one")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := fc.Write([]byte("frame-two")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2 err = %v, want ErrInjected", err)
+	}
+	// The tear closed the conn: everything after fails fast.
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-kill write err = %v, want ErrInjected", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-kill read err = %v, want ErrInjected", err)
+	}
+
+	in2 := New(3)
+	c, d := net.Pipe()
+	defer d.Close()
+	fc2 := in2.FlakyConn("r", "w", c)
+	in2.Arm("r", 1)
+	if _, err := fc2.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed read err = %v, want ErrInjected", err)
+	}
+}
+
+func TestArmResetsCounter(t *testing.T) {
+	in := New(9)
+	in.Arm("p", 1)
+	if !in.Fire("p") {
+		t.Fatal("first arm did not fire")
+	}
+	in.Arm("p", 1)
+	if !in.Fire("p") {
+		t.Fatal("re-arm did not reset the counter")
+	}
+}

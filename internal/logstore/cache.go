@@ -299,7 +299,7 @@ func (c *Cache) loadManifest() error {
 					continue
 				}
 				size, err := strconv.ParseInt(sizeStr, 10, 64)
-				if err != nil || size < 0 {
+				if err != nil || size < 0 || !validEntryName(name) {
 					continue
 				}
 				c.registerLocked(name, size)
@@ -313,7 +313,17 @@ func (c *Cache) loadManifest() error {
 		}
 		f.Close()
 		if err := sc.Err(); err != nil {
-			return fmt.Errorf("logstore: reading cache manifest: %w", err)
+			// A corrupt or truncated manifest (a crash mid-append, a
+			// flipped bit growing a line past any sane length) costs
+			// recency, not correctness: drop whatever replayed and
+			// rebuild from the directory itself, like a first capped
+			// open. compactLocked below then rewrites a clean manifest.
+			c.entries = make(map[string]*list.Element)
+			c.lru.Init()
+			c.totalBytes = 0
+			if err := c.seedFromDirectory(); err != nil {
+				return err
+			}
 		}
 	case os.IsNotExist(err):
 		if err := c.seedFromDirectory(); err != nil {
@@ -323,6 +333,14 @@ func (c *Cache) loadManifest() error {
 		return fmt.Errorf("logstore: opening cache manifest: %w", err)
 	}
 	return c.compactLocked()
+}
+
+// validEntryName reports whether a manifest-supplied name is a real
+// cache entry filename. Eviction removes tracked names from the cache
+// directory, so a corrupted manifest line must never smuggle in a path
+// that escapes it or aliases the manifest.
+func validEntryName(name string) bool {
+	return strings.HasSuffix(name, ".visit") && !strings.ContainsAny(name, "/\\")
 }
 
 // seedFromDirectory lists existing entries once, oldest first, so a cap

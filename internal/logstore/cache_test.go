@@ -297,3 +297,120 @@ func TestCacheUnboundedWritesNoManifest(t *testing.T) {
 		t.Errorf("unbounded cache evicted: %+v", st)
 	}
 }
+
+// corruptibleCache seeds a capped cache directory with three entries and
+// returns (dir, per-entry size). The cache is closed state-wise: tests
+// reopen it after mangling the manifest.
+func corruptibleCache(t *testing.T) (string, int64) {
+	t.Helper()
+	size := entrySize(t)
+	dir := t.TempDir()
+	c, err := OpenCacheLimited(dir, 100, "study-a", 10*size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		if err := c.Put(seed, measure.CaseDefault, testOutcome()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir, size
+}
+
+// reopenAndCheck reopens the capped cache and requires every seeded
+// entry to still be served — a mangled manifest must cost recency at
+// worst, never entries or the open itself.
+func reopenAndCheck(t *testing.T, dir string, size int64) {
+	t.Helper()
+	c, err := OpenCacheLimited(dir, 100, "study-a", 10*size)
+	if err != nil {
+		t.Fatalf("reopening cache over mangled manifest: %v", err)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		if _, ok := c.Get(seed, measure.CaseDefault); !ok {
+			t.Errorf("entry %d lost after manifest corruption", seed)
+		}
+	}
+}
+
+func TestCacheToleratesBitFlippedManifest(t *testing.T) {
+	dir, size := corruptibleCache(t)
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("manifest empty before corruption")
+	}
+	data[len(data)/2] ^= 0x40 // flip a bit mid-manifest
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopenAndCheck(t, dir, size)
+}
+
+func TestCacheToleratesTruncatedManifest(t *testing.T) {
+	dir, size := corruptibleCache(t)
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopenAndCheck(t, dir, size)
+}
+
+func TestCacheRebuildsOnUnscannableManifest(t *testing.T) {
+	dir, size := corruptibleCache(t)
+	path := filepath.Join(dir, manifestName)
+	// A line past the scanner's buffer cap makes replay fail outright;
+	// the cache must rebuild from the directory instead of erroring.
+	junk := make([]byte, 2<<20)
+	for i := range junk {
+		junk[i] = 'x'
+	}
+	if err := os.WriteFile(path, junk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopenAndCheck(t, dir, size)
+	// The rebuild compacted a fresh, replayable manifest.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[0] != 'p' {
+		t.Fatalf("manifest not rewritten after rebuild (starts %q)", data[:1])
+	}
+}
+
+func TestCacheManifestCannotEscapeDirectory(t *testing.T) {
+	size := entrySize(t)
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "cache")
+	victim := filepath.Join(parent, "victim.visit")
+	if err := os.WriteFile(victim, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A hostile or corrupted manifest registers a huge entry outside the
+	// cache dir; eviction must never follow it there.
+	manifest := "p 999999999 ../victim.visit\n"
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCacheLimited(dir, 100, "study-a", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(1, measure.CaseDefault, testOutcome()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(victim); err != nil {
+		t.Fatalf("eviction escaped the cache directory: %v", err)
+	}
+}

@@ -1,0 +1,385 @@
+package logstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/measure"
+)
+
+// resumeDomains builds a small site list for resume tests.
+func resumeDomains(n int) []string {
+	d := make([]string, n)
+	for i := range d {
+		d[i] = "site-" + string(rune('a'+i)) + ".example"
+	}
+	return d
+}
+
+// buildResumeStream writes one spill stream of numSites sites (two
+// observations and an end marker each; site 1 also fails) into a
+// buffer, flushing after every record, and returns the stream bytes
+// plus the byte offset just past each site's end marker in commit
+// order. Offsets let truncation tests compute the exact expected
+// committed count for any prefix length.
+func buildResumeStream(t *testing.T, numFeatures, numSites int) (data []byte, endOffsets []int) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, numFeatures, resumeDomains(numSites))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for site := 0; site < numSites; site++ {
+		for round := 0; round < 2; round++ {
+			sf := measure.NewBitset(numFeatures)
+			sf.Set((site + round) % numFeatures)
+			if err := w.Append(Observation{
+				Case: "default", Round: round, Site: site,
+				Features: sf, Invocations: int64(10*site + round), Pages: 1 + round,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if site == 1 {
+			if err := w.Fail(site); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.EndSite(site); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		endOffsets = append(endOffsets, buf.Len())
+	}
+	return buf.Bytes(), endOffsets
+}
+
+func writeFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanCommittedEveryByteOffset(t *testing.T) {
+	const nf, sites = 16, 4
+	data, ends := buildResumeStream(t, nf, sites)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shard-000.spill")
+	for cut := 0; cut <= len(data); cut++ {
+		writeFile(t, path, data[:cut])
+		res, err := ScanCommittedFiles(nf, resumeDomains(sites), path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		want := 0
+		for _, off := range ends {
+			if off <= cut {
+				want++
+			}
+		}
+		if got := len(res.Sites()); got != want {
+			t.Fatalf("cut %d: committed %d sites, want %d", cut, got, want)
+		}
+	}
+}
+
+func TestScanCommittedIgnoresUncommittedInterleaved(t *testing.T) {
+	// Records of a never-ended site interleave before a committed site's
+	// end marker; the scan must keep the committed site and drop the
+	// open one, or resume would double-count it after a re-crawl.
+	const nf = 8
+	domains := resumeDomains(3)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, nf, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := measure.NewBitset(nf)
+	sf.Set(1)
+	obs := func(site int) Observation {
+		return Observation{Case: "default", Site: site, Features: sf, Invocations: 5, Pages: 1}
+	}
+	if err := w.Append(obs(2)); err != nil { // open site, never ended
+		t.Fatal(err)
+	}
+	if err := w.Append(obs(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EndSite(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.spill")
+	writeFile(t, path, buf.Bytes())
+	res, err := ScanCommittedFiles(nf, domains, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Sites(); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("committed sites = %v, want [0]", got)
+	}
+	if res.Has(2) {
+		t.Fatal("open site 2 reported committed")
+	}
+}
+
+func TestScanCommittedSkipsTornHeaderFile(t *testing.T) {
+	const nf, sites = 16, 4
+	data, _ := buildResumeStream(t, nf, sites)
+	dir := t.TempDir()
+	good := filepath.Join(dir, "a.spill")
+	torn := filepath.Join(dir, "b.spill")
+	writeFile(t, good, data)
+	writeFile(t, torn, data[:3]) // mid-magic: crash during header write
+	res, err := ScanCommittedFiles(nf, resumeDomains(sites), good, torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Sites()); got != sites {
+		t.Fatalf("committed %d sites, want %d", got, sites)
+	}
+}
+
+func TestScanCommittedRejectsForeignStudy(t *testing.T) {
+	const nf = 16
+	data, _ := buildResumeStream(t, nf, 4)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.spill")
+	writeFile(t, path, data)
+	_, err := ScanCommittedFiles(nf, resumeDomains(5), path)
+	if err == nil || !strings.Contains(err.Error(), "different study") {
+		t.Fatalf("err = %v, want a different-study rejection", err)
+	}
+}
+
+func TestScanCommittedFirstFileWinsOnDuplicate(t *testing.T) {
+	const nf = 8
+	domains := resumeDomains(2)
+	build := func(inv int64) []byte {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf, nf, domains)
+		sf := measure.NewBitset(nf)
+		sf.Set(0)
+		w.Append(Observation{Case: "default", Site: 0, Features: sf, Invocations: inv, Pages: 1})
+		w.EndSite(0)
+		w.Flush()
+		return buf.Bytes()
+	}
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.spill"), filepath.Join(dir, "b.spill")
+	writeFile(t, a, build(11))
+	writeFile(t, b, build(99))
+	res, err := ScanCommittedFiles(nf, domains, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	w, err := NewWriter(&out, nf, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.AppendSite(w, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := ReadSpills(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Cases["default"].Invocations; got != 11 {
+		t.Fatalf("duplicate site folded %d invocations, want first file's 11", got)
+	}
+}
+
+func TestCompactSpillDirRoundTrip(t *testing.T) {
+	const nf, sites = 16, 4
+	data, ends := buildResumeStream(t, nf, sites)
+	domains := resumeDomains(sites)
+	dir := t.TempDir()
+	// A complete shard, a torn shard (last site's end marker lost), and
+	// a crash-era .partial file that duplicates the torn shard.
+	writeFile(t, filepath.Join(dir, "shard-000.spill"), data)
+	torn := data[:ends[len(ends)-2]+3]
+	writeFile(t, filepath.Join(dir, "shard-001.spill.partial"), torn)
+
+	c, err := CompactSpillDir(dir, nf, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Path != filepath.Join(dir, CommittedName) {
+		t.Fatalf("compaction path = %q", c.Path)
+	}
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(c.Committed, want) {
+		t.Fatalf("committed = %v, want %v", c.Committed, want)
+	}
+	names, _ := filepath.Glob(filepath.Join(dir, "*"))
+	if len(names) != 1 || names[0] != c.Path {
+		t.Fatalf("directory after compaction = %v, want only %s", names, CommittedName)
+	}
+	// The compacted stream replays to the same log as the full shard.
+	want, err := ReadSpills(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpillFiles(c.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("compacted stream does not replay to the original log")
+	}
+
+	// Compacting again (as a resumed resume would) is a fixpoint.
+	c2, err := CompactSpillDir(dir, nf, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c2.Committed, c.Committed) || c2.Path != c.Path {
+		t.Fatalf("re-compaction changed the result: %+v vs %+v", c2, c)
+	}
+}
+
+func TestCompactSpillDirEmpty(t *testing.T) {
+	dir := t.TempDir()
+	c, err := CompactSpillDir(dir, 16, resumeDomains(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Path != "" || len(c.Committed) != 0 {
+		t.Fatalf("empty dir compaction = %+v", c)
+	}
+}
+
+func TestCompactSpillDirNothingCommitted(t *testing.T) {
+	const nf = 16
+	data, ends := buildResumeStream(t, nf, 2)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "shard-000.spill.partial"), data[:ends[0]-2])
+	c, err := CompactSpillDir(dir, nf, resumeDomains(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Path != "" || len(c.Committed) != 0 {
+		t.Fatalf("compaction of an all-torn dir = %+v", c)
+	}
+	names, _ := filepath.Glob(filepath.Join(dir, "*"))
+	if len(names) != 0 {
+		t.Fatalf("torn partials not cleaned up: %v", names)
+	}
+}
+
+func TestCreateAtomicPublishesOnClose(t *testing.T) {
+	const nf = 8
+	domains := resumeDomains(2)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.spill")
+	w, err := CreateAtomic(path, nf, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("final name exists before Close")
+	}
+	if _, err := os.Stat(path + ".partial"); err != nil {
+		t.Fatalf("partial file missing during write: %v", err)
+	}
+	sf := measure.NewBitset(nf)
+	sf.Set(3)
+	if err := w.Append(Observation{Case: "default", Site: 0, Features: sf, Invocations: 1, Pages: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EndSite(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".partial"); !os.IsNotExist(err) {
+		t.Fatal("partial file survives Close")
+	}
+	l, err := ReadSpillFiles(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Measured[0] {
+		t.Fatal("published stream lost its observation")
+	}
+}
+
+func TestCreateAtomicDiscardKeepsPartial(t *testing.T) {
+	const nf = 8
+	domains := resumeDomains(2)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.spill")
+	w, err := CreateAtomic(path, nf, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := measure.NewBitset(nf)
+	sf.Set(1)
+	if err := w.Append(Observation{Case: "default", Site: 1, Features: sf, Invocations: 2, Pages: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EndSite(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("Discard published the final name")
+	}
+	// The flushed partial still yields its committed site on resume.
+	res, err := ScanCommittedFiles(nf, domains, path+".partial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Has(1) {
+		t.Fatal("committed site lost from discarded partial")
+	}
+}
+
+// FuzzScanCommitted drives the valid-prefix invariant from arbitrary
+// truncation points and stream shapes: for any prefix of a valid spill
+// stream, the committed-site count equals exactly the number of end
+// markers whose bytes fit the prefix.
+func FuzzScanCommitted(f *testing.F) {
+	f.Add(uint8(3), uint32(40))
+	f.Add(uint8(1), uint32(0))
+	f.Add(uint8(6), uint32(1<<20))
+	f.Fuzz(func(t *testing.T, sitesRaw uint8, cutRaw uint32) {
+		sites := 1 + int(sitesRaw)%8
+		const nf = 16
+		data, ends := buildResumeStream(t, nf, sites)
+		cut := int(cutRaw) % (len(data) + 1)
+		dir := t.TempDir()
+		path := filepath.Join(dir, "f.spill")
+		writeFile(t, path, data[:cut])
+		res, err := ScanCommittedFiles(nf, resumeDomains(sites), path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		want := 0
+		for _, off := range ends {
+			if off <= cut {
+				want++
+			}
+		}
+		if got := len(res.Sites()); got != want {
+			t.Fatalf("cut %d of %d: committed %d, want %d", cut, len(data), got, want)
+		}
+	})
+}

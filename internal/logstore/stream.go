@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/measure"
@@ -66,6 +67,8 @@ type Writer struct {
 	mu          sync.Mutex
 	w           *binWriter
 	closer      io.Closer
+	file        *os.File // set when the Writer owns a real file
+	finalPath   string   // atomic mode: rename file to this on Close
 	numFeatures int
 	numDomains  int
 }
@@ -98,6 +101,40 @@ func Create(path string, numFeatures int, domains []string) (*Writer, error) {
 		return nil, err
 	}
 	w.closer = f
+	w.file = f
+	return w, nil
+}
+
+// CreateAtomic starts a spill stream that becomes visible at path only
+// on a clean Close: records accumulate in path+".partial", and Close
+// flushes, fsyncs, renames the file into place, and fsyncs the
+// directory. A crash — or a Discard after a failed run — leaves only
+// the .partial file, which resume scanning treats as a torn stream, so
+// a half-written spill can never be mistaken for a complete one.
+func CreateAtomic(path string, numFeatures int, domains []string) (*Writer, error) {
+	return CreateAtomicTapped(path, numFeatures, domains, nil)
+}
+
+// CreateAtomicTapped is CreateAtomic with every byte the stream sends
+// to its file routed through tap(file) first — the seam crash tests use
+// to tear writes at reproducible points. A nil tap is the identity.
+func CreateAtomicTapped(path string, numFeatures int, domains []string, tap func(io.Writer) io.Writer) (*Writer, error) {
+	f, err := os.Create(path + ".partial")
+	if err != nil {
+		return nil, err
+	}
+	var dst io.Writer = f
+	if tap != nil {
+		dst = tap(f)
+	}
+	w, err := NewWriter(dst, numFeatures, domains)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.closer = f
+	w.file = f
+	w.finalPath = path
 	return w, nil
 }
 
@@ -152,16 +189,49 @@ func (w *Writer) Flush() error {
 	return w.w.flush()
 }
 
-// Close flushes and, when the Writer owns its file, closes it.
+// Close flushes and, when the Writer owns its file, closes it. A
+// Writer from CreateAtomic additionally fsyncs and renames the file to
+// its final name — but only when every earlier write succeeded, so a
+// failed stream is never published as complete.
 func (w *Writer) Close() error {
 	err := w.Flush()
+	if err == nil && w.file != nil && w.finalPath != "" {
+		err = w.file.Sync()
+	}
+	tmp := ""
+	if w.file != nil {
+		tmp = w.file.Name()
+	}
 	if w.closer != nil {
 		if cerr := w.closer.Close(); err == nil {
 			err = cerr
 		}
 		w.closer = nil
+		w.file = nil
 	}
+	if err == nil && w.finalPath != "" && tmp != "" {
+		if err = os.Rename(tmp, w.finalPath); err == nil {
+			err = syncDir(filepath.Dir(w.finalPath))
+		}
+	}
+	w.finalPath = ""
 	return err
+}
+
+// Discard closes the Writer without publishing its stream: flushed
+// records stay in the .partial file (resume can still salvage any
+// fully committed sites), but the final name is never created. For a
+// non-atomic Writer it is equivalent to Close.
+func (w *Writer) Discard() error {
+	w.finalPath = ""
+	w.Flush()
+	if w.closer != nil {
+		err := w.closer.Close()
+		w.closer = nil
+		w.file = nil
+		return err
+	}
+	return nil
 }
 
 // spillHeader is the decoded fixed prelude of one spill stream.

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -73,6 +74,18 @@ type Config struct {
 	// aggregates from disjoint leases merge into exactly the full-run
 	// aggregate.
 	Sites []int
+	// ResumeSpills names spill streams from a previous, crashed life of
+	// this run whose records are replayed into the aggregate before any
+	// crawling. The streams must describe the engine's exact study, and
+	// the sites they commit must be excluded from Sites — replay plus
+	// crawl of the remainder then reproduces the uninterrupted run's
+	// aggregate byte for byte, because every fold is commutative.
+	ResumeSpills []string
+	// SpillTap, when non-nil, wraps each owned shard spill file's writer
+	// (SpillDir mode only). It exists for fault injection: crash tests
+	// tear spill writes at deterministic points and prove resume
+	// reconstructs the run. Production runs leave it nil.
+	SpillTap func(shard int, w io.Writer) io.Writer
 	// Crawl carries the survey methodology (rounds, branch factor, page
 	// budget, cases, seed). Its Parallelism field is ignored; the
 	// pipeline's Shards × WorkersPerShard replaces it.
@@ -210,6 +223,32 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 		}
 	}
 
+	// Replay the committed records of a previous crashed life before any
+	// worker starts: the aggregate opens warm, and the crawl below only
+	// covers the sites the caller left in cfg.Sites.
+	if len(cfg.ResumeSpills) > 0 {
+		s, err := logstore.OpenSpillFiles(cfg.ResumeSpills...)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: opening resume spills: %w", err)
+		}
+		got := s.Domains()
+		same := s.NumFeatures() == numFeatures && len(got) == len(domains)
+		for i := 0; same && i < len(domains); i++ {
+			same = got[i] == domains[i]
+		}
+		if !same {
+			s.Close()
+			return nil, fmt.Errorf("pipeline: resume spills describe a different study")
+		}
+		err = stats.Replay(aggs[0], s)
+		if cerr := s.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: replaying resume spills: %w", err)
+		}
+	}
+
 	// Resolve the optional site subset (a distributed lease) up front so
 	// an out-of-range index fails the run before any crawling happens.
 	sites := e.Web.Sites
@@ -238,10 +277,15 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 			return nil, fmt.Errorf("pipeline: creating spill dir: %w", err)
 		}
 		for s := range spills {
-			w, err := logstore.Create(filepath.Join(cfg.SpillDir, fmt.Sprintf("shard-%03d.spill", s)), numFeatures, domains)
+			var tap func(io.Writer) io.Writer
+			if cfg.SpillTap != nil {
+				shard := s
+				tap = func(w io.Writer) io.Writer { return cfg.SpillTap(shard, w) }
+			}
+			w, err := logstore.CreateAtomicTapped(filepath.Join(cfg.SpillDir, fmt.Sprintf("shard-%03d.spill", s)), numFeatures, domains, tap)
 			if err != nil {
 				for _, open := range spills[:s] {
-					open.Close()
+					open.Discard()
 				}
 				return nil, fmt.Errorf("pipeline: creating spill: %w", err)
 			}
@@ -294,8 +338,16 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 	crawlWG.Wait()
 
 	if ownSpills {
+		// Publish shard spills (tmp → final rename) only after a clean
+		// run; a failed or canceled run discards, leaving .partial files
+		// whose committed sites the next life's resume scan salvages.
+		failed := ctx.Err() != nil || runErr != nil
 		for _, w := range spills {
 			if w == nil {
+				continue
+			}
+			if failed {
+				w.Discard()
 				continue
 			}
 			if err := w.Close(); err != nil {

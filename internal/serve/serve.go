@@ -118,8 +118,12 @@ func (s *Server) view() *epochView {
 // the server's resident aggregate: every lease a worker commits merges —
 // and publishes a fresh snapshot epoch — into the tables the HTTP side is
 // serving, so readers watch the survey fill in live. The caller runs
-// Serve on the returned coordinator.
-func (s *Server) Coordinator(addr string, leaseSites int, heartbeat time.Duration) (*dist.Coordinator, error) {
+// Serve on the returned coordinator. A non-empty checkpointPath journals
+// committed leases durably; a server restarted over the same file starts
+// with those leases already merged — and already visible to HTTP readers —
+// re-issuing only the rest (replayed commits surface in /status like live
+// ones).
+func (s *Server) Coordinator(addr string, leaseSites int, heartbeat time.Duration, checkpointPath string) (*dist.Coordinator, error) {
 	spec, err := s.study.Spec()
 	if err != nil {
 		return nil, err
@@ -132,6 +136,7 @@ func (s *Server) Coordinator(addr string, leaseSites int, heartbeat time.Duratio
 		Cases:            s.study.Cfg.Cases,
 		LeaseSites:       leaseSites,
 		HeartbeatTimeout: heartbeat,
+		CheckpointPath:   checkpointPath,
 		Agg:              s.agg,
 		OnLeaseMerged: func(merged, total int) {
 			s.coord.Store(&coordStatus{LeasesMerged: merged, LeasesTotal: total, Done: merged == total})
@@ -141,7 +146,10 @@ func (s *Server) Coordinator(addr string, leaseSites int, heartbeat time.Duratio
 	if err != nil {
 		return nil, err
 	}
-	s.coord.Store(&coordStatus{LeasesTotal: c.Leases()})
+	// Leases replayed from a checkpoint merged during Listen; the status
+	// must not reset them to zero.
+	merged := c.Completed()
+	s.coord.Store(&coordStatus{LeasesMerged: merged, LeasesTotal: c.Leases(), Done: merged == c.Leases()})
 	return c, nil
 }
 

@@ -107,7 +107,7 @@ func liveServerAsync(t *testing.T, workerCount, leaseSites int) (*httptest.Serve
 	if err != nil {
 		t.Fatal(err)
 	}
-	coord, err := srv.Coordinator("127.0.0.1:0", leaseSites, 5*time.Second)
+	coord, err := srv.Coordinator("127.0.0.1:0", leaseSites, 5*time.Second, "")
 	if err != nil {
 		t.Fatal(err)
 	}

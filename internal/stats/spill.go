@@ -49,13 +49,33 @@ func FromSpillStream(stdOf []standards.Abbrev, cases []measure.Case, s *logstore
 	if err != nil {
 		return nil, err
 	}
+	if err := Replay(agg, s); err != nil {
+		return nil, err
+	}
+	agg.EndOpenSites()
+	return agg, nil
+}
+
+// Replay folds a spill stream's records into an existing aggregate
+// through the same AddVisit/AddFailure/EndSite path a live crawl uses.
+// It is the resume primitive: a restarted run replays the committed
+// records of its previous life into the fresh aggregate before
+// crawling the remainder, and because every fold is commutative the
+// result is byte-identical to a run that never crashed. Unlike
+// FromSpillStream it does not retire open sites at EOF — the caller's
+// crawl is still going to finish them.
+func Replay(agg *Aggregate, s *logstore.SpillStream) error {
+	if agg.cfg.NumFeatures != s.NumFeatures() || agg.cfg.NumSites != len(s.Domains()) {
+		return fmt.Errorf("stats: replaying a %d-feature × %d-site spill into a %d × %d aggregate",
+			s.NumFeatures(), len(s.Domains()), agg.cfg.NumFeatures, agg.cfg.NumSites)
+	}
 	for {
 		rec, err := s.Next()
 		if err == io.EOF {
-			break
+			return nil
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 		switch rec.Kind {
 		case logstore.SpillObservation:
@@ -73,9 +93,7 @@ func FromSpillStream(stdOf []standards.Abbrev, cases []measure.Case, s *logstore
 			err = agg.EndSite(rec.Site)
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	agg.EndOpenSites()
-	return agg, nil
 }
