@@ -25,9 +25,17 @@
 // workers see a clean close instead of a reset, and releases the study's
 // pooled runtimes before exiting.
 //
+// The server is hardened for untrusted traffic: http.Server read/write/
+// idle timeouts, a per-request render deadline (-request-timeout → 503),
+// per-client token-bucket rate limiting (-rate/-burst → 429 with
+// Retry-After), single-flight render coalescing with a -max-renders cap,
+// epoch-keyed ETag/If-None-Match revalidation (polling dashboards get
+// 304s), optional gzip for /report, and a Prometheus-text /metrics
+// endpoint. See docs/OPERATIONS.md "Serving untrusted traffic".
+//
 // Endpoints: /api/top-features, /api/feature-deltas, /api/standards,
 // /api/headlines, /api/complexity, /api/rounds, /report, /healthz,
-// /statusz. See docs/OPERATIONS.md for the runbook.
+// /statusz, /metrics. See docs/OPERATIONS.md for the runbook.
 package main
 
 import (
@@ -74,6 +82,16 @@ func run() error {
 		heartbeat   = flag.Duration("heartbeat", 10*time.Second, "worker heartbeat timeout in coordinator mode")
 		checkpoint  = flag.String("checkpoint", "", "coordinator mode: journal committed leases to this file; a restart over it resumes the survey")
 		drain       = flag.Duration("drain", 10*time.Second, "how long to wait for in-flight requests on shutdown")
+
+		requestTimeout = flag.Duration("request-timeout", 15*time.Second, "per-request render deadline; past it the client gets 503 (0 disables)")
+		readTimeout    = flag.Duration("read-timeout", 10*time.Second, "http.Server ReadTimeout: max time to read a request, headers included")
+		writeTimeout   = flag.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout: max time to write a response")
+		idleTimeout    = flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout: how long keep-alive connections may sit idle")
+		rate           = flag.Float64("rate", 0, "per-client rate limit in requests/second; exceeding it returns 429 with Retry-After (0 disables)")
+		burst          = flag.Int("burst", 0, "per-client burst capacity when -rate is set (default: 2x rate, minimum 1)")
+		maxRenders     = flag.Int("max-renders", 0, "max concurrently executing renders; identical queries coalesce regardless (0 = GOMAXPROCS)")
+		gzipOn         = flag.Bool("gzip", true, "gzip /report for clients that accept it")
+		trustForwarded = flag.Bool("trust-forwarded", false, "rate-limit by the first X-Forwarded-For hop instead of the TCP peer (only behind a trusted proxy)")
 	)
 	flag.Parse()
 
@@ -125,9 +143,29 @@ func run() error {
 		}
 	}
 
-	srv, err := serve.New(serve.Config{Study: study, Agg: agg, Logf: logf})
+	b := *burst
+	if *rate > 0 && b <= 0 {
+		b = int(2 * *rate)
+		if b < 1 {
+			b = 1
+		}
+	}
+	srv, err := serve.New(serve.Config{
+		Study:          study,
+		Agg:            agg,
+		Logf:           logf,
+		RequestTimeout: *requestTimeout,
+		Rate:           *rate,
+		Burst:          b,
+		MaxRenders:     *maxRenders,
+		Gzip:           *gzipOn,
+		TrustForwarded: *trustForwarded,
+	})
 	if err != nil {
 		return err
+	}
+	if *rate > 0 {
+		logf("rate limit: %.3g req/s per client, burst %d", *rate, b)
 	}
 
 	// errc collects the first fatal error from either long-running piece;
@@ -150,7 +188,16 @@ func run() error {
 		}()
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Socket-level deadlines: a peer that trickles its request bytes or
+	// never drains its response is bounded here, below the per-request
+	// render deadline the middleware enforces.
+	httpSrv := &http.Server{
+		Addr:         *addr,
+		Handler:      srv.Handler(),
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  *idleTimeout,
+	}
 	go func() {
 		logf("query server listening on %s", *addr)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -20,6 +20,12 @@ const benchClients = 128
 // benchServer builds a warm server over a synthetic survey (no crawling:
 // the benchmark measures the query path, not the browser).
 func benchServer(b *testing.B) (*httptest.Server, *stats.Aggregate) {
+	return benchServerCfg(b, nil)
+}
+
+// benchServerCfg is benchServer with a config hook so the hardening
+// benchmarks can switch on gzip or other knobs over the same data.
+func benchServerCfg(b *testing.B, mut func(*serve.Config)) (*httptest.Server, *stats.Aggregate) {
 	b.Helper()
 	study, err := core.NewStudy(core.Config{
 		Sites: 100, Seed: 7, Rounds: 2,
@@ -50,7 +56,11 @@ func benchServer(b *testing.B) (*httptest.Server, *stats.Aggregate) {
 	}
 	agg.Publish()
 
-	srv, err := serve.New(serve.Config{Study: study, Agg: agg})
+	cfg := serve.Config{Study: study, Agg: agg}
+	if mut != nil {
+		mut(&cfg)
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -105,6 +115,84 @@ func BenchmarkServeQueryUncached(b *testing.B) {
 		for pb.Next() {
 			agg.Publish()
 			benchGet(b, ts.Client(), url)
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+}
+
+// BenchmarkServe304 is the polling-dashboard path: a conditional GET that
+// revalidates against the current epoch and is answered 304 before any
+// render or cache lookup — the cheapest response the server produces.
+func BenchmarkServe304(b *testing.B) {
+	ts, _ := benchServer(b)
+	url := ts.URL + "/api/top-features?n=25"
+	resp, err := ts.Client().Get(url) // warm, and learn the ETag
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		b.Fatal("no ETag on warm response")
+	}
+	b.SetParallelism((benchClients + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req, err := http.NewRequest(http.MethodGet, url, nil)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			req.Header.Set("If-None-Match", etag)
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNotModified {
+				b.Errorf("status %d, want 304", resp.StatusCode)
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+}
+
+// BenchmarkServeReportGzip serves the full report's cached gzip
+// representation: compression happened once at render, so an op is a round
+// trip moving ~10× fewer bytes than the identity path.
+func BenchmarkServeReportGzip(b *testing.B) {
+	ts, _ := benchServerCfg(b, func(cfg *serve.Config) { cfg.Gzip = true })
+	url := ts.URL + "/report"
+	get := func() {
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		req.Header.Set("Accept-Encoding", "gzip")
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Errorf("status %d", resp.StatusCode)
+		} else if resp.Header.Get("Content-Encoding") != "gzip" {
+			b.Error("response not gzip-encoded")
+		}
+	}
+	get() // warm: render + compress once
+	b.SetParallelism((benchClients + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			get()
 		}
 	})
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")

@@ -25,6 +25,30 @@
 // Endpoints: /api/top-features, /api/feature-deltas, /api/standards,
 // /api/headlines, /api/complexity, /api/rounds (JSON), /report (the exact
 // text report cmd/report renders — byte-identical to a batch run over the
-// same data), and /healthz, /statusz for operators. cmd/serve is the
-// binary; docs/OPERATIONS.md the runbook.
+// same data), and /healthz, /statusz, /metrics for operators. cmd/serve is
+// the binary; docs/OPERATIONS.md the runbook.
+//
+// The request path is hardened for untrusted traffic by a middleware
+// chain (metrics → method guard → rate limit → deadline) plus a
+// single-flight render gate:
+//
+//   - every endpoint answers GET/HEAD only (405 otherwise), and a
+//     per-request deadline turns a slow render into a bounded 503, never
+//     a hung connection;
+//   - a per-client token bucket (Config.Rate/Burst) drops excess traffic
+//     with 429 + Retry-After; /healthz and /metrics are exempt;
+//   - N concurrent requests for the same uncached (epoch, query) collapse
+//     into one render (singleflight.go), and Config.MaxRenders caps
+//     renders across distinct queries — a cold epoch under fan-in load
+//     costs one render per query, not one per request;
+//   - responses carry a weak ETag derived from the epoch (W/"e<N>"), so
+//     pollers revalidate with If-None-Match and get bodiless 304s until
+//     the data actually changes; /report optionally serves a cached gzip
+//     representation (Config.Gzip);
+//   - /metrics exposes Prometheus text (request counters, latency
+//     histograms, cache and limiter gauges) with zero dependencies.
+//
+// The gate preserves the snapshots-are-prefixes invariant: a waiter only
+// joins a flight keyed by the epoch it already resolved, so coalesced
+// responses are still pure functions of (URL, epoch).
 package serve

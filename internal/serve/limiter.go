@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// limiterMaxClients bounds the bucket map. RemoteAddr keys are real TCP
+// peers, so the map tracks at most the distinct-client population — but a
+// long-lived server behind churning NAT pools should not grow forever, so
+// crossing the cap sweeps buckets that have refilled to full (an idle
+// client's bucket holds no state worth keeping: a fresh one behaves
+// identically).
+const limiterMaxClients = 8192
+
+// limiter is a per-client token-bucket rate limiter. Each client key owns
+// a bucket of `burst` tokens refilling at `rate` tokens/second; a request
+// spends one token. It is stdlib-only and clock-injectable so tests drive
+// it deterministically.
+type limiter struct {
+	rate  float64 // tokens per second, > 0
+	burst float64 // bucket capacity, >= 1
+	now   func() time.Time
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newLimiter builds a limiter allowing `rate` requests/second with bursts
+// of `burst` per client. rate must be > 0; burst < 1 is raised to 1.
+func newLimiter(rate float64, burst int, now func() time.Time) *limiter {
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &limiter{rate: rate, burst: b, now: now, clients: make(map[string]*bucket)}
+}
+
+// allow spends one token from key's bucket. When the bucket is empty it
+// reports ok=false and how long until the next token lands — the
+// Retry-After the client should honor.
+func (l *limiter) allow(key string) (retryAfter time.Duration, ok bool) {
+	t := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, exists := l.clients[key]
+	if !exists {
+		if len(l.clients) >= limiterMaxClients {
+			l.sweepLocked(t)
+		}
+		b = &bucket{tokens: l.burst, last: t}
+		l.clients[key] = b
+	} else {
+		b.tokens += l.rate * t.Sub(b.last).Seconds()
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = t
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	need := (1 - b.tokens) / l.rate
+	return time.Duration(need * float64(time.Second)), false
+}
+
+// sweepLocked drops buckets that have refilled to capacity: clients idle
+// long enough that forgetting them changes nothing. Must hold mu.
+func (l *limiter) sweepLocked(t time.Time) {
+	for key, b := range l.clients {
+		if b.tokens+l.rate*t.Sub(b.last).Seconds() >= l.burst {
+			delete(l.clients, key)
+		}
+	}
+}
+
+// size reports the tracked-client count (for tests and /metrics).
+func (l *limiter) size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.clients)
+}

@@ -1,0 +1,329 @@
+package serve_test
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// loadgen is the soak harness: K concurrent clients driving mixed traffic
+// — cached hits, uncached renders (a publisher keeps advancing the
+// epoch), conditional GETs, gzip negotiation, and enough volume to trip
+// the rate limiter — against a fully hardened handler. Run it under
+// -race: the point is that every hardening control is exercised
+// concurrently against ingestion and nothing races, hangs, or answers
+// outside the allowed status set.
+type loadgen struct {
+	clients  int
+	duration time.Duration
+	paths    []string
+}
+
+// tally is one soak run's outcome counts.
+type tally struct {
+	byStatus    map[int]int64
+	revalidated int64 // 304s observed
+	gzipped     int64 // gzip representations observed
+}
+
+// run drives the load and returns the tally. Any status outside
+// {200, 304, 429} fails the test, as does a /report body that differs
+// from the reference bytes (epoch advances must never change served
+// content when the data hasn't changed).
+func (lg *loadgen) run(t *testing.T, ts *httptest.Server) tally {
+	t.Helper()
+
+	// Reference /report bytes: every identity 200 during the soak must
+	// match them — the survey data never changes, only the epoch does.
+	refResp, ref := doReq(t, ts, http.MethodGet, "/report", map[string]string{"Accept-Encoding": "identity"})
+	if refResp.StatusCode != http.StatusOK {
+		t.Fatalf("reference /report: status %d", refResp.StatusCode)
+	}
+
+	var (
+		mu       sync.Mutex
+		counts   = make(map[int]int64)
+		reval    atomic.Int64
+		gzipped  atomic.Int64
+		deadline = time.Now().Add(lg.duration)
+		wg       sync.WaitGroup
+	)
+	for c := 0; c < lg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var lastEpoch uint64
+			var lastETag string
+			for i := 0; time.Now().Before(deadline); i++ {
+				path := lg.paths[(i+c)%len(lg.paths)]
+				hdr := map[string]string{}
+				switch {
+				case i%7 == 3 && lastETag != "":
+					hdr["If-None-Match"] = lastETag // conditional poll
+				case i%5 == 2 && path == "/report":
+					hdr["Accept-Encoding"] = "gzip"
+				default:
+					hdr["Accept-Encoding"] = "identity"
+				}
+				req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for k, v := range hdr {
+					req.Header.Set(k, v)
+				}
+				resp, err := ts.Client().Do(req)
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("client %d: read: %v", c, err)
+					return
+				}
+
+				mu.Lock()
+				counts[resp.StatusCode]++
+				mu.Unlock()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if e := resp.Header.Get("ETag"); e != "" {
+						lastETag = e
+					}
+					if resp.Header.Get("Content-Encoding") == "gzip" {
+						gzipped.Add(1)
+						zr, err := gzip.NewReader(bytes.NewReader(body))
+						if err != nil {
+							t.Errorf("client %d: bad gzip body: %v", c, err)
+							return
+						}
+						if body, err = io.ReadAll(zr); err != nil {
+							t.Errorf("client %d: gzip decode: %v", c, err)
+							return
+						}
+					}
+					if path == "/report" && !bytes.Equal(body, ref) {
+						t.Errorf("client %d: /report bytes drifted mid-soak", c)
+						return
+					}
+				case http.StatusNotModified:
+					reval.Add(1)
+					if len(body) != 0 {
+						t.Errorf("client %d: 304 with a %d-byte body", c, len(body))
+						return
+					}
+				case http.StatusTooManyRequests:
+					if resp.Header.Get("Retry-After") == "" {
+						t.Errorf("client %d: 429 without Retry-After", c)
+						return
+					}
+				default:
+					t.Errorf("client %d: %s answered %d — outside the allowed {200, 304, 429}", c, path, resp.StatusCode)
+					return
+				}
+				if e := resp.Header.Get("X-Epoch"); e != "" {
+					epoch, err := strconv.ParseUint(e, 10, 64)
+					if err != nil {
+						t.Errorf("client %d: bad X-Epoch %q", c, e)
+						return
+					}
+					if epoch < lastEpoch {
+						t.Errorf("client %d: epoch went backwards (%d after %d)", c, epoch, lastEpoch)
+						return
+					}
+					lastEpoch = epoch
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	return tally{byStatus: counts, revalidated: reval.Load(), gzipped: gzipped.Load()}
+}
+
+// TestLoadgenSoak soaks the hardened handler: 8 clients of mixed traffic
+// while a publisher advances the epoch every 20ms, with the limiter,
+// gzip, deadline, and render cap all on. Short mode (the CI race job)
+// runs a compressed soak; the full run triples the duration.
+func TestLoadgenSoak(t *testing.T) {
+	_, spillGlob := runBatch(t)
+	study := newStudy(t, testStudyConfig())
+	agg, err := serve.LoadSpills(study, spillGlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{
+		Study:          study,
+		Agg:            agg,
+		Logf:           t.Logf,
+		RequestTimeout: 10 * time.Second,
+		Rate:           2000, // generous: all clients share the loopback bucket
+		Burst:          200,
+		Gzip:           true,
+		MaxRenders:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	duration := 2500 * time.Millisecond
+	if testing.Short() {
+		duration = 700 * time.Millisecond
+	}
+
+	// The publisher: same data, fresh epoch every 20ms — every cached
+	// body goes stale and the uncached render path runs all soak long.
+	stopPub := make(chan struct{})
+	var pubWg sync.WaitGroup
+	pubWg.Add(1)
+	go func() {
+		defer pubWg.Done()
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopPub:
+				return
+			case <-tick.C:
+				agg.Publish()
+			}
+		}
+	}()
+	defer func() { close(stopPub); pubWg.Wait() }()
+	lg := &loadgen{
+		clients:  8,
+		duration: duration,
+		paths: []string{
+			"/report",
+			"/api/top-features?n=25",
+			"/api/feature-deltas?profile=abp",
+			"/api/standards",
+			"/api/headlines",
+			"/api/complexity",
+			"/api/rounds",
+			"/statusz",
+		},
+	}
+	tl := lg.run(t, ts)
+
+	if tl.byStatus[http.StatusOK] == 0 {
+		t.Error("soak saw zero 200s")
+	}
+	if tl.revalidated == 0 {
+		t.Error("soak saw zero 304 revalidations; conditional traffic never matched")
+	}
+	if tl.gzipped == 0 {
+		t.Error("soak saw zero gzip responses")
+	}
+	var total int64
+	for _, n := range tl.byStatus {
+		total += n
+	}
+	t.Logf("soak: %d requests over %v: %d×200, %d×304, %d×429, %d gzipped",
+		total, duration, tl.byStatus[200], tl.byStatus[304], tl.byStatus[429], tl.gzipped)
+
+	// The limiter's client table must stay bounded (it is keyed by real
+	// peers; the soak shares one) — read it off /metrics.
+	_, metrics := doReq(t, ts, http.MethodGet, "/metrics", nil)
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if v, ok := strings.CutPrefix(line, "serve_rate_limiter_clients "); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 || n > 8192 {
+				t.Errorf("serve_rate_limiter_clients = %q, want within [1, 8192]", v)
+			}
+		}
+	}
+}
+
+// TestLoadgenSoakLive is the soak against a live-fed server: distributed
+// workers stream lease commits in (real epoch advances with real data)
+// while the mixed read load runs. Only the read statuses are asserted —
+// /report bytes legitimately change mid-survey here.
+func TestLoadgenSoakLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live soak crawls a survey; skipped in short mode")
+	}
+	ts, done := liveServerAsync(t, 2, 3)
+
+	paths := []string{"/report", "/api/headlines", "/api/standards", "/statusz"}
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var lastETag string
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				hdr := map[string]string{}
+				if i%5 == 4 && lastETag != "" {
+					hdr["If-None-Match"] = lastETag
+				}
+				req, _ := http.NewRequest(http.MethodGet, ts.URL+paths[(i+c)%len(paths)], nil)
+				for k, v := range hdr {
+					req.Header.Set(k, v)
+				}
+				resp, err := ts.Client().Do(req)
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotModified {
+					t.Errorf("client %d: status %d mid-survey", c, resp.StatusCode)
+					return
+				}
+				if e := resp.Header.Get("ETag"); e != "" {
+					lastETag = e
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	<-done
+}
+
+// TestCachedPathAllocs is the stable-allocs gate the soak relies on: one
+// cached query costs a bounded number of allocations, so request volume
+// cannot leak memory. The bound is deliberately loose — it catches
+// per-request recompression or copied bodies, not allocator drift.
+func TestCachedPathAllocs(t *testing.T) {
+	ts, _ := emptyServerCfg(t, func(cfg *serve.Config) { cfg.Gzip = true })
+	// Use the handler directly: no sockets, so allocs are the handler's.
+	doReq(t, ts, http.MethodGet, "/api/headlines", nil) // warm the cache
+
+	client := ts.Client()
+	url := ts.URL + "/api/headlines"
+	allocs := testing.AllocsPerRun(200, func() {
+		resp, err := client.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	})
+	const bound = 500 // loose: client+server combined, race-mode tolerant
+	if allocs > bound {
+		t.Errorf("cached query = %.0f allocs/op, want ≤ %d", allocs, bound)
+	}
+	t.Logf("cached query: %.0f allocs/op (client+server)", allocs)
+}

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// This file is the hardening middleware: the request-path wrappers that
+// stand between untrusted sockets and the render path. Each wrapper is a
+// plain http.Handler decorator; New composes them (outermost first) as
+//
+//	metrics → method guard → rate limit → request deadline → mux
+//
+// so even a 405 or a 429 is observed by /metrics, and nothing past the
+// limiter runs for a dropped request.
+
+// methodGuard rejects every method except GET and HEAD across all
+// endpoints. The server is a pure read surface: there is nothing a POST
+// could mean, and answering 405 (with Allow) beats each handler deciding
+// for itself — /healthz and /statusz historically forgot to.
+func methodGuard(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withDeadline attaches a per-request context deadline. Handlers that can
+// block (the render wait in serveQuery) select against it and answer 503,
+// so a slow render costs the client a bounded wait, never a hung
+// connection. d <= 0 disables the deadline.
+func withDeadline(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// rateLimitExempt lists paths the per-client limiter never drops:
+// liveness probes and metrics scrapes are operator traffic, and starving
+// them under load is exactly when they matter most.
+func rateLimitExempt(path string) bool {
+	return path == "/healthz" || path == "/metrics"
+}
+
+// withRateLimit applies the per-client token bucket. Dropped requests get
+// 429 with a Retry-After telling the client when the next token lands.
+func (s *Server) withRateLimit(next http.Handler) http.Handler {
+	if s.limiter == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if rateLimitExempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if retryAfter, ok := s.limiter.allow(s.clientKey(r)); !ok {
+			s.metrics.rateLimited.Add(1)
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(retryAfter)))
+			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// retryAfterSeconds renders a wait as the integer seconds the Retry-After
+// header wants, rounding up so the advertised wait is never an
+// under-promise; the minimum is 1 because Retry-After: 0 invites an
+// immediate, equally doomed retry.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// clientKey derives the limiter's bucket key for a request: the canonical
+// client host. By default that is the TCP peer (RemoteAddr); with
+// Config.TrustForwarded — safe only behind a proxy that overwrites the
+// header — the first X-Forwarded-For hop wins so all connections relayed
+// by one proxy don't share a single bucket.
+func (s *Server) clientKey(r *http.Request) string {
+	if s.trustForwarded {
+		if k := forwardedClient(r.Header.Get("X-Forwarded-For")); k != "" {
+			return k
+		}
+	}
+	return canonicalHost(r.RemoteAddr)
+}
+
+// canonicalHost reduces an address to a canonical host key: the port is
+// stripped when one parses, IPv6 brackets are removed, and the result is
+// trimmed and lowercased. Two connections from one host always map to one
+// bucket, and no input panics — RemoteAddr is trusted shape-wise, but the
+// forwarded path below feeds this attacker-controlled bytes.
+func canonicalHost(addr string) string {
+	addr = strings.TrimSpace(addr)
+	if host, _, err := net.SplitHostPort(addr); err == nil {
+		addr = host
+	}
+	addr = strings.TrimPrefix(addr, "[")
+	addr = strings.TrimSuffix(addr, "]")
+	return strings.ToLower(strings.TrimSpace(addr))
+}
+
+// forwardedClient extracts the client hop from an X-Forwarded-For value:
+// the first comma-separated entry, canonicalized. Empty or all-whitespace
+// values return "" so the caller falls back to RemoteAddr instead of
+// pooling every spoofed-empty-header client into one bucket.
+func forwardedClient(v string) string {
+	first, _, _ := strings.Cut(v, ",")
+	return canonicalHost(first)
+}
+
+// epochTag is the opaque entity-tag contents for an epoch: the served
+// body of any URL is a pure function of (URL, epoch), so the epoch is the
+// whole validator. The tag is served weak (W/) because the gzip and
+// identity representations of one epoch share it.
+func epochTag(epoch uint64) string {
+	return fmt.Sprintf("e%d", epoch)
+}
+
+// etagHeader renders the epoch's ETag header value.
+func etagHeader(epoch uint64) string {
+	return `W/"` + epochTag(epoch) + `"`
+}
+
+// ifNoneMatchMatches reports whether an If-None-Match header value
+// revalidates the entity tag `opaque` (the unquoted tag contents). It
+// implements RFC 9110 weak comparison over the header's entity-tag list:
+// W/ prefixes are ignored, `*` matches anything, and tags compare as
+// exact opaque strings. Malformed input stops the scan and never matches
+// — a garbage header must never produce a false 304, because a false 304
+// tells a cache its stale body is current.
+func ifNoneMatchMatches(header, opaque string) bool {
+	s := header
+	for {
+		s = strings.TrimLeft(s, " \t,")
+		if s == "" {
+			return false
+		}
+		if s[0] == '*' {
+			// `*` is only valid as the entire field value — not as a list
+			// member, not with trailing junk. Anything else is malformed
+			// and must not match.
+			return strings.TrimSpace(header) == "*"
+		}
+		if len(s) >= 2 && (s[0] == 'W' || s[0] == 'w') && s[1] == '/' {
+			s = s[2:]
+		}
+		if s == "" || s[0] != '"' {
+			return false
+		}
+		end := strings.IndexByte(s[1:], '"')
+		if end < 0 {
+			return false
+		}
+		if s[1:1+end] == opaque {
+			return true
+		}
+		s = s[end+2:]
+		// Between tags only optional whitespace and a comma are legal.
+		rest := strings.TrimLeft(s, " \t")
+		if rest != "" && rest[0] != ',' {
+			return false
+		}
+	}
+}
+
+// acceptsGzip reports whether the request's Accept-Encoding admits a gzip
+// response: a gzip token (or *) with a nonzero q-value.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		coding, params, _ := strings.Cut(part, ";")
+		coding = strings.ToLower(strings.TrimSpace(coding))
+		if coding != "gzip" && coding != "*" {
+			continue
+		}
+		q := strings.ToLower(strings.ReplaceAll(params, " ", ""))
+		if strings.HasPrefix(q, "q=0") && !strings.HasPrefix(q, "q=0.") {
+			return false
+		}
+		if q == "q=0.0" || q == "q=0.00" || q == "q=0.000" {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// statusWriter captures the response code for the metrics middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// endpointOf maps a request path to its metrics label. Unknown paths
+// collapse into "other" so an attacker scanning random URLs cannot mint
+// unbounded label values.
+func endpointOf(path string) string {
+	switch path {
+	case "/":
+		return "index"
+	case "/healthz", "/statusz", "/metrics", "/report":
+		return strings.TrimPrefix(path, "/")
+	}
+	if name, ok := strings.CutPrefix(path, "/api/"); ok {
+		if _, known := endpoints[name]; known {
+			return name
+		}
+	}
+	return "other"
+}
+
+// withMetrics is the outermost wrapper: it stamps every response —
+// hits, misses, 304s, 405s, 429s, 503s — into the per-endpoint request
+// counters and latency histograms.
+func (s *Server) withMetrics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.metrics.observe(endpointOf(r.URL.Path), code, time.Since(start))
+	})
+}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCanonicalHost pins the client-key canonicalization table: ports
+// strip, IPv6 brackets drop, case and whitespace fold — so every
+// connection from one host lands in one limiter bucket.
+func TestCanonicalHost(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"192.0.2.7:51234", "192.0.2.7"},
+		{"192.0.2.7:80", "192.0.2.7"},
+		{"192.0.2.7", "192.0.2.7"},
+		{"[2001:db8::1]:443", "2001:db8::1"},
+		{"[2001:DB8::1]:443", "2001:db8::1"},
+		{"2001:db8::1", "2001:db8::1"},
+		{" 192.0.2.7:9 ", "192.0.2.7"},
+		{"EXAMPLE.test:8080", "example.test"},
+		{"", ""},
+		{":", ""},
+		{"[]:0", ""},
+	}
+	for _, tc := range cases {
+		if got := canonicalHost(tc.in); got != tc.want {
+			t.Errorf("canonicalHost(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestForwardedClient pins X-Forwarded-For extraction: first hop wins,
+// canonicalized; empty input falls through to "".
+func TestForwardedClient(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"203.0.113.9", "203.0.113.9"},
+		{"203.0.113.9, 10.0.0.1, 10.0.0.2", "203.0.113.9"},
+		{" 203.0.113.9:4711 ,10.0.0.1", "203.0.113.9"},
+		{"[2001:db8::9]:123, 10.0.0.1", "2001:db8::9"},
+		{"", ""},
+		{"  ,10.0.0.1", ""},
+	}
+	for _, tc := range cases {
+		if got := forwardedClient(tc.in); got != tc.want {
+			t.Errorf("forwardedClient(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestIfNoneMatchTable pins the revalidation parser against the RFC 9110
+// shapes plus the malformed ones that must never match.
+func TestIfNoneMatchTable(t *testing.T) {
+	const tag = "e42"
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{`"e42"`, true},
+		{`W/"e42"`, true},
+		{`w/"e42"`, true},
+		{`"e41", "e42"`, true},
+		{`W/"e41" , W/"e42"`, true},
+		{`*`, true},
+		{`  *  `, true},
+		{`"e41"`, false},
+		{`"e420"`, false},
+		{`""`, false},
+		{`e42`, false},         // unquoted: malformed
+		{`"e42`, false},        // unterminated
+		{`W/e42`, false},       // weak prefix without quotes
+		{`"e41" "e42"`, false}, // missing comma: malformed, stop
+		{`*, "e42"`, false},    // * must be the whole field
+		{`,*`, false},          // * as a list member: malformed
+		{`,,  ,`, false},       // only separators
+		{``, false},
+		{`"e42",`, true},     // trailing comma is fine
+		{`W/W/"e42"`, false}, // double weak prefix
+	}
+	for _, tc := range cases {
+		if got := ifNoneMatchMatches(tc.header, tag); got != tc.want {
+			t.Errorf("ifNoneMatchMatches(%q, %q) = %v, want %v", tc.header, tag, got, tc.want)
+		}
+	}
+}
+
+// TestLimiterSweep fills the bucket map past its cap and checks idle
+// (fully refilled) clients are swept while active ones survive.
+func TestLimiterSweep(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	l := newLimiter(1, 2, clock)
+	for i := 0; i < limiterMaxClients; i++ {
+		l.allow(fmt.Sprintf("client-%d", i))
+	}
+	if l.size() != limiterMaxClients {
+		t.Fatalf("tracked %d clients, want %d", l.size(), limiterMaxClients)
+	}
+	// Everyone refills; the next new client triggers the sweep.
+	now = now.Add(time.Hour)
+	l.allow("fresh")
+	if got := l.size(); got != 1 {
+		t.Errorf("after sweep: %d clients tracked, want 1 (only the fresh one)", got)
+	}
+	// A still-draining client survives the sweep.
+	l.allow("busy")
+	l.allow("busy") // bucket now below capacity
+	now = now.Add(time.Millisecond)
+	l.mu.Lock()
+	l.sweepLocked(now)
+	l.mu.Unlock()
+	if _, ok := l.clients["busy"]; !ok {
+		t.Error("sweep dropped a client whose bucket had not refilled")
+	}
+}
+
+// TestRetryAfterSeconds pins the header math: round up, never below 1.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Millisecond, 1},
+		{time.Second, 1},
+		{time.Second + time.Millisecond, 2},
+		{2500 * time.Millisecond, 3},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+// FuzzIfNoneMatch holds the no-false-304 property against arbitrary
+// header bytes: a match is only ever reported when the header genuinely
+// lists the current tag (in weak or strong form) or is exactly `*`. A
+// false positive here would feed stale bodies to every polling cache.
+func FuzzIfNoneMatch(f *testing.F) {
+	f.Add(`W/"e5"`, "e5")
+	f.Add(`"e5"`, "e5")
+	f.Add(`"e4", "e5"`, "e5")
+	f.Add(`*`, "e5")
+	f.Add(`W/"e5`, "e5")
+	f.Add(`""`, "")
+	f.Add(`"e5"junk`, "e5")
+	f.Add("\"e5\",\t W/\"e6\"", "e6")
+	f.Add(`*, "e5"`, "e5")
+	f.Add(strings.Repeat(`"x",`, 50)+`"e5"`, "e5")
+	f.Fuzz(func(t *testing.T, header, opaque string) {
+		got := ifNoneMatchMatches(header, opaque) // must never panic
+		if !got {
+			return
+		}
+		// A reported match must be justified by the raw header: either a
+		// lone `*` or the exact quoted tag appearing in it.
+		if strings.TrimSpace(header) == "*" {
+			return
+		}
+		if strings.Contains(header, `"`+opaque+`"`) {
+			return
+		}
+		t.Fatalf("false revalidation: header %q matched tag %q", header, opaque)
+	})
+}
+
+// FuzzClientKey throws arbitrary bytes at the client-key path: neither
+// parser may panic, both must be idempotent (a canonical key re-canonicalizes
+// to itself — what makes limiter buckets collide exactly when two
+// requests share a client), and keys never carry spaces or uppercase.
+func FuzzClientKey(f *testing.F) {
+	f.Add("192.0.2.7:51234")
+	f.Add("[2001:db8::1]:443")
+	f.Add("203.0.113.9, 10.0.0.1")
+	f.Add("  EXAMPLE.test:80  ")
+	f.Add(",,,")
+	f.Add("[")
+	f.Add("a]b[")
+	f.Add(strings.Repeat(":", 100))
+	f.Fuzz(func(t *testing.T, in string) {
+		for name, fn := range map[string]func(string) string{
+			"canonicalHost":   canonicalHost,
+			"forwardedClient": forwardedClient,
+		} {
+			key := fn(in) // must never panic
+			if key != strings.TrimSpace(key) || key != strings.ToLower(key) {
+				t.Fatalf("%s(%q) = %q: not trimmed/lowercased", name, in, key)
+			}
+			if again := canonicalHost(key); again != key {
+				t.Fatalf("%s(%q) = %q is not canonical: re-canonicalizes to %q", name, in, key, again)
+			}
+		}
+	})
+}

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"bytes"
+	"compress/gzip"
 	"fmt"
 	"net/url"
 	"sort"
@@ -125,10 +127,24 @@ func normalizeQuery(endpoint string, raw url.Values) (key string, p queryParams,
 	return key, p, nil
 }
 
-// cacheEntry is one rendered response.
+// cacheEntry is one rendered response. gzipBody, when non-nil, is the
+// same bytes gzip-compressed — built once at render time so the
+// compressed representation is as cacheable as the plain one.
 type cacheEntry struct {
 	body        []byte
+	gzipBody    []byte
 	contentType string
+}
+
+// gzipBytes compresses a rendered body once, at cache-fill time.
+func gzipBytes(b []byte) []byte {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(b) // (*bytes.Buffer).Write and gzip over it cannot fail
+	if err := zw.Close(); err != nil {
+		return nil
+	}
+	return buf.Bytes()
 }
 
 // queryCache memoizes rendered responses keyed by (epoch, canonical

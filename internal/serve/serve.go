@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,36 @@ type Config struct {
 	Agg *stats.Aggregate
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+
+	// RequestTimeout bounds how long one request may wait on the render
+	// path; past it the client gets 503 (the render itself finishes and
+	// lands in the cache). 0 disables the deadline.
+	RequestTimeout time.Duration
+	// Rate enables per-client rate limiting at this many requests/second
+	// per client (keyed by RemoteAddr host, or the first X-Forwarded-For
+	// hop under TrustForwarded). 0 disables the limiter.
+	Rate float64
+	// Burst is the per-client bucket capacity when Rate > 0. Values < 1
+	// are raised to 1.
+	Burst int
+	// MaxRenders caps concurrently executing renders (distinct uncached
+	// queries; identical ones already coalesce). 0 means GOMAXPROCS.
+	MaxRenders int
+	// Gzip compresses /report for clients that accept it; the compressed
+	// bytes are built once per (epoch, query) alongside the plain ones.
+	Gzip bool
+	// TrustForwarded keys the rate limiter by the first X-Forwarded-For
+	// hop. Enable only behind a proxy that overwrites that header —
+	// trusting it from the open internet lets clients mint buckets.
+	TrustForwarded bool
+
+	// RenderHook, when non-nil, runs at the start of every executed
+	// render with the endpoint name. It exists for the hardening tests:
+	// counting invocations proves convoy collapse, and a sleeping hook
+	// simulates a slow render.
+	RenderHook func(endpoint string)
+	// Now substitutes the limiter's clock in tests. nil means time.Now.
+	Now func() time.Time
 }
 
 // coordStatus is the live-survey progress shown on /statusz.
@@ -47,6 +78,16 @@ type Server struct {
 	mux   *http.ServeMux
 	logf  func(string, ...any)
 	start time.Time
+
+	// Hardening: the middleware-wrapped handler plus the controls it
+	// threads requests through (see middleware.go).
+	handler        http.Handler
+	limiter        *limiter
+	gate           *renderGate
+	metrics        *metrics
+	gzip           bool
+	trustForwarded bool
+	renderHook     func(string)
 
 	// cur is the current epoch view, swapped RCU-style when the
 	// aggregate's epoch advances past it.
@@ -70,20 +111,36 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Study == nil || cfg.Agg == nil {
 		return nil, fmt.Errorf("serve: config requires a study and an aggregate")
 	}
+	if cfg.Rate < 0 {
+		return nil, fmt.Errorf("serve: negative rate %v", cfg.Rate)
+	}
+	maxRenders := cfg.MaxRenders
+	if maxRenders <= 0 {
+		maxRenders = runtime.GOMAXPROCS(0)
+	}
 	s := &Server{
-		study: cfg.Study,
-		agg:   cfg.Agg,
-		cache: newQueryCache(),
-		mux:   http.NewServeMux(),
-		logf:  cfg.Logf,
-		start: time.Now(),
+		study:          cfg.Study,
+		agg:            cfg.Agg,
+		cache:          newQueryCache(),
+		mux:            http.NewServeMux(),
+		logf:           cfg.Logf,
+		start:          time.Now(),
+		gate:           newRenderGate(maxRenders),
+		metrics:        newMetrics(),
+		gzip:           cfg.Gzip,
+		trustForwarded: cfg.TrustForwarded,
+		renderHook:     cfg.RenderHook,
 	}
 	if s.logf == nil {
 		s.logf = func(string, ...any) {}
 	}
+	if cfg.Rate > 0 {
+		s.limiter = newLimiter(cfg.Rate, cfg.Burst, cfg.Now)
+	}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statusz", s.handleStatusz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/report", s.handleReport)
 	s.mux.HandleFunc("/api/top-features", s.handleTopFeatures)
 	s.mux.HandleFunc("/api/feature-deltas", s.handleFeatureDeltas)
@@ -91,11 +148,15 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/api/headlines", s.handleHeadlines)
 	s.mux.HandleFunc("/api/complexity", s.handleComplexity)
 	s.mux.HandleFunc("/api/rounds", s.handleRounds)
+	// Outermost first: even 405s and 429s are metered, and nothing past
+	// the limiter runs for a dropped request.
+	s.handler = s.withMetrics(methodGuard(s.withRateLimit(withDeadline(cfg.RequestTimeout, s.mux))))
 	return s, nil
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the endpoint mux behind the
+// hardening middleware (metrics, method guard, rate limit, deadline).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // view returns the epoch view for the aggregate's current snapshot,
 // building one when the epoch advanced. Concurrent builders race on the
@@ -200,15 +261,12 @@ func EmptyAggregate(study *core.Study) (*stats.Aggregate, error) {
 	return agg, nil
 }
 
-// serveQuery is the shared handler skeleton: normalize the query, hit the
-// (epoch, key) cache, render on miss under the epoch view's lock, cache,
-// reply. Every cacheable endpoint goes through it.
+// serveQuery is the shared handler skeleton: normalize the query, answer
+// conditional GETs straight off the epoch (no render), hit the (epoch,
+// key) cache, coalesce misses through the render gate, reply. Every
+// cacheable endpoint goes through it.
 func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint string,
 	render func(v *epochView, p queryParams) ([]byte, string, error)) {
-	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	key, p, err := normalizeQuery(endpoint, r.URL.Query())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -216,32 +274,74 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 	}
 	v := s.view()
 	epoch := v.snap.Epoch()
+	// The body of any URL is a pure function of (URL, epoch), so the
+	// epoch is the entire ETag: a matching If-None-Match revalidates
+	// without touching the cache or the render path.
+	if inm := r.Header.Get("If-None-Match"); inm != "" && ifNoneMatchMatches(inm, epochTag(epoch)) {
+		s.notModified(w, epoch)
+		return
+	}
 	if e, ok := s.cache.get(epoch, key); ok {
-		s.reply(w, epoch, e, true)
+		s.reply(w, r, epoch, e, "hit")
 		return
 	}
-	v.mu.Lock()
-	body, contentType, err := render(v, p)
-	v.mu.Unlock()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	fl := s.gate.do(flightKey(epoch, key), func() (cacheEntry, error) {
+		if s.renderHook != nil {
+			s.renderHook(endpoint)
+		}
+		v.mu.Lock()
+		body, contentType, err := render(v, p)
+		v.mu.Unlock()
+		if err != nil {
+			return cacheEntry{}, err
+		}
+		e := cacheEntry{body: body, contentType: contentType}
+		if s.gzip && endpoint == "report" {
+			e.gzipBody = gzipBytes(body)
+		}
+		s.metrics.renderDone(endpoint)
+		s.cache.put(epoch, key, e)
+		return e, nil
+	})
+	select {
+	case <-fl.done:
+		if fl.err != nil {
+			http.Error(w, fl.err.Error(), http.StatusInternalServerError)
+			return
+		}
+		s.reply(w, r, epoch, fl.entry, "miss")
+	case <-r.Context().Done():
+		// The render outlives this request and lands in the cache; the
+		// retry this invites will be a hit.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "render deadline exceeded", http.StatusServiceUnavailable)
 	}
-	e := cacheEntry{body: body, contentType: contentType}
-	s.cache.put(epoch, key, e)
-	s.reply(w, epoch, e, false)
 }
 
-func (s *Server) reply(w http.ResponseWriter, epoch uint64, e cacheEntry, hit bool) {
+func (s *Server) reply(w http.ResponseWriter, r *http.Request, epoch uint64, e cacheEntry, cache string) {
 	h := w.Header()
 	h.Set("Content-Type", e.contentType)
 	h.Set("X-Epoch", fmt.Sprintf("%d", epoch))
-	if hit {
-		h.Set("X-Cache", "hit")
-	} else {
-		h.Set("X-Cache", "miss")
+	h.Set("X-Cache", cache)
+	h.Set("ETag", etagHeader(epoch))
+	if e.gzipBody != nil {
+		h.Set("Vary", "Accept-Encoding")
+		if acceptsGzip(r) {
+			h.Set("Content-Encoding", "gzip")
+			w.Write(e.gzipBody)
+			return
+		}
 	}
 	w.Write(e.body)
+}
+
+// notModified answers a successful revalidation: 304, no body, the
+// current validator restated.
+func (s *Server) notModified(w http.ResponseWriter, epoch uint64) {
+	h := w.Header()
+	h.Set("ETag", etagHeader(epoch))
+	h.Set("X-Epoch", fmt.Sprintf("%d", epoch))
+	w.WriteHeader(http.StatusNotModified)
 }
 
 // marshal renders a JSON response body.
@@ -269,6 +369,7 @@ endpoints:
   /report             full aggregate text report (byte-identical to cmd/report)
   /healthz            liveness
   /statusz            epoch, cache, and survey progress
+  /metrics            Prometheus text exposition
 `)
 }
 
@@ -288,24 +389,30 @@ type statuszResponse struct {
 	PagesVisited  int64          `json:"pages_visited"`
 	UptimeSeconds float64        `json:"uptime_seconds"`
 	Cache         cacheStats     `json:"cache"`
-	Coordinator   *coordStatus   `json:"coordinator,omitempty"`
+	// RateLimited and InflightRenders mirror /metrics for operators who
+	// read JSON; the histograms live only on /metrics.
+	RateLimited     int64        `json:"rate_limited"`
+	InflightRenders int64        `json:"inflight_renders"`
+	Coordinator     *coordStatus `json:"coordinator,omitempty"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	snap := s.agg.Snapshot()
 	inv, pages := snap.Totals()
 	resp := statuszResponse{
-		Epoch:         snap.Epoch(),
-		Sites:         snap.NumSites(),
-		Features:      snap.NumFeatures(),
-		Cases:         snap.Cases(),
-		MeasuredSites: snap.MeasuredCount(),
-		OpenSites:     snap.OpenSites(),
-		Invocations:   inv,
-		PagesVisited:  pages,
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Cache:         s.cache.stats(),
-		Coordinator:   s.coord.Load(),
+		Epoch:           snap.Epoch(),
+		Sites:           snap.NumSites(),
+		Features:        snap.NumFeatures(),
+		Cases:           snap.Cases(),
+		MeasuredSites:   snap.MeasuredCount(),
+		OpenSites:       snap.OpenSites(),
+		Invocations:     inv,
+		PagesVisited:    pages,
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Cache:           s.cache.stats(),
+		RateLimited:     s.metrics.rateLimited.Load(),
+		InflightRenders: s.gate.inflight.Load(),
+		Coordinator:     s.coord.Load(),
 	}
 	body, contentType, err := marshal(resp)
 	if err != nil {

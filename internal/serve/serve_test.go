@@ -66,19 +66,51 @@ func runBatch(t *testing.T) (report []byte, spillGlob string) {
 
 // coldServer loads the spill files and serves them over a test listener.
 func coldServer(t *testing.T, spillGlob string) *httptest.Server {
+	return coldServerCfg(t, spillGlob, nil)
+}
+
+// coldServerCfg is coldServer with a config hook, so the hardening suite
+// can switch on limiter/gzip/timeout knobs over the same spill data.
+func coldServerCfg(t *testing.T, spillGlob string, mut func(*serve.Config)) *httptest.Server {
 	t.Helper()
 	study := newStudy(t, testStudyConfig())
 	agg, err := serve.LoadSpills(study, spillGlob)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := serve.New(serve.Config{Study: study, Agg: agg, Logf: t.Logf})
+	cfg := serve.Config{Study: study, Agg: agg, Logf: t.Logf}
+	if mut != nil {
+		mut(&cfg)
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+// emptyServerCfg serves an empty published aggregate with a config hook —
+// the cheap substrate for hardening tests that control the epoch by hand.
+func emptyServerCfg(t *testing.T, mut func(*serve.Config)) (*httptest.Server, *stats.Aggregate) {
+	t.Helper()
+	study := newStudy(t, testStudyConfig())
+	agg, err := serve.EmptyAggregate(study)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := serve.Config{Study: study, Agg: agg, Logf: t.Logf}
+	if mut != nil {
+		mut(&cfg)
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, agg
 }
 
 // liveServer starts an empty server in coordinator mode, runs workerCount

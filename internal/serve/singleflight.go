@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// renderGate is the render-side admission control: a single-flight group
+// keyed by (epoch, canonical query) so N concurrent readers of one
+// uncached query coalesce onto one render, plus a semaphore capping how
+// many distinct renders run at once. Before it existed, eight readers
+// arriving behind one slow /report render queued on the epoch view's
+// mutex and rendered the identical bytes eight times — the convoy the
+// hardening suite pins to exactly one render.
+//
+// The epoch is part of the key, which is what keeps the gate compatible
+// with the snapshots-are-prefixes invariant: every waiter that joins a
+// flight asked for that flight's epoch, so the coalesced body is rendered
+// from one immutable snapshot — no reader is ever handed bytes from an
+// epoch other than the one it resolved.
+type renderGate struct {
+	sem      chan struct{}
+	inflight atomic.Int64
+
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// flight is one in-progress render. done closes after the result is
+// cached, so a waiter that saw a cache miss and then joins a completed
+// flight still observes the entry.
+type flight struct {
+	done  chan struct{}
+	entry cacheEntry
+	err   error
+}
+
+func newRenderGate(maxRenders int) *renderGate {
+	if maxRenders < 1 {
+		maxRenders = 1
+	}
+	return &renderGate{
+		sem:     make(chan struct{}, maxRenders),
+		flights: make(map[string]*flight),
+	}
+}
+
+// flightKey scopes coalescing to one epoch of one canonical query.
+func flightKey(epoch uint64, key string) string {
+	return fmt.Sprintf("%d|%s", epoch, key)
+}
+
+// do returns the flight for key, spawning its render goroutine if none is
+// in progress. The render runs detached from any request context: a
+// waiter whose deadline expires walks away with a 503 while the render
+// finishes and lands in the cache, so the work is never wasted — the
+// retry the 503 invites is a cache hit.
+func (g *renderGate) do(key string, render func() (cacheEntry, error)) *flight {
+	g.mu.Lock()
+	if f, ok := g.flights[key]; ok {
+		g.mu.Unlock()
+		return f
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	go func() {
+		g.sem <- struct{}{}
+		g.inflight.Add(1)
+		f.entry, f.err = render()
+		g.inflight.Add(-1)
+		<-g.sem
+		// Deregister before signaling: render() has already cached the
+		// entry, so a request arriving after the delete hits the cache.
+		g.mu.Lock()
+		delete(g.flights, key)
+		g.mu.Unlock()
+		close(f.done)
+	}()
+	return f
+}
